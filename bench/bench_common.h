@@ -1,0 +1,116 @@
+// Shared plumbing for the table/figure reproduction harnesses: environment
+// knobs, fixed-width table printing, and TSV report output.
+//
+// Environment variables honored by every harness:
+//   SUPA_BENCH_SCALE       dataset size multiplier (default 1.0)
+//   SUPA_BENCH_EFFORT      training effort multiplier (default 1.0)
+//   SUPA_BENCH_TEST_EDGES  test cases per evaluation (default 300)
+//   SUPA_BENCH_SEEDS       repetitions for significance tests (default 3)
+// Command line:
+//   --out <path>           additionally write the rows as TSV
+
+#ifndef SUPA_BENCH_BENCH_COMMON_H_
+#define SUPA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/tsv.h"
+
+namespace supa::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  auto parsed = ParseDouble(v);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  return static_cast<size_t>(
+      EnvDouble(name, static_cast<double>(fallback)));
+}
+
+/// The standard knobs, read once per harness.
+struct BenchEnv {
+  double scale = EnvDouble("SUPA_BENCH_SCALE", 1.0);
+  double effort = EnvDouble("SUPA_BENCH_EFFORT", 1.0);
+  size_t test_edges = EnvSize("SUPA_BENCH_TEST_EDGES", 300);
+  size_t seeds = EnvSize("SUPA_BENCH_SEEDS", 2);
+};
+
+/// Accumulates rows, prints an aligned text table, optionally writes TSV.
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Prints the table to stdout.
+  void Print() const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string>& row) {
+      if (widths.size() < row.size()) widths.resize(row.size(), 0);
+      for (size_t i = 0; i < row.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+  /// Writes header + rows as TSV when `path` is non-empty.
+  void MaybeWriteTsv(const std::string& path) const {
+    if (path.empty()) return;
+    std::vector<std::vector<std::string>> all;
+    all.push_back(header_);
+    for (const auto& row : rows_) all.push_back(row);
+    Status st = WriteTsv(path, all);
+    if (!st.ok()) {
+      SUPA_LOG(ERROR) << "failed to write " << path << ": " << st.ToString();
+    } else {
+      std::printf("(wrote %s)\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses `--out <path>` from argv; empty when absent.
+inline std::string OutPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Fixed-precision formatting for metric cells.
+inline std::string Fmt(double x, int digits = 4) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, x);
+  return buf;
+}
+
+}  // namespace supa::bench
+
+#endif  // SUPA_BENCH_BENCH_COMMON_H_

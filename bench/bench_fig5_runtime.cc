@@ -1,0 +1,60 @@
+// Reproduces Figure 5: total running time (train + evaluate, summed over
+// the 9 dynamic-link-prediction steps of Figure 4) per method on
+// MovieLens. The paper's claim is the *ordering*: SUPA trains a stream
+// faster than retrain-from-scratch baselines of comparable quality.
+
+#include "bench/bench_common.h"
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  constexpr size_t kParts = 10;
+
+  auto data_or = MakeMovielens(env.scale, 100);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+
+  Report report("Figure 5 — total running time of dynamic link prediction");
+  report.SetHeader({"Method", "train_s", "eval_s", "total_s"});
+
+  for (const auto& method : StrongBaselineNames()) {
+    RegistryOptions options;
+    options.dim = 64;
+    options.effort = env.effort;
+    auto model = MakeRecommender(method, options);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    EvalConfig eval;
+    eval.max_test_edges = env.test_edges;
+    auto steps = RunDynamicProtocol(*model.value(), data, kParts, eval);
+    if (!steps.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method.c_str(),
+                   steps.status().ToString().c_str());
+      return 1;
+    }
+    double train_s = 0.0;
+    double eval_s = 0.0;
+    for (const auto& s : steps.value()) {
+      train_s += s.train_seconds;
+      eval_s += s.eval_seconds;
+    }
+    report.AddRow({method, Fmt(train_s, 2), Fmt(eval_s, 2),
+                   Fmt(train_s + eval_s, 2)});
+    SUPA_LOG(INFO) << "fig5: finished " << method;
+  }
+
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 7: scalability in terms of fast-changing data. The
+// training batch size S_batch is swept over powers of two; for each value
+// we report the average per-batch (re)training time, the implied
+// edges-per-second throughput, and the resulting H@50 — the paper's claim
+// is time linear in S_batch with stable accuracy for S_batch >= 32.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "baselines/recommender.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  auto data_or = MakeMovielens(env.scale, 100);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+  auto split = SplitTemporal(data).value();
+
+  Report report("Figure 7 — scalability vs training batch size S_batch");
+  report.SetHeader({"S_batch", "avg_batch_s", "edges_per_s", "H@50", "MRR"});
+
+  for (int log2_batch = 5; log2_batch <= 15; ++log2_batch) {
+    const size_t batch = static_cast<size_t>(1) << log2_batch;
+    SupaConfig model_config;
+    model_config.dim = 64;
+    InsLearnConfig train_config;
+    train_config.batch_size = batch;
+    train_config.max_iters = std::max(1, static_cast<int>(8 * env.effort));
+    train_config.valid_interval = 4;
+    SupaRecommender model(model_config, train_config);
+
+    Timer timer;
+    Status st = model.Fit(data, split.train);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double total_s = timer.ElapsedSeconds();
+    const size_t num_batches =
+        (split.train.size() + batch - 1) / batch;
+    const double avg_batch_s = total_s / static_cast<double>(num_batches);
+    const double edges_per_s =
+        static_cast<double>(split.train.size()) / total_s;
+
+    EvalConfig eval;
+    eval.max_test_edges = env.test_edges;
+    auto result = EvaluateLinkPrediction(model, data, split.test,
+                                         EdgeRange{0, split.valid.end}, eval);
+    if (!result.ok()) {
+      std::fprintf(stderr, "eval failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    report.AddRow({std::to_string(batch), Fmt(avg_batch_s, 4),
+                   Fmt(edges_per_s, 0), Fmt(result.value().hit50),
+                   Fmt(result.value().mrr)});
+    SUPA_LOG(INFO) << "fig7: S_batch=" << batch << " avg " << avg_batch_s
+                   << "s/batch";
+  }
+
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Reproduces Figure 8: parameter sensitivity of SUPA. Panels (a)-(e) sweep
+// the GNN hyper-parameters (embedding size d, walks k, walk length l,
+// negatives N_neg, filter threshold τ via its g(τ) value); panels (f)-(j)
+// sweep the InsLearn workflow parameters (N_iter, I_valid, S_valid,
+// patience μ, S_batch). The paper runs UCI, Last.fm and Taobao; we default
+// to UCI and Taobao to bound single-core runtime (Last.fm behaves alike —
+// add it with SUPA_BENCH_FIG8_ALL=1).
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "baselines/recommender.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+#include "util/math_utils.h"
+
+namespace {
+
+using supa::Dataset;
+using supa::EdgeRange;
+using supa::EvalConfig;
+using supa::InsLearnConfig;
+using supa::SupaConfig;
+using supa::SupaRecommender;
+
+/// One panel: a parameter name, its sweep values, and how a value mutates
+/// the two configs.
+struct Panel {
+  std::string name;
+  std::vector<double> values;
+  std::function<void(double, SupaConfig&, InsLearnConfig&)> apply;
+};
+
+double RunOne(const Dataset& data, const SupaConfig& mc,
+              const InsLearnConfig& tc, size_t test_edges) {
+  auto split = supa::SplitTemporal(data).value();
+  SupaRecommender model(mc, tc);
+  if (!model.Fit(data, split.train).ok()) return -1.0;
+  EvalConfig eval;
+  eval.max_test_edges = test_edges;
+  auto r = supa::EvaluateLinkPrediction(model, data, split.test,
+                                        EdgeRange{0, split.valid.end}, eval);
+  return r.ok() ? r.value().hit50 : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  std::vector<std::string> dataset_names = {"UCI", "Taobao"};
+  if (EnvDouble("SUPA_BENCH_FIG8_ALL", 0.0) > 0.0) {
+    dataset_names = {"UCI", "Last.fm", "Taobao"};
+  }
+
+  const std::vector<Panel> panels = {
+      {"(a) d", {16, 32, 64, 128},
+       [](double v, SupaConfig& m, InsLearnConfig&) {
+         m.dim = static_cast<int>(v);
+       }},
+      {"(b) k", {1, 2, 4, 8},
+       [](double v, SupaConfig& m, InsLearnConfig&) {
+         m.num_walks = static_cast<int>(v);
+       }},
+      {"(c) l", {2, 3, 5, 7},
+       [](double v, SupaConfig& m, InsLearnConfig&) {
+         m.walk_len = static_cast<int>(v);
+       }},
+      {"(d) N_neg", {1, 3, 5, 7},
+       [](double v, SupaConfig& m, InsLearnConfig&) {
+         m.num_neg = static_cast<int>(v);
+       }},
+      {"(e) g(tau)", {0.1, 0.2, 0.3, 0.5},
+       [](double v, SupaConfig& m, InsLearnConfig&) {
+         m.tau = TauFromDecayValue(v);
+       }},
+      {"(f) N_iter", {2, 4, 8, 16},
+       [](double v, SupaConfig&, InsLearnConfig& t) {
+         t.max_iters = static_cast<int>(v);
+       }},
+      {"(g) I_valid", {2, 4, 8, 16},
+       [](double v, SupaConfig&, InsLearnConfig& t) {
+         t.valid_interval = static_cast<int>(v);
+       }},
+      {"(h) S_valid", {50, 100, 150, 200},
+       [](double v, SupaConfig&, InsLearnConfig& t) {
+         t.valid_size = static_cast<size_t>(v);
+       }},
+      {"(i) mu", {1, 2, 3, 5},
+       [](double v, SupaConfig&, InsLearnConfig& t) {
+         t.patience = static_cast<int>(v);
+       }},
+      {"(j) S_batch", {16, 32, 256, 1024, 4096},
+       [](double v, SupaConfig&, InsLearnConfig& t) {
+         t.batch_size = static_cast<size_t>(v);
+       }},
+  };
+
+  Report report("Figure 8 — parameter sensitivity (H@50)");
+  std::vector<std::string> header = {"panel", "value"};
+  for (const auto& name : dataset_names) header.push_back(name);
+  report.SetHeader(header);
+
+  std::vector<Dataset> datasets;
+  for (const auto& name : dataset_names) {
+    auto d = MakePaperDataset(name, env.scale, 100);
+    if (!d.ok()) {
+      std::fprintf(stderr, "dataset %s failed\n", name.c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(d).value());
+  }
+
+  for (const auto& panel : panels) {
+    for (double value : panel.values) {
+      std::vector<std::string> row = {panel.name, Fmt(value, 2)};
+      for (const auto& data : datasets) {
+        SupaConfig mc;
+        mc.dim = 64;
+        InsLearnConfig tc;
+        tc.max_iters = std::max(1, static_cast<int>(8 * env.effort));
+        tc.valid_interval = 4;
+        panel.apply(value, mc, tc);
+        row.push_back(Fmt(RunOne(data, mc, tc, env.test_edges)));
+      }
+      report.AddRow(std::move(row));
+      SUPA_LOG(INFO) << "fig8: " << panel.name << " = " << value;
+    }
+  }
+
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

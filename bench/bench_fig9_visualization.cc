@@ -1,0 +1,104 @@
+// Reproduces Figure 9: embedding visualization of user-item pairs on
+// Taobao. 20 test user-item pairs are sampled, each method's embeddings of
+// the 40 nodes are projected to 2-D with t-SNE, and the mean distance d̄
+// between the paired user and item points is averaged over repetitions —
+// smaller d̄ means the method embeds true pairs closer (what the paper
+// shows qualitatively as "short gray lines").
+
+#include "bench/bench_common.h"
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+#include "eval/tsne.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  const size_t repetitions = std::max<size_t>(
+      1, EnvSize("SUPA_BENCH_FIG9_REPS", 10));
+  constexpr size_t kPairs = 20;
+  const std::vector<std::string> methods = {
+      "node2vec", "GATNE", "LightGCN", "MF-BPR", "EvolveGCN", "SUPA"};
+
+  auto data_or = MakeTaobao(env.scale, 100);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+  auto split = SplitTemporal(data).value();
+
+  Report report("Figure 9 — t-SNE mean user-item pair distance d̄ (lower "
+                "is better)");
+  report.SetHeader({"Method", "mean_pair_distance", "reps"});
+
+  for (const auto& method : methods) {
+    RegistryOptions options;
+    options.dim = 64;
+    options.effort = env.effort;
+    auto model = MakeRecommender(method, options);
+    if (!model.ok() || !model.value()->Fit(data, split.train).ok()) {
+      std::fprintf(stderr, "%s failed to fit\n", method.c_str());
+      return 1;
+    }
+
+    double dbar_sum = 0.0;
+    size_t dbar_count = 0;
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      // Sample 20 test user-item pairs (target relations only).
+      Rng rng(500 + rep);
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (int attempt = 0; attempt < 4000 && pairs.size() < kPairs;
+           ++attempt) {
+        const size_t i =
+            split.test.begin + rng.Index(split.test.size());
+        const auto& e = data.edges[i];
+        if (!data.IsTargetRelation(e.type)) continue;
+        pairs.emplace_back(e.src, e.dst);
+      }
+      if (pairs.size() < kPairs) continue;
+
+      // Collect the 40 node embeddings (user then item per pair).
+      std::vector<float> points;
+      size_t dim = 0;
+      bool ok = true;
+      for (const auto& [u, v] : pairs) {
+        for (NodeId node : {u, v}) {
+          auto emb = model.value()->Embedding(node, data.target_relations[0]);
+          if (!emb.ok()) {
+            ok = false;
+            break;
+          }
+          dim = emb.value().size();
+          points.insert(points.end(), emb.value().begin(),
+                        emb.value().end());
+        }
+        if (!ok) break;
+      }
+      if (!ok) continue;
+
+      TsneConfig tsne;
+      tsne.seed = 900 + rep;
+      auto layout = RunTsne(points, 2 * kPairs, dim, tsne);
+      if (!layout.ok()) continue;
+      std::vector<std::pair<size_t, size_t>> index_pairs;
+      for (size_t p = 0; p < kPairs; ++p) {
+        index_pairs.emplace_back(2 * p, 2 * p + 1);
+      }
+      dbar_sum += MeanPairDistance(layout.value(), index_pairs);
+      ++dbar_count;
+    }
+    report.AddRow({method,
+                   dbar_count > 0 ? Fmt(dbar_sum / dbar_count, 3) : "n/a",
+                   std::to_string(dbar_count)});
+    SUPA_LOG(INFO) << "fig9: finished " << method;
+  }
+
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,139 @@
+// google-benchmark micro-op suite for SUPA's hot paths: per-edge training,
+// influenced-graph sampling, scoring, graph appends, and the sparse
+// optimizer — the operations whose costs compose the O((kl + N_neg)·|E|)
+// training complexity of §III-F.2.
+
+#include <benchmark/benchmark.h>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+const Dataset& BenchData() {
+  static const Dataset data = MakeTaobao(0.5, 77).value();
+  return data;
+}
+
+SupaConfig BenchConfig(int dim = 64) {
+  SupaConfig c;
+  c.dim = dim;
+  c.num_walks = 4;
+  c.walk_len = 3;
+  c.num_neg = 5;
+  return c;
+}
+
+std::unique_ptr<SupaModel> WarmModel(const SupaConfig& config,
+                                     size_t warm_edges) {
+  const Dataset& data = BenchData();
+  auto model = std::make_unique<SupaModel>(data, config);
+  for (size_t i = 0; i < warm_edges && i < data.edges.size(); ++i) {
+    (void)model->ObserveEdge(data.edges[i]);
+  }
+  return model;
+}
+
+void BM_TrainEdge(benchmark::State& state) {
+  const Dataset& data = BenchData();
+  SupaConfig config = BenchConfig(static_cast<int>(state.range(0)));
+  auto model = WarmModel(config, 5000);
+  size_t i = 5000;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    benchmark::DoNotOptimize(model->TrainEdge(e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrainEdge)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_InfluencedGraphSampling(benchmark::State& state) {
+  const Dataset& data = BenchData();
+  SupaConfig config = BenchConfig();
+  config.num_walks = static_cast<int>(state.range(0));
+  auto model = WarmModel(config, 5000);
+  InfluencedGraphSampler sampler(model->graph(), data.metapaths,
+                                 config.num_walks, config.walk_len);
+  Rng rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    benchmark::DoNotOptimize(sampler.Sample(e.src, e.dst, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InfluencedGraphSampling)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Score(benchmark::State& state) {
+  auto model = WarmModel(BenchConfig(), 5000);
+  const Dataset& data = BenchData();
+  Rng rng(2);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Index(data.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.Index(data.num_nodes()));
+    benchmark::DoNotOptimize(model->Score(u, v, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Score);
+
+void BM_ObserveEdge(benchmark::State& state) {
+  const Dataset& data = BenchData();
+  std::unique_ptr<SupaModel> model;
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i == 0 || i >= data.edges.size()) {
+      state.PauseTiming();
+      model = std::make_unique<SupaModel>(data, BenchConfig());
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(model->ObserveEdge(data.edges[i++]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObserveEdge);
+
+void BM_AdamStepRows(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  std::vector<float> params(rows * dim, 0.1f);
+  SparseAdam adam(params.size(), 3e-3, 1e-4);
+  GradBuffer grads;
+  std::vector<float> grad_row(dim, 0.01f);
+  for (auto _ : state) {
+    grads.Clear();
+    for (size_t r = 0; r < rows; ++r) {
+      grads.Accumulate(r * dim, dim, 1.0, grad_row.data());
+    }
+    adam.Step(grads, params.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AdamStepRows)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_InsLearnBatch(benchmark::State& state) {
+  const Dataset& data = BenchData();
+  InsLearnConfig tc;
+  tc.batch_size = static_cast<size_t>(state.range(0));
+  tc.max_iters = 2;
+  tc.valid_interval = 1;
+  tc.valid_size = 50;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SupaModel model(data, BenchConfig());
+    InsLearnTrainer trainer(tc);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        trainer.Train(model, data, EdgeRange{0, tc.batch_size}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsLearnBatch)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace supa
+
+BENCHMARK_MAIN();

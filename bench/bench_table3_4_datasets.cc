@@ -1,0 +1,63 @@
+// Reproduces Tables III and IV: the statistics of the (emulated) datasets
+// (|V|, |E|, |O|, |R|, |T|) and the selected multiplex metapath schemas.
+// |O| and |R| match the paper exactly by construction; |V|, |E|, |T| are
+// the scaled-down emulator sizes (multiply SUPA_BENCH_SCALE to enlarge).
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  auto all = MakeAllPaperDatasets(env.scale, 100);
+  if (!all.ok()) {
+    std::fprintf(stderr, "%s\n", all.status().ToString().c_str());
+    return 1;
+  }
+
+  // Paper Table III reference rows for side-by-side shape checking.
+  struct PaperRow {
+    const char* v;
+    const char* e;
+    const char* o;
+    const char* r;
+    const char* t;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"UCI", {"1,677", "56,617", "1", "1", "47,123"}},
+      {"Amazon", {"10,099", "148,659", "1", "2", "1"}},
+      {"Last.fm", {"127,786", "720,537", "2", "1", "707,959"}},
+      {"MovieLens", {"16,578", "1,231,508", "2", "2", "877,684"}},
+      {"Taobao", {"12,611", "20,890", "2", "4", "20406"}},
+      {"Kuaishou", {"138,812", "1,779,639", "3", "5", "705,302"}},
+  };
+
+  Report t3("Table III — dataset statistics (ours vs paper)");
+  t3.SetHeader({"Dataset", "|V|", "|E|", "|O|", "|R|", "|T|", "paper |V|",
+                "paper |E|", "paper |O|", "paper |R|", "paper |T|"});
+  for (const auto& data : all.value()) {
+    const DatasetStats s = ComputeStats(data);
+    const PaperRow& p = paper.at(data.name);
+    t3.AddRow({data.name, std::to_string(s.num_nodes),
+               std::to_string(s.num_edges), std::to_string(s.num_node_types),
+               std::to_string(s.num_edge_types),
+               std::to_string(s.num_timestamps), p.v, p.e, p.o, p.r, p.t});
+  }
+  t3.Print();
+
+  Report t4("Table IV — selected multiplex metapath schemas");
+  t4.SetHeader({"Dataset", "schema"});
+  for (const auto& data : all.value()) {
+    for (const auto& mp : data.metapaths) {
+      t4.AddRow({data.name, mp.ToString(data.schema)});
+    }
+  }
+  t4.Print();
+  t3.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table V: link-prediction hit rate (H@20, H@50) for every
+// method on every dataset. Rows are methods, column pairs are datasets, as
+// in the paper; a '*' on a SUPA cell marks p < 0.01 (one-sided Welch
+// t-test vs the best baseline) when SUPA_BENCH_SEEDS >= 2.
+
+#include "bench/link_prediction_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  auto cells_or = RunLinkPredictionGrid(AllMethodNames(), env);
+  if (!cells_or.ok()) {
+    std::fprintf(stderr, "table5 failed: %s\n",
+                 cells_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& cells = cells_or.value();
+
+  Report report("Table V — link prediction hit rate");
+  std::vector<std::string> header = {"Method"};
+  for (const auto& ds : PaperDatasetNames()) {
+    header.push_back(ds + " H@20");
+    header.push_back(ds + " H@50");
+  }
+  report.SetHeader(header);
+
+  MetricFn h20 = [](const GridCell& c) -> const std::vector<double>& {
+    return c.hit20;
+  };
+  MetricFn h50 = [](const GridCell& c) -> const std::vector<double>& {
+    return c.hit50;
+  };
+
+  for (const auto& method : AllMethodNames()) {
+    std::vector<std::string> row = {method};
+    for (const auto& ds : PaperDatasetNames()) {
+      for (const auto& cell : cells) {
+        if (cell.method == method && cell.dataset == ds) {
+          row.push_back(MetricCell(cells, cell, h20, env.seeds >= 2));
+          row.push_back(MetricCell(cells, cell, h50, env.seeds >= 2));
+        }
+      }
+    }
+    report.AddRow(std::move(row));
+  }
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

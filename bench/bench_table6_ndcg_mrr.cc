@@ -1,0 +1,49 @@
+// Reproduces Table VI: link-prediction NDCG@10 and MRR for every method on
+// every dataset, with the same significance stars as Table V.
+
+#include "bench/link_prediction_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace supa;
+  using namespace supa::bench;
+
+  BenchEnv env;
+  auto cells_or = RunLinkPredictionGrid(AllMethodNames(), env);
+  if (!cells_or.ok()) {
+    std::fprintf(stderr, "table6 failed: %s\n",
+                 cells_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& cells = cells_or.value();
+
+  Report report("Table VI — link prediction NDCG@10 and MRR");
+  std::vector<std::string> header = {"Method"};
+  for (const auto& ds : PaperDatasetNames()) {
+    header.push_back(ds + " NDCG");
+    header.push_back(ds + " MRR");
+  }
+  report.SetHeader(header);
+
+  MetricFn ndcg = [](const GridCell& c) -> const std::vector<double>& {
+    return c.ndcg10;
+  };
+  MetricFn mrr = [](const GridCell& c) -> const std::vector<double>& {
+    return c.mrr;
+  };
+
+  for (const auto& method : AllMethodNames()) {
+    std::vector<std::string> row = {method};
+    for (const auto& ds : PaperDatasetNames()) {
+      for (const auto& cell : cells) {
+        if (cell.method == method && cell.dataset == ds) {
+          row.push_back(MetricCell(cells, cell, ndcg, env.seeds >= 2));
+          row.push_back(MetricCell(cells, cell, mrr, env.seeds >= 2));
+        }
+      }
+    }
+    report.AddRow(std::move(row));
+  }
+  report.Print();
+  report.MaybeWriteTsv(OutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Helper shared by the ablation harnesses (Tables VII and VIII): train a
+// named SUPA variant on a dataset's 80/1/19 split and return H@50 + MRR.
+
+#ifndef SUPA_BENCH_SUPA_VARIANT_RUN_H_
+#define SUPA_BENCH_SUPA_VARIANT_RUN_H_
+
+#include <string>
+
+#include "baselines/recommender.h"
+#include "bench/bench_common.h"
+#include "core/variants.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+
+namespace supa::bench {
+
+struct VariantResult {
+  double hit50 = 0.0;
+  double mrr = 0.0;
+};
+
+/// Trains SUPA under `variant` ("full", loss/hetero variants, or "woIns"
+/// for the conventional training workflow) and evaluates link prediction.
+inline Result<VariantResult> RunSupaVariant(const Dataset& data,
+                                            const std::string& variant,
+                                            const BenchEnv& env,
+                                            uint64_t seed = 1) {
+  SupaConfig model_config;
+  model_config.dim = 64;
+  model_config.seed = 1000 + seed;
+  InsLearnConfig train_config;
+  train_config.max_iters =
+      std::max(1, static_cast<int>(8 * env.effort));
+  train_config.valid_interval = 4;
+  train_config.seed = seed + 5;
+  // The whole point of Table VII's last rows is single-pass vs
+  // conventional training, so the static-graph auto-fallback must not
+  // silently convert "full" into "woIns" on Amazon.
+  train_config.auto_static_fallback = false;
+
+  std::string model_variant = variant;
+  if (variant == "woIns") {
+    model_variant = "full";
+    train_config.single_pass = false;
+    train_config.full_pass_epochs =
+        std::max(1, static_cast<int>(4 * env.effort));
+  }
+  SUPA_ASSIGN_OR_RETURN(SupaConfig config,
+                        ApplyVariant(model_config, model_variant));
+
+  SUPA_ASSIGN_OR_RETURN(TemporalSplit split, SplitTemporal(data));
+  SupaRecommender model(config, train_config, "SUPA_" + variant);
+  SUPA_RETURN_NOT_OK(model.Fit(data, split.train));
+
+  EvalConfig eval;
+  eval.max_test_edges = env.test_edges;
+  eval.seed = 7 + seed;
+  SUPA_ASSIGN_OR_RETURN(
+      RankingResult r,
+      EvaluateLinkPrediction(model, data, split.test,
+                             EdgeRange{0, split.valid.end}, eval));
+  return VariantResult{r.hit50, r.mrr};
+}
+
+}  // namespace supa::bench
+
+#endif  // SUPA_BENCH_SUPA_VARIANT_RUN_H_

@@ -1,0 +1,42 @@
+// DeepWalk (Perozzi et al., KDD 2014): uniform truncated random walks +
+// skip-gram with negative sampling. Static, homogeneous — it ignores edge
+// types and timestamps, exactly as characterized in §IV-B of the paper.
+
+#ifndef SUPA_BASELINES_DEEPWALK_H_
+#define SUPA_BASELINES_DEEPWALK_H_
+
+#include <memory>
+
+#include "baselines/skipgram.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// DeepWalk hyper-parameters.
+struct DeepWalkConfig {
+  SkipGramConfig skipgram;
+  int walks_per_node = 4;
+  int walk_len = 8;
+  int epochs = 2;
+  uint64_t seed = 21;
+};
+
+/// DeepWalk over the training subgraph (honors the neighbor cap η).
+class DeepWalkRecommender : public Recommender {
+ public:
+  explicit DeepWalkRecommender(DeepWalkConfig config = DeepWalkConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "DeepWalk"; }
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+ private:
+  DeepWalkConfig config_;
+  std::unique_ptr<SkipGramTrainer> trainer_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_DEEPWALK_H_

@@ -1,0 +1,141 @@
+#include "baselines/dyhatr.h"
+
+#include <cmath>
+
+#include "baselines/graph_prop.h"
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status DyhatrRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  num_relations_ = data.schema.num_edge_types();
+  rng_ = Rng(config_.seed);
+  state_.resize(n * dim_);
+  for (auto& x : state_) {
+    x = static_cast<float>(rng_.Gaussian(0.0, config_.init_scale));
+  }
+  attention_.assign(num_relations_, 0.0);
+  gate_logit_ = config_.gate_init;
+  initialized_ = true;
+  return ProcessSnapshots(data, range);
+}
+
+Status DyhatrRecommender::FitIncremental(const Dataset& data,
+                                         EdgeRange range) {
+  if (!initialized_) return Fit(data, range);
+  return ProcessSnapshots(data, range);
+}
+
+Status DyhatrRecommender::ProcessSnapshots(const Dataset& data,
+                                           EdgeRange range) {
+  const size_t n = data.num_nodes();
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  const size_t snaps = static_cast<size_t>(std::max(1, config_.snapshots));
+  const size_t per = std::max<size_t>(1, range.size() / snaps);
+
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> rel_edges(
+      num_relations_);
+  std::vector<std::vector<double>> rel_deg(num_relations_);
+  std::vector<float> prop;
+  std::vector<float> combined;
+
+  for (size_t s0 = range.begin; s0 < range.end; s0 += per) {
+    const size_t s1 = std::min(s0 + per, range.end);
+
+    // Per-edge-type flows within the snapshot.
+    for (auto& re : rel_edges) re.clear();
+    for (auto& rd : rel_deg) rd.assign(n, 0.0);
+    {
+      std::vector<size_t> seen_after(n, 0);
+      for (size_t i = s1; i-- > s0;) {
+        const auto& e = data.edges[i];
+        const bool keep = neighbor_cap_ == 0 ||
+                          (seen_after[e.src] < neighbor_cap_ &&
+                           seen_after[e.dst] < neighbor_cap_);
+        if (keep) {
+          rel_edges[e.type].emplace_back(e.src, e.dst);
+          rel_deg[e.type][e.src] += 1.0;
+          rel_deg[e.type][e.dst] += 1.0;
+        }
+        ++seen_after[e.src];
+        ++seen_after[e.dst];
+      }
+    }
+
+    // Edge-type-level attention combine.
+    double max_logit = attention_[0];
+    for (double a : attention_) max_logit = std::max(max_logit, a);
+    std::vector<double> weights(num_relations_);
+    double z = 0.0;
+    for (size_t r = 0; r < num_relations_; ++r) {
+      weights[r] = std::exp(attention_[r] - max_logit);
+      z += weights[r];
+    }
+    for (auto& w : weights) w /= z;
+
+    combined = state_;
+    for (size_t r = 0; r < num_relations_; ++r) {
+      if (rel_edges[r].empty()) continue;
+      PropagateNormalized(rel_edges[r], rel_deg[r], state_, &prop, n, dim_);
+      for (size_t i = 0; i < combined.size(); ++i) {
+        combined[i] += static_cast<float>(weights[r] * prop[i]);
+      }
+    }
+
+    // Temporal gated recurrence across snapshots.
+    const double gate = Sigmoid(gate_logit_);
+    for (size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = static_cast<float>(gate * state_[i] +
+                                     (1.0 - gate) * combined[i]);
+    }
+
+    // BPR refinement; attention logits follow the relation of each edge.
+    for (int epoch = 0; epoch < config_.epochs_per_snapshot; ++epoch) {
+      for (size_t i = s0; i < s1; ++i) {
+        const auto& e = data.edges[i];
+        const auto& pool = by_type[data.node_types[e.dst]];
+        if (pool.size() < 2) continue;
+        NodeId neg = e.dst;
+        for (int attempt = 0; attempt < 8 && (neg == e.dst || neg == e.src);
+             ++attempt) {
+          neg = pool[rng_.Index(pool.size())];
+        }
+        if (neg == e.dst || neg == e.src) continue;
+        float* fu = state_.data() + e.src * dim_;
+        float* fp = state_.data() + e.dst * dim_;
+        float* fn = state_.data() + neg * dim_;
+        const double x_upn = Dot(fu, fp, dim_) - Dot(fu, fn, dim_);
+        const double g = Sigmoid(-x_upn) * config_.lr;
+        const double reg = config_.reg * config_.lr;
+        for (size_t k = 0; k < dim_; ++k) {
+          fu[k] += static_cast<float>(g * (fp[k] - fn[k]) - reg * fu[k]);
+          fp[k] += static_cast<float>(g * fu[k] - reg * fp[k]);
+          fn[k] += static_cast<float>(-g * fu[k] - reg * fn[k]);
+        }
+        attention_[e.type] +=
+            config_.attention_lr * (Sigmoid(x_upn) - 0.5) * 2.0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double DyhatrRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (state_.empty()) return 0.0;
+  return Dot(state_.data() + u * dim_, state_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> DyhatrRecommender::Embedding(NodeId v,
+                                                        EdgeTypeId) const {
+  if (state_.empty()) {
+    return Status::FailedPrecondition("DyHATR not fitted yet");
+  }
+  return std::vector<float>(state_.begin() + v * dim_,
+                            state_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

@@ -1,0 +1,95 @@
+#include "baselines/evolvegcn.h"
+
+#include "baselines/graph_prop.h"
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status EvolveGcnRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  rng_ = Rng(config_.seed);
+  state_.resize(n * dim_);
+  for (auto& x : state_) {
+    x = static_cast<float>(rng_.Gaussian(0.0, config_.init_scale));
+  }
+  gate_logit_ = config_.gate_init;
+  initialized_ = true;
+  return ProcessSnapshots(data, range);
+}
+
+Status EvolveGcnRecommender::FitIncremental(const Dataset& data,
+                                            EdgeRange range) {
+  if (!initialized_) return Fit(data, range);
+  return ProcessSnapshots(data, range);
+}
+
+Status EvolveGcnRecommender::ProcessSnapshots(const Dataset& data,
+                                              EdgeRange range) {
+  const size_t n = data.num_nodes();
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  const size_t snaps = static_cast<size_t>(std::max(1, config_.snapshots));
+  const size_t per = std::max<size_t>(1, range.size() / snaps);
+  std::vector<float> propagated;
+
+  for (size_t s0 = range.begin; s0 < range.end; s0 += per) {
+    const size_t s1 = std::min(s0 + per, range.end);
+    const auto edges = CappedEdgeList(data, EdgeRange{s0, s1}, neighbor_cap_);
+    if (edges.empty()) continue;
+    const auto deg = EdgeListDegrees(edges, n);
+
+    // Recurrent evolution: H_t = z·H_{t-1} + (1-z)·propagate(H_{t-1}).
+    PropagateNormalized(edges, deg, state_, &propagated, n, dim_);
+    const double z = Sigmoid(gate_logit_);
+    for (size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = static_cast<float>(z * state_[i] +
+                                     (1.0 - z) * propagated[i]);
+    }
+
+    // BPR refinement within the snapshot; the gate logit receives the
+    // gradient through the convex combination (scalar chain rule applied
+    // to the current snapshot only — no BPTT).
+    for (int epoch = 0; epoch < config_.epochs_per_snapshot; ++epoch) {
+      for (const auto& [u, pos] : edges) {
+        const auto& pool = by_type[data.node_types[pos]];
+        if (pool.size() < 2) continue;
+        NodeId neg = pos;
+        for (int attempt = 0; attempt < 8 && (neg == pos || neg == u);
+             ++attempt) {
+          neg = pool[rng_.Index(pool.size())];
+        }
+        if (neg == pos || neg == u) continue;
+        float* fu = state_.data() + u * dim_;
+        float* fp = state_.data() + pos * dim_;
+        float* fn = state_.data() + neg * dim_;
+        const double x_upn = Dot(fu, fp, dim_) - Dot(fu, fn, dim_);
+        const double g = Sigmoid(-x_upn) * config_.lr;
+        const double reg = config_.reg * config_.lr;
+        for (size_t k = 0; k < dim_; ++k) {
+          fu[k] += static_cast<float>(g * (fp[k] - fn[k]) - reg * fu[k]);
+          fp[k] += static_cast<float>(g * fu[k] - reg * fp[k]);
+          fn[k] += static_cast<float>(-g * fu[k] - reg * fn[k]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double EvolveGcnRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (state_.empty()) return 0.0;
+  return Dot(state_.data() + u * dim_, state_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> EvolveGcnRecommender::Embedding(
+    NodeId v, EdgeTypeId) const {
+  if (state_.empty()) {
+    return Status::FailedPrecondition("EvolveGCN not fitted yet");
+  }
+  return std::vector<float>(state_.begin() + v * dim_,
+                            state_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

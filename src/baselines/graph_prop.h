@@ -1,0 +1,77 @@
+// Shared helpers for the propagation-based baselines (LightGCN, NGCF,
+// EvolveGCN): η-capped edge lists and symmetric-normalized neighborhood
+// propagation over an edge list.
+
+#ifndef SUPA_BASELINES_GRAPH_PROP_H_
+#define SUPA_BASELINES_GRAPH_PROP_H_
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "data/splits.h"
+
+namespace supa {
+
+/// Extracts the undirected edge list of a range, keeping only each node's
+/// most recent `cap` incidences (0 = unlimited) — the resource-constrained
+/// subgraph of §IV-F.
+inline std::vector<std::pair<NodeId, NodeId>> CappedEdgeList(
+    const Dataset& data, EdgeRange range, size_t cap) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (cap == 0) {
+    edges.reserve(range.size());
+    for (size_t i = range.begin; i < range.end; ++i) {
+      edges.emplace_back(data.edges[i].src, data.edges[i].dst);
+    }
+    return edges;
+  }
+  std::vector<size_t> seen_after(data.num_nodes(), 0);
+  std::vector<std::pair<NodeId, NodeId>> rev;
+  for (size_t i = range.end; i-- > range.begin;) {
+    const auto& e = data.edges[i];
+    if (seen_after[e.src] < cap && seen_after[e.dst] < cap) {
+      rev.emplace_back(e.src, e.dst);
+    }
+    ++seen_after[e.src];
+    ++seen_after[e.dst];
+  }
+  edges.assign(rev.rbegin(), rev.rend());
+  return edges;
+}
+
+/// Degrees induced by an edge list.
+inline std::vector<double> EdgeListDegrees(
+    const std::vector<std::pair<NodeId, NodeId>>& edges, size_t n) {
+  std::vector<double> deg(n, 0.0);
+  for (const auto& [u, v] : edges) {
+    deg[u] += 1.0;
+    deg[v] += 1.0;
+  }
+  return deg;
+}
+
+/// out = D^{-1/2} A D^{-1/2} * in   (row-major n × dim), the LightGCN
+/// propagation rule. `out` is overwritten.
+inline void PropagateNormalized(
+    const std::vector<std::pair<NodeId, NodeId>>& edges,
+    const std::vector<double>& deg, const std::vector<float>& in,
+    std::vector<float>* out, size_t n, size_t dim) {
+  out->assign(n * dim, 0.0f);
+  for (const auto& [u, v] : edges) {
+    const double w = 1.0 / std::sqrt(std::max(deg[u], 1.0) *
+                                     std::max(deg[v], 1.0));
+    const float* iu = in.data() + u * dim;
+    const float* iv = in.data() + v * dim;
+    float* ou = out->data() + u * dim;
+    float* ov = out->data() + v * dim;
+    for (size_t k = 0; k < dim; ++k) {
+      ou[k] += static_cast<float>(w * iv[k]);
+      ov[k] += static_cast<float>(w * iu[k]);
+    }
+  }
+}
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_GRAPH_PROP_H_

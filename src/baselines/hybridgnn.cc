@@ -1,0 +1,124 @@
+#include "baselines/hybridgnn.h"
+
+#include <cmath>
+
+#include "baselines/graph_prop.h"
+#include "util/math_utils.h"
+
+namespace supa {
+
+void HybridGnnRecommender::Refresh(size_t n) {
+  // Softmax over the relation-attention logits.
+  double max_logit = attention_[0];
+  for (double a : attention_) max_logit = std::max(max_logit, a);
+  std::vector<double> weights(num_relations_);
+  double z = 0.0;
+  for (size_t r = 0; r < num_relations_; ++r) {
+    weights[r] = std::exp(attention_[r] - max_logit);
+    z += weights[r];
+  }
+  for (auto& w : weights) w /= z;
+
+  final_ = base_;
+  std::vector<float> prop;
+  for (size_t r = 0; r < num_relations_; ++r) {
+    if (rel_edges_[r].empty()) continue;
+    PropagateNormalized(rel_edges_[r], rel_deg_[r], base_, &prop, n, dim_);
+    for (size_t i = 0; i < final_.size(); ++i) {
+      final_[i] += static_cast<float>(weights[r] * prop[i]);
+    }
+  }
+}
+
+Status HybridGnnRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  num_relations_ = data.schema.num_edge_types();
+  Rng rng(config_.seed);
+  base_.resize(n * dim_);
+  for (auto& x : base_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+  attention_.assign(num_relations_, 0.0);
+
+  // Per-relation aggregation flows, honoring the neighbor cap on the
+  // combined stream.
+  const auto all_edges = CappedEdgeList(data, range, neighbor_cap_);
+  // CappedEdgeList drops the type, so re-filter from the range with the
+  // same per-node budget logic applied jointly.
+  rel_edges_.assign(num_relations_, {});
+  rel_deg_.assign(num_relations_, std::vector<double>(n, 0.0));
+  {
+    std::vector<size_t> seen_after(n, 0);
+    for (size_t i = range.end; i-- > range.begin;) {
+      const auto& e = data.edges[i];
+      const bool keep = neighbor_cap_ == 0 ||
+                        (seen_after[e.src] < neighbor_cap_ &&
+                         seen_after[e.dst] < neighbor_cap_);
+      if (keep) {
+        rel_edges_[e.type].emplace_back(e.src, e.dst);
+        rel_deg_[e.type][e.src] += 1.0;
+        rel_deg_[e.type][e.dst] += 1.0;
+      }
+      ++seen_after[e.src];
+      ++seen_after[e.dst];
+    }
+  }
+  (void)all_edges;
+
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Refresh(n);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      const auto& pool = by_type[data.node_types[e.dst]];
+      if (pool.size() < 2) continue;
+      NodeId neg = e.dst;
+      for (int attempt = 0; attempt < 8 && (neg == e.dst || neg == e.src);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == e.dst || neg == e.src) continue;
+      const float* gu = final_.data() + e.src * dim_;
+      const float* gp = final_.data() + e.dst * dim_;
+      const float* gn = final_.data() + neg * dim_;
+      float* bu = base_.data() + e.src * dim_;
+      float* bp = base_.data() + e.dst * dim_;
+      float* bn = base_.data() + neg * dim_;
+      const double x_upn = Dot(gu, gp, dim_) - Dot(gu, gn, dim_);
+      const double g = Sigmoid(-x_upn) * config_.lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        bu[k] += static_cast<float>(g * (gp[k] - gn[k]) - reg * bu[k]);
+        bp[k] += static_cast<float>(g * gu[k] - reg * bp[k]);
+        bn[k] += static_cast<float>(-g * gu[k] - reg * bn[k]);
+      }
+      // Nudge the attention logit of the edge's own relation up when its
+      // flow helped rank the positive above the negative (sign of the BPR
+      // residual), down otherwise — a cheap surrogate for the full
+      // hierarchical-attention gradient.
+      attention_[e.type] +=
+          config_.attention_lr * (Sigmoid(x_upn) - 0.5) * 2.0;
+    }
+  }
+  Refresh(n);
+  return Status::OK();
+}
+
+double HybridGnnRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (final_.empty()) return 0.0;
+  return Dot(final_.data() + u * dim_, final_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> HybridGnnRecommender::Embedding(
+    NodeId v, EdgeTypeId) const {
+  if (final_.empty()) {
+    return Status::FailedPrecondition("HybridGNN not fitted yet");
+  }
+  return std::vector<float>(final_.begin() + v * dim_,
+                            final_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

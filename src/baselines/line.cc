@@ -1,0 +1,113 @@
+#include "baselines/line.h"
+
+#include <cmath>
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status LineRecommender::Fit(const Dataset& data, EdgeRange range) {
+  num_nodes_ = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  Rng rng(config_.seed);
+  first_.resize(num_nodes_ * dim_);
+  second_.resize(num_nodes_ * dim_);
+  second_ctx_.assign(num_nodes_ * dim_, 0.0f);
+  for (auto& x : first_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+  for (auto& x : second_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+
+  // Apply the neighbor cap by keeping only the last η edges per node.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (neighbor_cap_ == 0) {
+    edges.reserve(range.size());
+    for (size_t i = range.begin; i < range.end; ++i) {
+      edges.emplace_back(data.edges[i].src, data.edges[i].dst);
+    }
+  } else {
+    std::vector<size_t> seen_after(num_nodes_, 0);
+    // Scan newest-first, keeping an edge while both endpoints have budget.
+    std::vector<std::pair<NodeId, NodeId>> rev;
+    for (size_t i = range.end; i-- > range.begin;) {
+      const auto& e = data.edges[i];
+      if (seen_after[e.src] < neighbor_cap_ &&
+          seen_after[e.dst] < neighbor_cap_) {
+        rev.emplace_back(e.src, e.dst);
+      }
+      ++seen_after[e.src];
+      ++seen_after[e.dst];
+    }
+    edges.assign(rev.rbegin(), rev.rend());
+  }
+  if (edges.empty()) return Status::OK();
+
+  // Degree^{3/4} negative distribution.
+  std::vector<double> deg(num_nodes_, 0.0);
+  for (const auto& [u, v] : edges) {
+    deg[u] += 1.0;
+    deg[v] += 1.0;
+  }
+  std::vector<double> w(num_nodes_);
+  for (size_t i = 0; i < num_nodes_; ++i) w[i] = std::pow(deg[i], 0.75);
+  AliasTable neg_table;
+  SUPA_RETURN_NOT_OK(neg_table.Build(w));
+
+  const size_t total =
+      static_cast<size_t>(config_.samples_per_edge * edges.size());
+  std::vector<float> grad(dim_);
+  auto train_side = [&](std::vector<float>& target, std::vector<float>& ctx,
+                        NodeId u, NodeId v) {
+    float* vu = target.data() + u * dim_;
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    auto step = [&](NodeId t, double label) {
+      float* vc = ctx.data() + t * dim_;
+      const double s = Dot(vu, vc, dim_);
+      const double g = (label - Sigmoid(s)) * config_.lr;
+      Axpy(g, vc, grad.data(), dim_);
+      Axpy(g, vu, vc, dim_);
+    };
+    step(v, 1.0);
+    for (int j = 0; j < config_.negatives; ++j) {
+      const NodeId neg = static_cast<NodeId>(neg_table.Sample(rng));
+      if (neg == u || neg == v) continue;
+      step(neg, 0.0);
+    }
+    Axpy(1.0, grad.data(), vu, dim_);
+  };
+
+  for (size_t s = 0; s < total; ++s) {
+    const auto& [u, v] = edges[rng.Index(edges.size())];
+    // First order: symmetric, context table == embedding table.
+    train_side(first_, first_, u, v);
+    // Second order: separate context table; both directions.
+    train_side(second_, second_ctx_, u, v);
+    train_side(second_, second_ctx_, v, u);
+  }
+  return Status::OK();
+}
+
+double LineRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (first_.empty()) return 0.0;
+  return Dot(first_.data() + u * dim_, first_.data() + v * dim_, dim_) +
+         Dot(second_.data() + u * dim_, second_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> LineRecommender::Embedding(NodeId v,
+                                                      EdgeTypeId) const {
+  if (first_.empty()) {
+    return Status::FailedPrecondition("LINE not fitted yet");
+  }
+  // Concatenate both orders.
+  std::vector<float> out;
+  out.reserve(2 * dim_);
+  out.insert(out.end(), first_.begin() + v * dim_,
+             first_.begin() + (v + 1) * dim_);
+  out.insert(out.end(), second_.begin() + v * dim_,
+             second_.begin() + (v + 1) * dim_);
+  return out;
+}
+
+}  // namespace supa

@@ -1,0 +1,51 @@
+// LINE (Tang et al., WWW 2015): first-order + second-order proximity via
+// edge sampling with negative sampling. The final score sums both orders.
+
+#ifndef SUPA_BASELINES_LINE_H_
+#define SUPA_BASELINES_LINE_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace supa {
+
+/// LINE hyper-parameters.
+struct LineConfig {
+  int dim = 64;
+  int negatives = 5;
+  double lr = 0.025;
+  double init_scale = 0.05;
+  /// Edge samples = samples_per_edge * |E_train|.
+  double samples_per_edge = 6.0;
+  uint64_t seed = 23;
+};
+
+/// LINE over the training subgraph. The two proximity orders are trained
+/// on half the embedding budget each.
+class LineRecommender : public Recommender {
+ public:
+  explicit LineRecommender(LineConfig config = LineConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "LINE"; }
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+ private:
+  LineConfig config_;
+  size_t num_nodes_ = 0;
+  size_t dim_ = 0;
+  /// First-order embeddings.
+  std::vector<float> first_;
+  /// Second-order target and context embeddings.
+  std::vector<float> second_;
+  std::vector<float> second_ctx_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_LINE_H_

@@ -1,0 +1,103 @@
+#include "baselines/matn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+void MatnRecommender::ReadMemory(NodeId u, EdgeTypeId r, float* out) const {
+  const auto& slots = memory_[u * num_relations_ + r];
+  if (slots.empty()) return;
+  const float* fu = factors_.data() + u * dim_;
+  double logits[64];
+  double max_logit = -1e300;
+  const size_t take = std::min<size_t>(slots.size(), 64);
+  for (size_t i = 0; i < take; ++i) {
+    logits[i] = Dot(fu, factors_.data() + slots[i] * dim_, dim_) /
+                std::sqrt(static_cast<double>(dim_));
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  double z = 0.0;
+  for (size_t i = 0; i < take; ++i) {
+    logits[i] = std::exp(logits[i] - max_logit);
+    z += logits[i];
+  }
+  for (size_t i = 0; i < take; ++i) {
+    Axpy(config_.memory_weight * logits[i] / z,
+         factors_.data() + slots[i] * dim_, out, dim_);
+  }
+}
+
+Status MatnRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  num_relations_ = data.schema.num_edge_types();
+  Rng rng(config_.seed);
+  factors_.resize(n * dim_);
+  for (auto& x : factors_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+  memory_.assign(n * num_relations_, {});
+
+  // Fill behaviour memories (most recent distinct items win).
+  for (size_t i = range.begin; i < range.end; ++i) {
+    const auto& e = data.edges[i];
+    auto& slots = memory_[e.src * num_relations_ + e.type];
+    auto it = std::find(slots.begin(), slots.end(), e.dst);
+    if (it != slots.end()) slots.erase(it);
+    slots.push_back(e.dst);
+    if (slots.size() > config_.memory_slots) slots.erase(slots.begin());
+  }
+
+  // Multi-behaviour BPR on the base embeddings.
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      const auto& pool = by_type[data.node_types[e.dst]];
+      if (pool.size() < 2) continue;
+      NodeId neg = e.dst;
+      for (int attempt = 0; attempt < 8 && (neg == e.dst || neg == e.src);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == e.dst || neg == e.src) continue;
+      float* fu = factors_.data() + e.src * dim_;
+      float* fp = factors_.data() + e.dst * dim_;
+      float* fn = factors_.data() + neg * dim_;
+      const double x_upn = Dot(fu, fp, dim_) - Dot(fu, fn, dim_);
+      const double g = Sigmoid(-x_upn) * config_.lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        fu[k] += static_cast<float>(g * (fp[k] - fn[k]) - reg * fu[k]);
+        fp[k] += static_cast<float>(g * fu[k] - reg * fp[k]);
+        fn[k] += static_cast<float>(-g * fu[k] - reg * fn[k]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MatnRecommender::Score(NodeId u, NodeId v, EdgeTypeId r) const {
+  if (factors_.empty()) return 0.0;
+  std::vector<float> hu(factors_.begin() + u * dim_,
+                        factors_.begin() + (u + 1) * dim_);
+  if (r < num_relations_) ReadMemory(u, r, hu.data());
+  return Dot(hu.data(), factors_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> MatnRecommender::Embedding(NodeId v,
+                                                      EdgeTypeId r) const {
+  if (factors_.empty()) {
+    return Status::FailedPrecondition("MATN not fitted yet");
+  }
+  std::vector<float> out(factors_.begin() + v * dim_,
+                         factors_.begin() + (v + 1) * dim_);
+  if (r < num_relations_) ReadMemory(v, r, out.data());
+  return out;
+}
+
+}  // namespace supa

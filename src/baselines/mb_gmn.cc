@@ -1,0 +1,91 @@
+#include "baselines/mb_gmn.h"
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status MbGmnRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  num_relations_ = data.schema.num_edge_types();
+  Rng rng(config_.seed);
+  factors_.resize(n * dim_);
+  for (auto& x : factors_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+  gates_.assign(num_relations_ * dim_, 1.0f);  // identity transfer at init
+
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  std::vector<double> gated(dim_);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      const auto& pool = by_type[data.node_types[e.dst]];
+      if (pool.size() < 2) continue;
+      NodeId neg = e.dst;
+      for (int attempt = 0; attempt < 8 && (neg == e.dst || neg == e.src);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == e.dst || neg == e.src) continue;
+
+      float* fu = factors_.data() + e.src * dim_;
+      float* fp = factors_.data() + e.dst * dim_;
+      float* fn = factors_.data() + neg * dim_;
+      float* gr = Gate(e.type);
+
+      double s_pos = 0.0;
+      double s_neg = 0.0;
+      for (size_t k = 0; k < dim_; ++k) {
+        gated[k] = static_cast<double>(fu[k]) * gr[k];
+        s_pos += gated[k] * fp[k];
+        s_neg += gated[k] * fn[k];
+      }
+      const double g = Sigmoid(-(s_pos - s_neg)) * config_.lr;
+      const double g_gate = Sigmoid(-(s_pos - s_neg)) * config_.gate_lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        const double diff = static_cast<double>(fp[k]) - fn[k];
+        // d score / d fu = g_r ⊙ (fp - fn); d/d fp = fu ⊙ g_r; d/d g_r =
+        // fu ⊙ (fp - fn).
+        const double fu_old = fu[k];
+        fu[k] += static_cast<float>(g * gr[k] * diff - reg * fu[k]);
+        fp[k] += static_cast<float>(g * gated[k] - reg * fp[k]);
+        fn[k] += static_cast<float>(-g * gated[k] - reg * fn[k]);
+        gr[k] += static_cast<float>(g_gate * fu_old * diff);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MbGmnRecommender::Score(NodeId u, NodeId v, EdgeTypeId r) const {
+  if (factors_.empty()) return 0.0;
+  const float* fu = factors_.data() + u * dim_;
+  const float* fv = factors_.data() + v * dim_;
+  const float* gr = r < num_relations_ ? Gate(r) : nullptr;
+  double acc = 0.0;
+  for (size_t k = 0; k < dim_; ++k) {
+    const double gu = gr != nullptr ? fu[k] * gr[k] : fu[k];
+    acc += gu * fv[k];
+  }
+  return acc;
+}
+
+Result<std::vector<float>> MbGmnRecommender::Embedding(NodeId v,
+                                                       EdgeTypeId r) const {
+  if (factors_.empty()) {
+    return Status::FailedPrecondition("MB-GMN not fitted yet");
+  }
+  std::vector<float> out(dim_);
+  const float* fv = factors_.data() + v * dim_;
+  const float* gr = r < num_relations_ ? Gate(r) : nullptr;
+  for (size_t k = 0; k < dim_; ++k) {
+    out[k] = gr != nullptr ? fv[k] * gr[k] : fv[k];
+  }
+  return out;
+}
+
+}  // namespace supa

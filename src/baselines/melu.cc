@@ -1,0 +1,91 @@
+#include "baselines/melu.h"
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status MeluRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  Rng rng(config_.seed);
+  factors_.resize(n * dim_);
+  for (auto& x : factors_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  // ---- global phase: shared prior via BPR ---------------------------------
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      const auto& pool = by_type[data.node_types[e.dst]];
+      if (pool.size() < 2) continue;
+      NodeId neg = e.dst;
+      for (int attempt = 0; attempt < 8 && (neg == e.dst || neg == e.src);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == e.dst || neg == e.src) continue;
+      float* fu = factors_.data() + e.src * dim_;
+      float* fp = factors_.data() + e.dst * dim_;
+      float* fn = factors_.data() + neg * dim_;
+      const double x_upn = Dot(fu, fp, dim_) - Dot(fu, fn, dim_);
+      const double g = Sigmoid(-x_upn) * config_.lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        fu[k] += static_cast<float>(g * (fp[k] - fn[k]) - reg * fu[k]);
+        fp[k] += static_cast<float>(g * fu[k] - reg * fp[k]);
+        fn[k] += static_cast<float>(-g * fu[k] - reg * fn[k]);
+      }
+    }
+  }
+
+  // ---- local phase: few-step adaptation of each query node ---------------
+  adapted_ = factors_;
+  std::vector<std::vector<NodeId>> positives(n);
+  for (size_t i = range.begin; i < range.end; ++i) {
+    positives[data.edges[i].src].push_back(data.edges[i].dst);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (positives[u].empty()) continue;
+    float* au = adapted_.data() + u * dim_;
+    const auto& pool = by_type[data.node_types[positives[u][0]]];
+    for (int step = 0; step < config_.local_steps; ++step) {
+      for (NodeId pos : positives[u]) {
+        if (pool.size() < 2) continue;
+        NodeId neg = pos;
+        for (int attempt = 0; attempt < 8 && (neg == pos || neg == u);
+             ++attempt) {
+          neg = pool[rng.Index(pool.size())];
+        }
+        if (neg == pos || neg == u) continue;
+        const float* fp = factors_.data() + pos * dim_;
+        const float* fn = factors_.data() + neg * dim_;
+        const double x_upn = Dot(au, fp, dim_) - Dot(au, fn, dim_);
+        const double g = Sigmoid(-x_upn) * config_.local_lr;
+        for (size_t k = 0; k < dim_; ++k) {
+          au[k] += static_cast<float>(g * (fp[k] - fn[k]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MeluRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (adapted_.empty()) return 0.0;
+  return Dot(adapted_.data() + u * dim_, factors_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> MeluRecommender::Embedding(NodeId v,
+                                                      EdgeTypeId) const {
+  if (adapted_.empty()) {
+    return Status::FailedPrecondition("MeLU not fitted yet");
+  }
+  return std::vector<float>(adapted_.begin() + v * dim_,
+                            adapted_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

@@ -1,0 +1,73 @@
+#include "baselines/mf_bpr.h"
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+Status MfBprRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  Rng rng(config_.seed);
+  factors_.resize(n * dim_);
+  bias_.assign(n, 0.0f);
+  for (auto& x : factors_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+
+  // BPR triples over every training edge; negatives share the positive's
+  // node type so ranking candidates are comparable.
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      const NodeId u = e.src;
+      const NodeId pos = e.dst;
+      const auto& pool = by_type[data.node_types[pos]];
+      if (pool.size() < 2) continue;
+      NodeId neg = pos;
+      for (int attempt = 0; attempt < 8 && (neg == pos || neg == u);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == pos || neg == u) continue;
+
+      float* fu = factors_.data() + u * dim_;
+      float* fp = factors_.data() + pos * dim_;
+      float* fn = factors_.data() + neg * dim_;
+      const double x_upn = Dot(fu, fp, dim_) + bias_[pos] -
+                           Dot(fu, fn, dim_) - bias_[neg];
+      const double g = Sigmoid(-x_upn) * config_.lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        const double gu = g * (fp[k] - fn[k]) - reg * fu[k];
+        const double gp = g * fu[k] - reg * fp[k];
+        const double gn = -g * fu[k] - reg * fn[k];
+        fu[k] += static_cast<float>(gu);
+        fp[k] += static_cast<float>(gp);
+        fn[k] += static_cast<float>(gn);
+      }
+      bias_[pos] += static_cast<float>(g - reg * bias_[pos]);
+      bias_[neg] += static_cast<float>(-g - reg * bias_[neg]);
+    }
+  }
+  return Status::OK();
+}
+
+double MfBprRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (factors_.empty()) return 0.0;
+  return Dot(factors_.data() + u * dim_, factors_.data() + v * dim_, dim_) +
+         bias_[v];
+}
+
+Result<std::vector<float>> MfBprRecommender::Embedding(NodeId v,
+                                                       EdgeTypeId) const {
+  if (factors_.empty()) {
+    return Status::FailedPrecondition("MF-BPR not fitted yet");
+  }
+  return std::vector<float>(factors_.begin() + v * dim_,
+                            factors_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

@@ -1,0 +1,46 @@
+// Matrix factorization with Bayesian Personalized Ranking (Rendle et al.,
+// UAI 2009) — the classic collaborative-filtering anchor for the
+// recommendation baseline group.
+
+#ifndef SUPA_BASELINES_MF_BPR_H_
+#define SUPA_BASELINES_MF_BPR_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+#include "util/rng.h"
+
+namespace supa {
+
+/// MF-BPR hyper-parameters.
+struct MfBprConfig {
+  int dim = 64;
+  double lr = 0.05;
+  double reg = 1e-4;
+  double init_scale = 0.05;
+  int epochs = 6;
+  uint64_t seed = 24;
+};
+
+/// One latent factor vector per node plus a popularity bias per node;
+/// trained with BPR triples (u, positive, sampled same-type negative).
+class MfBprRecommender : public Recommender {
+ public:
+  explicit MfBprRecommender(MfBprConfig config = MfBprConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "MF-BPR"; }
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+ private:
+  MfBprConfig config_;
+  size_t dim_ = 0;
+  std::vector<float> factors_;
+  std::vector<float> bias_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_MF_BPR_H_

@@ -1,0 +1,108 @@
+#include "baselines/ngcf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/graph_prop.h"
+#include "util/math_utils.h"
+
+namespace supa {
+
+void NgcfRecommender::Refresh(
+    const std::vector<std::pair<NodeId, NodeId>>& edges,
+    const std::vector<double>& deg, size_t n) {
+  std::vector<float> layer = base_;
+  final_ = base_;
+  std::vector<float> next(n * dim_);
+  for (int l = 0; l < config_.layers; ++l) {
+    next.assign(n * dim_, 0.0f);
+    // m_{i<-j} = (e_j + e_j ⊙ e_i) / sqrt(|N_i||N_j|), plus self message.
+    for (const auto& [u, v] : edges) {
+      const double w = 1.0 / std::sqrt(std::max(deg[u], 1.0) *
+                                       std::max(deg[v], 1.0));
+      const float* eu = layer.data() + u * dim_;
+      const float* ev = layer.data() + v * dim_;
+      float* nu = next.data() + u * dim_;
+      float* nv = next.data() + v * dim_;
+      for (size_t k = 0; k < dim_; ++k) {
+        nu[k] += static_cast<float>(w * (ev[k] + ev[k] * eu[k]));
+        nv[k] += static_cast<float>(w * (eu[k] + eu[k] * ev[k]));
+      }
+    }
+    // Self-connection + LeakyReLU, clamped: the element-wise affinity term
+    // squares magnitudes, so without the original weight matrices the
+    // recursion can blow up on dense graphs.
+    for (size_t i = 0; i < n * dim_; ++i) {
+      double x = next[i] + layer[i];
+      if (x < 0.0) x *= config_.leaky_slope;
+      x = std::clamp(x, -4.0, 4.0);
+      next[i] = static_cast<float>(x);
+    }
+    for (size_t i = 0; i < final_.size(); ++i) final_[i] += next[i];
+    layer.swap(next);
+  }
+  const float inv = 1.0f / static_cast<float>(config_.layers + 1);
+  for (auto& x : final_) x *= inv;
+}
+
+Status NgcfRecommender::Fit(const Dataset& data, EdgeRange range) {
+  const size_t n = data.num_nodes();
+  dim_ = static_cast<size_t>(config_.dim);
+  Rng rng(config_.seed);
+  base_.resize(n * dim_);
+  for (auto& x : base_) {
+    x = static_cast<float>(rng.Gaussian(0.0, config_.init_scale));
+  }
+
+  const auto edges = CappedEdgeList(data, range, neighbor_cap_);
+  const auto deg = EdgeListDegrees(edges, n);
+  std::vector<std::vector<NodeId>> by_type(data.schema.num_node_types());
+  for (NodeId v = 0; v < n; ++v) by_type[data.node_types[v]].push_back(v);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Refresh(edges, deg, n);
+    for (const auto& [u, pos] : edges) {
+      const auto& pool = by_type[data.node_types[pos]];
+      if (pool.size() < 2) continue;
+      NodeId neg = pos;
+      for (int attempt = 0; attempt < 8 && (neg == pos || neg == u);
+           ++attempt) {
+        neg = pool[rng.Index(pool.size())];
+      }
+      if (neg == pos || neg == u) continue;
+
+      const float* gu = final_.data() + u * dim_;
+      const float* gp = final_.data() + pos * dim_;
+      const float* gn = final_.data() + neg * dim_;
+      float* bu = base_.data() + u * dim_;
+      float* bp = base_.data() + pos * dim_;
+      float* bn = base_.data() + neg * dim_;
+      const double x_upn = Dot(gu, gp, dim_) - Dot(gu, gn, dim_);
+      const double g = Sigmoid(-x_upn) * config_.lr;
+      const double reg = config_.reg * config_.lr;
+      for (size_t k = 0; k < dim_; ++k) {
+        bu[k] += static_cast<float>(g * (gp[k] - gn[k]) - reg * bu[k]);
+        bp[k] += static_cast<float>(g * gu[k] - reg * bp[k]);
+        bn[k] += static_cast<float>(-g * gu[k] - reg * bn[k]);
+      }
+    }
+  }
+  Refresh(edges, deg, n);
+  return Status::OK();
+}
+
+double NgcfRecommender::Score(NodeId u, NodeId v, EdgeTypeId) const {
+  if (final_.empty()) return 0.0;
+  return Dot(final_.data() + u * dim_, final_.data() + v * dim_, dim_);
+}
+
+Result<std::vector<float>> NgcfRecommender::Embedding(NodeId v,
+                                                      EdgeTypeId) const {
+  if (final_.empty()) {
+    return Status::FailedPrecondition("NGCF not fitted yet");
+  }
+  return std::vector<float>(final_.begin() + v * dim_,
+                            final_.begin() + (v + 1) * dim_);
+}
+
+}  // namespace supa

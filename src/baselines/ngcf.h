@@ -1,0 +1,55 @@
+// NGCF (Wang et al., SIGIR 2019): message passing over the user-item graph
+// with a non-linear activation and an element-wise affinity term.
+//
+// Lite reproduction note: the per-layer weight matrices are dropped (as in
+// the LightGCN paper's own analysis, they contribute little on implicit
+// feedback); the message m_{i<-j} = e_j + e_j ⊙ e_i, the LeakyReLU, and
+// layer concatenation (as summation) are kept. Training is BPR, gradients
+// applied to the base embeddings (same approximation as LightGCN-lite).
+
+#ifndef SUPA_BASELINES_NGCF_H_
+#define SUPA_BASELINES_NGCF_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+#include "util/rng.h"
+
+namespace supa {
+
+/// NGCF hyper-parameters.
+struct NgcfConfig {
+  int dim = 64;
+  int layers = 2;
+  double lr = 0.05;
+  double reg = 1e-4;
+  double init_scale = 0.05;
+  double leaky_slope = 0.2;
+  int epochs = 6;
+  uint64_t seed = 26;
+};
+
+/// NGCF-lite over the (η-capped) training subgraph.
+class NgcfRecommender : public Recommender {
+ public:
+  explicit NgcfRecommender(NgcfConfig config = NgcfConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "NGCF"; }
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+ private:
+  void Refresh(const std::vector<std::pair<NodeId, NodeId>>& edges,
+               const std::vector<double>& deg, size_t n);
+
+  NgcfConfig config_;
+  size_t dim_ = 0;
+  std::vector<float> base_;
+  std::vector<float> final_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_NGCF_H_

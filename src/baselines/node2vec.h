@@ -1,0 +1,45 @@
+// node2vec (Grover & Leskovec, KDD 2016): DeepWalk with p/q-biased
+// second-order walks.
+
+#ifndef SUPA_BASELINES_NODE2VEC_H_
+#define SUPA_BASELINES_NODE2VEC_H_
+
+#include <memory>
+
+#include "baselines/skipgram.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// node2vec hyper-parameters.
+struct Node2vecConfig {
+  SkipGramConfig skipgram;
+  int walks_per_node = 4;
+  int walk_len = 8;
+  int epochs = 2;
+  /// Return parameter.
+  double p = 1.0;
+  /// In-out parameter.
+  double q = 0.5;
+  uint64_t seed = 22;
+};
+
+/// node2vec over the training subgraph.
+class Node2vecRecommender : public Recommender {
+ public:
+  explicit Node2vecRecommender(Node2vecConfig config = Node2vecConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "node2vec"; }
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+ private:
+  Node2vecConfig config_;
+  std::unique_ptr<SkipGramTrainer> trainer_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_NODE2VEC_H_

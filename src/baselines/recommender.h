@@ -1,0 +1,52 @@
+// SupaRecommender: adapts SupaModel + InsLearnTrainer to the common
+// Recommender interface so the evaluation protocols and benchmark
+// harnesses can drive SUPA exactly like every baseline.
+
+#ifndef SUPA_BASELINES_RECOMMENDER_H_
+#define SUPA_BASELINES_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// The full SUPA system behind the generic interface. Fit() builds a fresh
+/// model; FitIncremental() continues the stream on the existing one (the
+/// InsLearn advantage exercised by the dynamic protocol).
+class SupaRecommender : public Recommender {
+ public:
+  explicit SupaRecommender(SupaConfig model_config = SupaConfig(),
+                           InsLearnConfig train_config = InsLearnConfig(),
+                           std::string display_name = "SUPA")
+      : model_config_(model_config),
+        train_config_(train_config),
+        display_name_(std::move(display_name)) {}
+
+  std::string name() const override { return display_name_; }
+  bool incremental() const override { return true; }
+
+  Status Fit(const Dataset& data, EdgeRange range) override;
+  Status FitIncremental(const Dataset& data, EdgeRange range) override;
+
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override;
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const override;
+
+  /// The underlying model (valid after Fit).
+  SupaModel* model() { return model_.get(); }
+  const InsLearnReport& last_report() const { return last_report_; }
+
+ private:
+  SupaConfig model_config_;
+  InsLearnConfig train_config_;
+  std::string display_name_;
+  std::unique_ptr<SupaModel> model_;
+  InsLearnReport last_report_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_RECOMMENDER_H_

@@ -1,0 +1,194 @@
+#include "baselines/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/deepwalk.h"
+#include "baselines/dygnn.h"
+#include "baselines/dyhatr.h"
+#include "baselines/dyhne.h"
+#include "baselines/evolvegcn.h"
+#include "baselines/gatne.h"
+#include "baselines/hybridgnn.h"
+#include "baselines/lightgcn.h"
+#include "baselines/line.h"
+#include "baselines/matn.h"
+#include "baselines/mb_gmn.h"
+#include "baselines/melu.h"
+#include "baselines/mf_bpr.h"
+#include "baselines/netwalk.h"
+#include "baselines/ngcf.h"
+#include "baselines/node2vec.h"
+#include "baselines/recommender.h"
+#include "baselines/tgat.h"
+
+namespace supa {
+namespace {
+
+int ScaledEpochs(int base, double effort) {
+  return std::max(1, static_cast<int>(std::lround(base * effort)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const RegistryOptions& options) {
+  const int dim = options.dim;
+  const uint64_t seed = options.seed;
+  const double effort = options.effort;
+
+  if (name == "SUPA") {
+    SupaConfig mc;
+    mc.dim = dim;
+    mc.seed = seed;
+    InsLearnConfig tc;
+    tc.max_iters = ScaledEpochs(16, effort);
+    tc.valid_interval = 4;
+    tc.seed = seed + 1;
+    return std::unique_ptr<Recommender>(new SupaRecommender(mc, tc));
+  }
+  if (name == "DeepWalk") {
+    DeepWalkConfig c;
+    c.skipgram.dim = dim;
+    c.skipgram.seed = seed + 2;
+    c.epochs = ScaledEpochs(2, effort);
+    c.seed = seed + 3;
+    return std::unique_ptr<Recommender>(new DeepWalkRecommender(c));
+  }
+  if (name == "LINE") {
+    LineConfig c;
+    c.dim = dim;
+    c.seed = seed + 4;
+    c.samples_per_edge = std::max(1.0, 6.0 * effort);
+    return std::unique_ptr<Recommender>(new LineRecommender(c));
+  }
+  if (name == "node2vec") {
+    Node2vecConfig c;
+    c.skipgram.dim = dim;
+    c.skipgram.seed = seed + 5;
+    c.epochs = ScaledEpochs(2, effort);
+    c.seed = seed + 6;
+    return std::unique_ptr<Recommender>(new Node2vecRecommender(c));
+  }
+  if (name == "GATNE") {
+    GatneConfig c;
+    c.skipgram.dim = dim;
+    c.skipgram.seed = seed + 7;
+    c.edge_epochs = ScaledEpochs(3, effort);
+    c.seed = seed + 8;
+    return std::unique_ptr<Recommender>(new GatneRecommender(c));
+  }
+  if (name == "MF-BPR") {
+    MfBprConfig c;
+    c.dim = dim;
+    c.seed = seed + 9;
+    c.epochs = ScaledEpochs(6, effort);
+    return std::unique_ptr<Recommender>(new MfBprRecommender(c));
+  }
+  if (name == "LightGCN") {
+    LightGcnConfig c;
+    c.dim = dim;
+    c.seed = seed + 10;
+    c.epochs = ScaledEpochs(6, effort);
+    return std::unique_ptr<Recommender>(new LightGcnRecommender(c));
+  }
+  if (name == "NGCF") {
+    NgcfConfig c;
+    c.dim = dim;
+    c.seed = seed + 11;
+    c.epochs = ScaledEpochs(6, effort);
+    return std::unique_ptr<Recommender>(new NgcfRecommender(c));
+  }
+  if (name == "MeLU") {
+    MeluConfig c;
+    c.dim = dim;
+    c.seed = seed + 12;
+    c.epochs = ScaledEpochs(4, effort);
+    return std::unique_ptr<Recommender>(new MeluRecommender(c));
+  }
+  if (name == "EvolveGCN") {
+    EvolveGcnConfig c;
+    c.dim = dim;
+    c.seed = seed + 13;
+    c.epochs_per_snapshot = ScaledEpochs(3, effort);
+    return std::unique_ptr<Recommender>(new EvolveGcnRecommender(c));
+  }
+  if (name == "DyGNN") {
+    DyGnnConfig c;
+    c.dim = dim;
+    c.seed = seed + 14;
+    return std::unique_ptr<Recommender>(new DyGnnRecommender(c));
+  }
+  if (name == "TGAT") {
+    TgatConfig c;
+    c.dim = dim;
+    c.seed = seed + 15;
+    c.epochs = ScaledEpochs(2, effort);
+    return std::unique_ptr<Recommender>(new TgatRecommender(c));
+  }
+  if (name == "NetWalk") {
+    NetWalkConfig c;
+    c.skipgram.dim = dim;
+    c.skipgram.seed = seed + 16;
+    c.seed = seed + 17;
+    c.epochs_per_update = ScaledEpochs(1, effort);
+    return std::unique_ptr<Recommender>(new NetWalkRecommender(c));
+  }
+  if (name == "DyHNE") {
+    DyhneConfig c;
+    c.skipgram.dim = dim;
+    c.skipgram.seed = seed + 18;
+    c.seed = seed + 19;
+    c.epochs = ScaledEpochs(2, effort);
+    return std::unique_ptr<Recommender>(new DyhneRecommender(c));
+  }
+  if (name == "MATN") {
+    MatnConfig c;
+    c.dim = dim;
+    c.seed = seed + 20;
+    c.epochs = ScaledEpochs(5, effort);
+    return std::unique_ptr<Recommender>(new MatnRecommender(c));
+  }
+  if (name == "MB-GMN") {
+    MbGmnConfig c;
+    c.dim = dim;
+    c.seed = seed + 21;
+    c.epochs = ScaledEpochs(6, effort);
+    return std::unique_ptr<Recommender>(new MbGmnRecommender(c));
+  }
+  if (name == "HybridGNN") {
+    HybridGnnConfig c;
+    c.dim = dim;
+    c.seed = seed + 22;
+    c.epochs = ScaledEpochs(5, effort);
+    return std::unique_ptr<Recommender>(new HybridGnnRecommender(c));
+  }
+  if (name == "DyHATR") {
+    DyhatrConfig c;
+    c.dim = dim;
+    c.seed = seed + 23;
+    c.epochs_per_snapshot = ScaledEpochs(2, effort);
+    return std::unique_ptr<Recommender>(new DyhatrRecommender(c));
+  }
+  return Status::NotFound("unknown method '" + name + "'");
+}
+
+std::vector<std::string> AllMethodNames() {
+  // The paper's Table V order: static embedding group, recommendation
+  // group, dynamic embedding group, then SUPA. MF-BPR is an extra
+  // classical anchor not present in the paper's 16.
+  return {"DeepWalk",  "LINE",    "node2vec",  "GATNE",   "NGCF",
+          "LightGCN",  "MATN",    "MB-GMN",    "HybridGNN", "MeLU",
+          "MF-BPR",    "NetWalk", "DyGNN",     "EvolveGCN", "TGAT",
+          "DyHNE",     "DyHATR",  "SUPA"};
+}
+
+std::vector<std::string> StrongBaselineNames() {
+  // §IV-D: "node2vec, GATNE, LightGCN, MB-GMN, HybridGNN and Evolve-GCN
+  // have better performances ... we select them as baseline methods in
+  // Section IV-E and Section IV-F".
+  return {"node2vec", "GATNE",     "LightGCN", "MB-GMN",
+          "HybridGNN", "EvolveGCN", "SUPA"};
+}
+
+}  // namespace supa

@@ -1,0 +1,46 @@
+// Factory for every evaluated method, keyed by the names used in the
+// paper's tables. Benchmark harnesses construct methods through this
+// registry so each table row is driven identically.
+
+#ifndef SUPA_BASELINES_REGISTRY_H_
+#define SUPA_BASELINES_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// Knobs shared by all methods when built from the registry.
+struct RegistryOptions {
+  /// Embedding dimension for every method (paper: 128; benches default 64).
+  int dim = 64;
+  /// Base RNG seed; each method derives its own stream from it.
+  uint64_t seed = 42;
+  /// Multiplies every method's epoch/sample counts (cheap smoke runs use
+  /// < 1; thorough runs > 1).
+  double effort = 1.0;
+};
+
+/// Builds a fresh recommender by method name ("SUPA", "DeepWalk", "LINE",
+/// "node2vec", "GATNE", "MF-BPR", "LightGCN", "NGCF", "MeLU", "EvolveGCN",
+/// "DyGNN").
+Result<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const RegistryOptions& options = {});
+
+/// All method names in the paper's table order (static embedding group,
+/// recommendation group, dynamic embedding group, then SUPA).
+std::vector<std::string> AllMethodNames();
+
+/// The stronger-baseline subset the paper carries into §IV-E and §IV-F:
+/// node2vec, GATNE, LightGCN, MF-BPR (standing in for MB-GMN), NGCF
+/// (standing in for HybridGNN), EvolveGCN, plus SUPA.
+std::vector<std::string> StrongBaselineNames();
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_REGISTRY_H_

@@ -1,0 +1,89 @@
+#include "baselines/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+SkipGramTrainer::SkipGramTrainer(size_t num_nodes, SkipGramConfig config)
+    : config_(config),
+      num_nodes_(num_nodes),
+      dim_(static_cast<size_t>(config.dim)),
+      rng_(config.seed) {
+  in_.resize(num_nodes_ * dim_);
+  out_.assign(num_nodes_ * dim_, 0.0f);
+  scratch_.resize(dim_);
+  for (auto& x : in_) {
+    x = static_cast<float>(rng_.Gaussian(0.0, config_.init_scale));
+  }
+}
+
+void SkipGramTrainer::TrainPair(NodeId center, NodeId context,
+                                const AliasTable& neg_table) {
+  float* vin = in_.data() + center * dim_;
+  std::fill(scratch_.begin(), scratch_.end(), 0.0f);
+
+  auto update = [&](NodeId target, double label) {
+    float* vout = out_.data() + target * dim_;
+    const double s = Dot(vin, vout, dim_);
+    const double g = (label - Sigmoid(s)) * config_.lr;
+    Axpy(g, vout, scratch_.data(), dim_);
+    Axpy(g, vin, vout, dim_);
+  };
+
+  update(context, 1.0);
+  for (int j = 0; j < config_.negatives; ++j) {
+    const NodeId neg = static_cast<NodeId>(neg_table.Sample(rng_));
+    if (neg == context || neg == center) continue;
+    update(neg, 0.0);
+  }
+  Axpy(1.0, scratch_.data(), vin, dim_);
+}
+
+Status SkipGramTrainer::TrainWalks(
+    const std::vector<std::vector<NodeId>>& walks,
+    const AliasTable& neg_table) {
+  if (!neg_table.built()) {
+    return Status::FailedPrecondition("negative table not built");
+  }
+  for (const auto& walk : walks) {
+    const int n = static_cast<int>(walk.size());
+    for (int i = 0; i < n; ++i) {
+      const int lo = std::max(0, i - config_.window);
+      const int hi = std::min(n - 1, i + config_.window);
+      for (int j = lo; j <= hi; ++j) {
+        if (j == i) continue;
+        TrainPair(walk[i], walk[j], neg_table);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double SkipGramTrainer::Score(NodeId u, NodeId v) const {
+  return Dot(In(u), In(v), dim_);
+}
+
+Result<AliasTable> BuildWalkNegativeTable(
+    const std::vector<std::vector<NodeId>>& walks, size_t num_nodes) {
+  std::vector<double> counts(num_nodes, 0.0);
+  for (const auto& walk : walks) {
+    for (NodeId v : walk) counts[v] += 1.0;
+  }
+  double total = 0.0;
+  for (auto& c : counts) {
+    c = std::pow(c, 0.75);
+    total += c;
+  }
+  if (total <= 0.0) {
+    // No walk content: fall back to uniform.
+    std::fill(counts.begin(), counts.end(), 1.0);
+  }
+  AliasTable table;
+  SUPA_RETURN_NOT_OK(table.Build(counts));
+  return table;
+}
+
+}  // namespace supa

@@ -1,0 +1,64 @@
+// Shared skip-gram-with-negative-sampling trainer used by the walk-based
+// baselines (DeepWalk, node2vec, GATNE's base embeddings).
+
+#ifndef SUPA_BASELINES_SKIPGRAM_H_
+#define SUPA_BASELINES_SKIPGRAM_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// Word2vec-style hyper-parameters.
+struct SkipGramConfig {
+  int dim = 64;
+  /// Context window radius.
+  int window = 2;
+  int negatives = 5;
+  double lr = 0.025;
+  double init_scale = 0.05;
+  uint64_t seed = 17;
+};
+
+/// Trains "in" (target) and "out" (context) embeddings over node walks.
+class SkipGramTrainer {
+ public:
+  SkipGramTrainer(size_t num_nodes, SkipGramConfig config);
+
+  /// One pass over `walks`; negatives are drawn from `neg_table` (built
+  /// from degree^{3/4} weights by the caller).
+  Status TrainWalks(const std::vector<std::vector<NodeId>>& walks,
+                    const AliasTable& neg_table);
+
+  /// Similarity under the learned target embeddings.
+  double Score(NodeId u, NodeId v) const;
+
+  /// The target embedding row of `v` (dim floats).
+  const float* In(NodeId v) const { return in_.data() + v * dim_; }
+
+  int dim() const { return dim_; }
+
+ private:
+  /// One (center, context) positive plus sampled negatives.
+  void TrainPair(NodeId center, NodeId context, const AliasTable& neg_table);
+
+  SkipGramConfig config_;
+  size_t num_nodes_;
+  size_t dim_;
+  std::vector<float> in_;
+  std::vector<float> out_;
+  std::vector<float> scratch_;
+  Rng rng_;
+};
+
+/// Builds the degree^{3/4} unigram distribution from walk occurrences.
+Result<AliasTable> BuildWalkNegativeTable(
+    const std::vector<std::vector<NodeId>>& walks, size_t num_nodes);
+
+}  // namespace supa
+
+#endif  // SUPA_BASELINES_SKIPGRAM_H_

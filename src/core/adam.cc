@@ -1,0 +1,74 @@
+#include "core/adam.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace supa {
+
+float* GradBuffer::Row(size_t offset, size_t len) {
+  auto it = index_.find(offset);
+  if (it == index_.end()) {
+    Slot slot{data_.size(), len};
+    data_.resize(data_.size() + len, 0.0f);
+    it = index_.emplace(offset, slot).first;
+  }
+  assert(it->second.len == len);
+  return data_.data() + it->second.pos;
+}
+
+void GradBuffer::Accumulate(size_t offset, size_t len, double alpha,
+                            const float* vec) {
+  float* row = Row(offset, len);
+  for (size_t i = 0; i < len; ++i) {
+    row[i] += static_cast<float>(alpha * vec[i]);
+  }
+}
+
+void GradBuffer::AccumulateScalar(size_t offset, double g) {
+  float* row = Row(offset, 1);
+  row[0] += static_cast<float>(g);
+}
+
+void GradBuffer::Clear() {
+  index_.clear();
+  data_.clear();
+}
+
+SparseAdam::SparseAdam(size_t num_params, double lr, double weight_decay,
+                       double beta1, double beta2, double eps)
+    : lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      m_(num_params, 0.0f),
+      v_(num_params, 0.0f) {}
+
+void SparseAdam::Step(const GradBuffer& grads, float* params) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  grads.ForEach([&](size_t offset, const float* g, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      const size_t p = offset + i;
+      const double gi = g[i];
+      m_[p] = static_cast<float>(beta1_ * m_[p] + (1.0 - beta1_) * gi);
+      v_[p] = static_cast<float>(beta2_ * v_[p] + (1.0 - beta2_) * gi * gi);
+      const double mhat = m_[p] / bc1;
+      const double vhat = v_[p] / bc2;
+      double update = mhat / (std::sqrt(vhat) + eps_);
+      // Decoupled weight decay (AdamW).
+      update += weight_decay_ * params[p];
+      params[p] = static_cast<float>(params[p] - lr_ * update);
+    }
+  });
+}
+
+void SparseAdam::Restore(const State& state) {
+  m_ = state.m;
+  v_ = state.v;
+  step_ = state.step;
+}
+
+}  // namespace supa

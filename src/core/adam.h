@@ -1,0 +1,98 @@
+// Sparse AdamW over the contiguous parameter buffer of EmbeddingStore.
+//
+// Each training edge touches only a handful of parameter rows (the two
+// interactive nodes, the influenced nodes' contexts, the negatives, two α
+// scalars), so gradients are accumulated in a reusable sparse GradBuffer
+// and applied row-wise with lazily-updated first/second moments.
+
+#ifndef SUPA_CORE_ADAM_H_
+#define SUPA_CORE_ADAM_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace supa {
+
+/// Accumulates gradient rows keyed by parameter offset. Duplicate
+/// accumulations into the same row sum, so a node that appears both as an
+/// influenced node and a negative sample gets one combined update.
+class GradBuffer {
+ public:
+  /// Returns the accumulation row for [offset, offset + len), zeroed on
+  /// first use within the current step. `len` must be stable per offset.
+  float* Row(size_t offset, size_t len);
+
+  /// Adds `alpha * vec` into the row at `offset`.
+  void Accumulate(size_t offset, size_t len, double alpha, const float* vec);
+
+  /// Adds a scalar gradient (len-1 row).
+  void AccumulateScalar(size_t offset, double g);
+
+  /// Visits every touched row.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [offset, slot] : index_) {
+      fn(offset, data_.data() + slot.pos, slot.len);
+    }
+  }
+
+  /// Number of touched rows.
+  size_t num_rows() const { return index_.size(); }
+
+  /// Clears touched rows without releasing memory.
+  void Clear();
+
+ private:
+  struct Slot {
+    size_t pos;
+    size_t len;
+  };
+  std::unordered_map<size_t, Slot> index_;
+  std::vector<float> data_;
+};
+
+/// AdamW with decoupled weight decay and a global step counter for bias
+/// correction (lazy moments: rows not touched in a step keep stale moments,
+/// the standard sparse-Adam approximation).
+class SparseAdam {
+ public:
+  /// `num_params` must equal the EmbeddingStore buffer size.
+  SparseAdam(size_t num_params, double lr, double weight_decay,
+             double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one optimization step with the accumulated gradients;
+  /// minimizes the loss (descends). Increments the global step.
+  void Step(const GradBuffer& grads, float* params);
+
+  /// Global step count so far.
+  uint64_t step_count() const { return step_; }
+
+  /// Optimizer-state snapshot/rollback, paired with EmbeddingStore's.
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+    uint64_t step = 0;
+  };
+  State Snapshot() const { return State{m_, v_, step_}; }
+  void Restore(const State& state);
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double weight_decay_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  uint64_t step_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_ADAM_H_

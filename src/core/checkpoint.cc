@@ -1,0 +1,92 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace supa {
+namespace {
+
+constexpr uint64_t kMagic = 0x5355504143503031ULL;  // "SUPACP01"
+
+struct Header {
+  uint64_t magic = kMagic;
+  uint64_t num_nodes = 0;
+  uint64_t num_relations = 0;
+  uint64_t num_node_types = 0;
+  uint64_t dim = 0;
+  uint64_t param_count = 0;
+  uint64_t adam_step = 0;
+};
+
+template <typename T>
+Status WriteBlob(std::ofstream& out, const T* data, size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  if (!out) return Status::IOError("checkpoint write failed");
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadBlob(std::ifstream& in, T* data, size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) return Status::IOError("checkpoint read failed (truncated?)");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const SupaModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+
+  const EmbeddingStore& store = model.store();
+  const SupaModel::Snapshot snap = model.TakeSnapshot();
+
+  Header header;
+  header.num_nodes = store.num_nodes();
+  header.num_relations = store.num_relations();
+  header.num_node_types = store.num_node_types();
+  header.dim = static_cast<uint64_t>(store.dim());
+  header.param_count = snap.params.size();
+  header.adam_step = snap.adam.step;
+
+  SUPA_RETURN_NOT_OK(WriteBlob(out, &header, 1));
+  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.params.data(), snap.params.size()));
+  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.adam.m.data(), snap.adam.m.size()));
+  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.adam.v.data(), snap.adam.v.size()));
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, SupaModel* model) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  Header header;
+  SUPA_RETURN_NOT_OK(ReadBlob(in, &header, 1));
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument(path + " is not a SUPA checkpoint");
+  }
+  const EmbeddingStore& store = model->store();
+  if (header.num_nodes != store.num_nodes() ||
+      header.num_relations != store.num_relations() ||
+      header.num_node_types != store.num_node_types() ||
+      header.dim != static_cast<uint64_t>(store.dim()) ||
+      header.param_count != store.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint layout does not match the model (wrong dataset or dim)");
+  }
+
+  SupaModel::Snapshot snap;
+  snap.params.resize(header.param_count);
+  snap.adam.m.resize(header.param_count);
+  snap.adam.v.resize(header.param_count);
+  snap.adam.step = header.adam_step;
+  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.params.data(), snap.params.size()));
+  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.adam.m.data(), snap.adam.m.size()));
+  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.adam.v.data(), snap.adam.v.size()));
+  model->RestoreSnapshot(snap);
+  return Status::OK();
+}
+
+}  // namespace supa

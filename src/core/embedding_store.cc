@@ -1,0 +1,24 @@
+#include "core/embedding_store.h"
+
+namespace supa {
+
+EmbeddingStore::EmbeddingStore(size_t num_nodes, size_t num_relations,
+                               size_t num_node_types, int dim,
+                               double init_scale, Rng& rng)
+    : num_nodes_(num_nodes),
+      num_relations_(num_relations),
+      num_node_types_(num_node_types),
+      dim_(dim) {
+  const size_t nd = num_nodes_ * static_cast<size_t>(dim_);
+  short_off_ = nd;
+  ctx_off_ = 2 * nd;
+  alpha_off_ = ctx_off_ + nd * num_relations_;
+  params_.resize(alpha_off_ + num_node_types_);
+  for (size_t i = 0; i < alpha_off_; ++i) {
+    params_[i] = static_cast<float>(rng.Gaussian(0.0, init_scale));
+  }
+  // α_o = 0 => drift coefficient σ(α) starts at 0.5.
+  for (size_t i = alpha_off_; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+}  // namespace supa

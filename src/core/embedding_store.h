@@ -1,0 +1,86 @@
+// Parameter storage for SUPA: per-node long-term memory h^L, short-term
+// memory h^S, per-(node, relation) context embeddings c^r, and per-node-type
+// drift scalars α_o — all in one contiguous float buffer so the optimizer
+// state and model snapshots are trivially aligned.
+
+#ifndef SUPA_CORE_EMBEDDING_STORE_H_
+#define SUPA_CORE_EMBEDDING_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace supa {
+
+/// Layout (offsets in floats):
+///   [0, N*d)            long-term memories
+///   [N*d, 2N*d)         short-term memories
+///   [2N*d, 2N*d + N*R*d) context embeddings (node-major, relation-minor)
+///   [.., +T)            α scalars, one per node type
+class EmbeddingStore {
+ public:
+  /// Allocates and randomly initializes all parameters with
+  /// N(0, init_scale²); α starts at 0 (σ(0) = ½ drift coefficient).
+  EmbeddingStore(size_t num_nodes, size_t num_relations,
+                 size_t num_node_types, int dim, double init_scale, Rng& rng);
+
+  /// h^L_v — mutable row of `dim` floats.
+  float* LongMem(NodeId v) { return data() + v * dim_; }
+  const float* LongMem(NodeId v) const { return data() + v * dim_; }
+
+  /// h^S_v.
+  float* ShortMem(NodeId v) { return data() + short_off_ + v * dim_; }
+  const float* ShortMem(NodeId v) const {
+    return data() + short_off_ + v * dim_;
+  }
+
+  /// c^r_v.
+  float* Context(NodeId v, EdgeTypeId r) {
+    return data() + ctx_off_ + (v * num_relations_ + r) * dim_;
+  }
+  const float* Context(NodeId v, EdgeTypeId r) const {
+    return data() + ctx_off_ + (v * num_relations_ + r) * dim_;
+  }
+
+  /// α_o (stored as a float parameter).
+  float* Alpha(NodeTypeId o) { return data() + alpha_off_ + o; }
+  const float* Alpha(NodeTypeId o) const { return data() + alpha_off_ + o; }
+
+  /// Parameter offsets (for the sparse optimizer).
+  size_t LongMemOffset(NodeId v) const { return v * dim_; }
+  size_t ShortMemOffset(NodeId v) const { return short_off_ + v * dim_; }
+  size_t ContextOffset(NodeId v, EdgeTypeId r) const {
+    return ctx_off_ + (v * num_relations_ + r) * dim_;
+  }
+  size_t AlphaOffset(NodeTypeId o) const { return alpha_off_ + o; }
+
+  /// Whole-parameter access.
+  float* data() { return params_.data(); }
+  const float* data() const { return params_.data(); }
+  size_t size() const { return params_.size(); }
+
+  int dim() const { return dim_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_relations() const { return num_relations_; }
+  size_t num_node_types() const { return num_node_types_; }
+
+  /// Snapshot/rollback of all parameters (Algorithm 1's Φ_best).
+  std::vector<float> Snapshot() const { return params_; }
+  void Restore(const std::vector<float>& snapshot) { params_ = snapshot; }
+
+ private:
+  size_t num_nodes_;
+  size_t num_relations_;
+  size_t num_node_types_;
+  int dim_;
+  size_t short_off_;
+  size_t ctx_off_;
+  size_t alpha_off_;
+  std::vector<float> params_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_EMBEDDING_STORE_H_

@@ -1,0 +1,154 @@
+#include "core/inslearn.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace supa {
+
+Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
+                                              const Dataset& data,
+                                              EdgeRange range) {
+  if (range.end > data.edges.size() || range.begin > range.end) {
+    return Status::OutOfRange("bad training range");
+  }
+  if (range.empty()) return InsLearnReport{};
+  if (config_.single_pass) return TrainSinglePass(model, data, range);
+  return TrainFullPass(model, data, range);
+}
+
+double InsLearnTrainer::ValidationScore(const SupaModel& model,
+                                        const Dataset& data, size_t begin,
+                                        size_t end, Rng& rng) const {
+  const auto& types = data.node_types;
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const TemporalEdge& e = data.edges[i];
+    const double gt = model.Score(e.src, e.dst, e.type);
+    size_t worse = 0;
+    size_t drawn = 0;
+    // Rank against sampled same-type negatives.
+    const size_t want = config_.valid_negatives;
+    for (size_t attempt = 0; attempt < want * 4 && drawn < want; ++attempt) {
+      const NodeId cand = static_cast<NodeId>(rng.Index(types.size()));
+      if (cand == e.dst || cand == e.src) continue;
+      if (types[cand] != types[e.dst]) continue;
+      ++drawn;
+      if (model.Score(e.src, cand, e.type) > gt) ++worse;
+    }
+    sum += 1.0 / static_cast<double>(worse + 1);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
+                                                        const Dataset& data,
+                                                        EdgeRange range) {
+  InsLearnReport report;
+  Rng valid_rng(config_.seed);
+
+  for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
+    const size_t b1 = std::min(b0 + config_.batch_size, range.end);
+    const size_t batch_len = b1 - b0;
+    // STEP 2: the last S_valid edges of the batch are the validation set.
+    size_t valid_len = std::min(config_.valid_size, batch_len / 5);
+    const size_t train_end = b1 - valid_len;
+
+    double best_score = 0.0;
+    int patience_used = 0;
+    bool have_best = false;
+    SupaModel::Snapshot best = model.TakeSnapshot();
+
+    bool first_iteration = true;
+    for (int iter = 1; iter <= config_.max_iters; ++iter) {
+      for (size_t i = b0; i < train_end; ++i) {
+        auto stats = model.TrainEdge(data.edges[i]);
+        if (!stats.ok()) return stats.status();
+        ++report.train_steps;
+        if (first_iteration) {
+          SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+        }
+      }
+      first_iteration = false;
+      ++report.iterations;
+
+      // STEP 3–4: periodic validation with early stopping.
+      if (valid_len > 0 && iter % config_.valid_interval == 0) {
+        const double score =
+            ValidationScore(model, data, train_end, b1, valid_rng);
+        if (score > best_score) {
+          best_score = score;
+          best = model.TakeSnapshot();
+          have_best = true;
+          patience_used = 0;
+        } else {
+          if (++patience_used > config_.patience) break;
+        }
+      }
+      if (valid_len == 0) break;  // nothing to validate against: one pass
+    }
+
+    // STEP 5: roll back to the best validated model.
+    if (have_best) model.RestoreSnapshot(best);
+    report.batch_scores.push_back(best_score);
+
+    // The validation edges are part of the stream; make them visible to
+    // subsequent batches (graph only; per Algorithm 1 they are not trained).
+    for (size_t i = train_end; i < b1; ++i) {
+      SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+    }
+    ++report.num_batches;
+  }
+  return report;
+}
+
+Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
+                                                      const Dataset& data,
+                                                      EdgeRange range) {
+  InsLearnReport report;
+  report.num_batches = 1;
+  Rng valid_rng(config_.seed);
+
+  const size_t n = range.size();
+  size_t valid_len = std::min(config_.valid_size, n / 5);
+  const size_t train_end = range.end - valid_len;
+
+  double best_score = 0.0;
+  int patience_used = 0;
+  bool have_best = false;
+  SupaModel::Snapshot best = model.TakeSnapshot();
+
+  for (int epoch = 1; epoch <= config_.full_pass_epochs; ++epoch) {
+    for (size_t i = range.begin; i < train_end; ++i) {
+      auto stats = model.TrainEdge(data.edges[i]);
+      if (!stats.ok()) return stats.status();
+      ++report.train_steps;
+      if (epoch == 1) {
+        SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+      }
+    }
+    ++report.iterations;
+    if (valid_len > 0) {
+      const double score =
+          ValidationScore(model, data, train_end, range.end, valid_rng);
+      report.batch_scores.push_back(score);
+      if (score > best_score) {
+        best_score = score;
+        best = model.TakeSnapshot();
+        have_best = true;
+        patience_used = 0;
+      } else if (++patience_used > config_.patience) {
+        break;
+      }
+    }
+  }
+  if (have_best) model.RestoreSnapshot(best);
+  for (size_t i = train_end; i < range.end; ++i) {
+    SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+  }
+  return report;
+}
+
+}  // namespace supa

@@ -1,0 +1,63 @@
+// InsLearn (Algorithm 1): single-pass incremental training of SUPA.
+//
+// The edge stream is cut into sequential batches of S_batch edges; within
+// each batch the last S_valid edges form the validation set. The model is
+// trained up to N_iter iterations per batch, validated every I_valid
+// iterations, early-stopped with patience μ, and rolled back to the best
+// validated snapshot before the next batch. The SUPA_w/oIns ablation
+// (conventional multi-epoch training) is available via
+// InsLearnConfig::single_pass = false.
+
+#ifndef SUPA_CORE_INSLEARN_H_
+#define SUPA_CORE_INSLEARN_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/splits.h"
+
+namespace supa {
+
+/// Summary of one training run.
+struct InsLearnReport {
+  /// Number of batches processed (1 for the w/oIns workflow).
+  size_t num_batches = 0;
+  /// Best validation MRR per batch (or per epoch for w/oIns).
+  std::vector<double> batch_scores;
+  /// Total TrainEdge invocations.
+  size_t train_steps = 0;
+  /// Total within-batch iterations executed.
+  size_t iterations = 0;
+};
+
+/// Drives SupaModel training over an edge range of a dataset.
+class InsLearnTrainer {
+ public:
+  explicit InsLearnTrainer(InsLearnConfig config) : config_(config) {}
+
+  /// Trains `model` on edges [range.begin, range.end) of `data`. The model
+  /// must have been constructed for this dataset and not have observed the
+  /// range yet.
+  Result<InsLearnReport> Train(SupaModel& model, const Dataset& data,
+                               EdgeRange range);
+
+  const InsLearnConfig& config() const { return config_; }
+
+ private:
+  /// Validation score θ: mean reciprocal rank of each validation edge's
+  /// destination against `valid_negatives` sampled same-type negatives.
+  double ValidationScore(const SupaModel& model, const Dataset& data,
+                         size_t begin, size_t end, Rng& rng) const;
+
+  Result<InsLearnReport> TrainSinglePass(SupaModel& model,
+                                         const Dataset& data,
+                                         EdgeRange range);
+  Result<InsLearnReport> TrainFullPass(SupaModel& model, const Dataset& data,
+                                       EdgeRange range);
+
+  InsLearnConfig config_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_INSLEARN_H_

@@ -1,0 +1,266 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/math_utils.h"
+
+namespace supa {
+
+SupaModel::SupaModel(const Dataset& data, SupaConfig config)
+    : config_(config), rng_(config.seed) {
+  graph_ = std::make_unique<DynamicGraph>(data.schema, data.node_types);
+  store_ = std::make_unique<EmbeddingStore>(
+      data.num_nodes(), data.schema.num_edge_types(),
+      data.schema.num_node_types(), config_.dim, config_.init_scale, rng_);
+  sampler_ = std::make_unique<InfluencedGraphSampler>(
+      *graph_, data.metapaths, config_.num_walks, config_.walk_len);
+  adam_ = std::make_unique<SparseAdam>(store_->size(), config_.lr,
+                                       config_.weight_decay);
+  degrees_.assign(data.num_nodes(), 0.0);
+}
+
+Status SupaModel::ObserveEdge(const TemporalEdge& e) {
+  SUPA_RETURN_NOT_OK(graph_->AddEdge(e.src, e.dst, e.type, e.time));
+  degrees_[e.src] += 1.0;
+  degrees_[e.dst] += 1.0;
+  if (++observed_since_rebuild_ >= config_.neg_table_refresh) {
+    SUPA_RETURN_NOT_OK(RebuildNegativeTable());
+  }
+  return Status::OK();
+}
+
+Status SupaModel::RebuildNegativeTable() {
+  observed_since_rebuild_ = 0;
+  if (graph_->num_edges() == 0) {
+    // Uniform before any structure exists.
+    std::vector<double> w(degrees_.size(), 1.0);
+    return neg_table_.Build(w);
+  }
+  std::vector<double> w(degrees_.size());
+  for (size_t i = 0; i < degrees_.size(); ++i) {
+    w[i] = std::pow(degrees_[i], 0.75);
+  }
+  return neg_table_.Build(w);
+}
+
+NodeId SupaModel::SampleNegative(NodeId u, NodeId v) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    NodeId cand = static_cast<NodeId>(neg_table_.Sample(rng_));
+    if (cand != u && cand != v) return cand;
+  }
+  return kInvalidNode;
+}
+
+void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
+  const size_t d = static_cast<size_t>(config_.dim);
+  ctx->node = node;
+  ctx->grad_h_star.assign(d, 0.0f);
+  ctx->h_star.assign(d, 0.0f);
+  ctx->gamma = 1.0;
+  ctx->delta = 0.0;
+  ctx->decay_input = 0.0;
+
+  const NodeTypeId otype =
+      config_.shared_alpha ? static_cast<NodeTypeId>(0)
+                           : graph_->NodeType(node);
+  ctx->alpha_offset = store_->AlphaOffset(otype);
+
+  const float* hl = store_->LongMem(node);
+  float* hs = store_->ShortMem(node);
+
+  if (config_.use_short_term) {
+    const Timestamp last = graph_->LastActive(node);
+    ctx->delta = (last == kNeverActive) ? 0.0 : std::max(0.0, t - last);
+    if (config_.use_update_decay) {
+      const double alpha = *store_->Alpha(otype);
+      ctx->decay_input = Sigmoid(alpha) * ctx->delta;
+      ctx->gamma = DecayG(ctx->decay_input);
+      ctx->short_before.assign(hs, hs + d);
+      // Persistent forgetting: the short-term memory itself decays, and the
+      // new interaction's gradient signal is re-encoded into it.
+      Scale(ctx->gamma, hs, d);
+    } else {
+      ctx->short_before.assign(hs, hs + d);
+    }
+    for (size_t i = 0; i < d; ++i) ctx->h_star[i] = hl[i] + hs[i];
+  } else {
+    ctx->short_before.clear();
+    for (size_t i = 0; i < d; ++i) ctx->h_star[i] = hl[i];
+  }
+}
+
+void SupaModel::BackpropUpdater(const UpdateContext& ctx) {
+  const size_t d = static_cast<size_t>(config_.dim);
+  const float* g = ctx.grad_h_star.data();
+  grads_.Accumulate(store_->LongMemOffset(ctx.node), d, 1.0, g);
+  if (!config_.use_short_term) return;
+  grads_.Accumulate(store_->ShortMemOffset(ctx.node), d, 1.0, g);
+  if (config_.use_update_decay && ctx.delta > 0.0) {
+    // h* depends on α through the forgetting factor γ = g(σ(α)·Δ):
+    // ∂h*/∂α = h^S_before · g'(x)·σ(α)(1-σ(α))·Δ with x = σ(α)·Δ.
+    const double alpha =
+        store_->data()[ctx.alpha_offset];
+    const double sig = Sigmoid(alpha);
+    const double dgamma_dalpha =
+        DecayGPrime(ctx.decay_input) * sig * (1.0 - sig) * ctx.delta;
+    const double inner =
+        Dot(g, ctx.short_before.data(), d) * dgamma_dalpha;
+    grads_.AccumulateScalar(ctx.alpha_offset, inner);
+  }
+}
+
+Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e) {
+  if (e.src >= graph_->num_nodes() || e.dst >= graph_->num_nodes()) {
+    return Status::OutOfRange("train edge endpoint out of range");
+  }
+  if (e.src == e.dst) {
+    return Status::InvalidArgument("self loop in training stream");
+  }
+  const size_t d = static_cast<size_t>(config_.dim);
+  const EdgeTypeId r_ctx = CtxRel(e.type);
+  TrainStats stats;
+
+  grads_.Clear();
+  RunUpdater(e.src, e.time, &ctx_u_);
+  RunUpdater(e.dst, e.time, &ctx_v_);
+
+  // ---- interaction loss (Eq. 6–7) ----------------------------------------
+  if (config_.use_inter_loss) {
+    scratch_hr_u_.resize(d);
+    scratch_hr_v_.resize(d);
+    const float* cu = store_->Context(e.src, r_ctx);
+    const float* cv = store_->Context(e.dst, r_ctx);
+    for (size_t i = 0; i < d; ++i) {
+      scratch_hr_u_[i] = 0.5f * (ctx_u_.h_star[i] + cu[i]);
+      scratch_hr_v_[i] = 0.5f * (ctx_v_.h_star[i] + cv[i]);
+    }
+    const double s = Dot(scratch_hr_u_.data(), scratch_hr_v_.data(), d);
+    stats.loss_inter = -LogSigmoid(s);
+    const double a = 1.0 - Sigmoid(s);  // -dL/ds
+    // dL/dh^r_u = -a·h^r_v; h^r = ½(h* + c) so both receive a ½ factor.
+    Axpy(-0.5 * a, scratch_hr_v_.data(), ctx_u_.grad_h_star.data(), d);
+    Axpy(-0.5 * a, scratch_hr_u_.data(), ctx_v_.grad_h_star.data(), d);
+    grads_.Accumulate(store_->ContextOffset(e.src, r_ctx), d, -0.5 * a,
+                      scratch_hr_v_.data());
+    grads_.Accumulate(store_->ContextOffset(e.dst, r_ctx), d, -0.5 * a,
+                      scratch_hr_u_.data());
+  }
+
+  // ---- time-aware propagation (Eq. 8–10) ----------------------------------
+  if (config_.use_prop_loss) {
+    InfluencedGraph influenced = sampler_->Sample(e.src, e.dst, rng_);
+    auto propagate = [&](const std::vector<Walk>& walks,
+                         UpdateContext& origin) {
+      for (const Walk& walk : walks) {
+        double f = 1.0;  // cumulative attenuation along the path
+        for (const WalkStep& step : walk.steps) {
+          if (config_.use_prop_decay) {
+            const double delta_e = std::max(0.0, e.time - step.via_time);
+            if (FilterD(delta_e, config_.tau) == 0.0) break;  // termination
+            f *= DecayG(delta_e);                             // attenuation
+          }
+          const EdgeTypeId rr = CtxRel(step.via_type);
+          const float* c = store_->Context(step.node, rr);
+          // d_{p,z} = f · h*_origin, so s = c·d = f·(c·h*).
+          const double s = f * Dot(c, origin.h_star.data(), d);
+          stats.loss_prop += -LogSigmoid(s);
+          ++stats.prop_steps;
+          const double a = 1.0 - Sigmoid(s);
+          grads_.Accumulate(store_->ContextOffset(step.node, rr), d, -a * f,
+                            origin.h_star.data());
+          Axpy(-a * f, c, origin.grad_h_star.data(), d);
+        }
+      }
+    };
+    propagate(influenced.from_u, ctx_u_);
+    propagate(influenced.from_v, ctx_v_);
+  }
+
+  // ---- negative sampling loss (Eq. 12) -------------------------------------
+  if (config_.use_neg_loss) {
+    if (!neg_table_.built()) {
+      SUPA_RETURN_NOT_OK(RebuildNegativeTable());
+    }
+    auto add_negatives = [&](UpdateContext& origin) {
+      for (int j = 0; j < config_.num_neg; ++j) {
+        const NodeId neg = SampleNegative(e.src, e.dst);
+        if (neg == kInvalidNode) continue;
+        const float* c = store_->Context(neg, r_ctx);
+        const double s = Dot(c, origin.h_star.data(), d);
+        stats.loss_neg += -LogSigmoid(-s);
+        const double p = Sigmoid(s);  // dL/ds
+        grads_.Accumulate(store_->ContextOffset(neg, r_ctx), d, p,
+                          origin.h_star.data());
+        Axpy(p, c, origin.grad_h_star.data(), d);
+      }
+    };
+    add_negatives(ctx_u_);
+    add_negatives(ctx_v_);
+  }
+
+  BackpropUpdater(ctx_u_);
+  BackpropUpdater(ctx_v_);
+  adam_->Step(grads_, store_->data());
+  return stats;
+}
+
+Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
+                                         Timestamp t) {
+  SUPA_RETURN_NOT_OK(graph_->RemoveEdge(u, v, r));
+  degrees_[u] = std::max(0.0, degrees_[u] - 1.0);
+  degrees_[v] = std::max(0.0, degrees_[v] - 1.0);
+  // Process the deletion like an (inverted) interaction: the update step
+  // refreshes both nodes' memories at time t, and the propagation spreads
+  // the change through the remaining influenced graph. The interaction
+  // loss is skipped — a deleted edge is no longer evidence that u and v
+  // should embed closely.
+  SupaConfig saved = config_;
+  config_.use_inter_loss = false;
+  auto stats = TrainEdge(TemporalEdge{u, v, r, t});
+  config_ = saved;
+  return stats;
+}
+
+double SupaModel::Score(NodeId u, NodeId v, EdgeTypeId r) const {
+  const size_t d = static_cast<size_t>(config_.dim);
+  const EdgeTypeId rr = CtxRel(r);
+  const float* ul = store_->LongMem(u);
+  const float* us = store_->ShortMem(u);
+  const float* uc = store_->Context(u, rr);
+  const float* vl = store_->LongMem(v);
+  const float* vs = store_->ShortMem(v);
+  const float* vc = store_->Context(v, rr);
+  double acc = 0.0;
+  const double short_u = config_.use_short_term ? 1.0 : 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double hu = 0.5 * (ul[i] + short_u * us[i] + uc[i]);
+    const double hv = 0.5 * (vl[i] + short_u * vs[i] + vc[i]);
+    acc += hu * hv;
+  }
+  return acc;
+}
+
+void SupaModel::FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const {
+  const size_t d = static_cast<size_t>(config_.dim);
+  const EdgeTypeId rr = CtxRel(r);
+  const float* hl = store_->LongMem(v);
+  const float* hs = store_->ShortMem(v);
+  const float* c = store_->Context(v, rr);
+  const double short_w = config_.use_short_term ? 1.0 : 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    out[i] = static_cast<float>(0.5 * (hl[i] + short_w * hs[i] + c[i]));
+  }
+}
+
+SupaModel::Snapshot SupaModel::TakeSnapshot() const {
+  return Snapshot{store_->Snapshot(), adam_->Snapshot()};
+}
+
+void SupaModel::RestoreSnapshot(const Snapshot& snapshot) {
+  store_->Restore(snapshot.params);
+  adam_->Restore(snapshot.adam);
+}
+
+}  // namespace supa

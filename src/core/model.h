@@ -1,0 +1,135 @@
+// The SUPA model (§III): relation-specific update + time-aware propagation
+// over influenced graphs, trained per-edge with the combined loss of Eq. 13
+// and sparse AdamW. All gradients are closed-form (every loss is a logistic
+// loss over a dot product), so no autodiff framework is needed.
+
+#ifndef SUPA_CORE_MODEL_H_
+#define SUPA_CORE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adam.h"
+#include "core/config.h"
+#include "core/embedding_store.h"
+#include "core/sampler.h"
+#include "data/dataset.h"
+#include "util/alias_table.h"
+
+namespace supa {
+
+/// Per-edge training diagnostics.
+struct TrainStats {
+  double loss_inter = 0.0;
+  double loss_prop = 0.0;
+  double loss_neg = 0.0;
+  /// Number of non-terminated propagation hops.
+  size_t prop_steps = 0;
+
+  double total() const { return loss_inter + loss_prop + loss_neg; }
+};
+
+/// A trainable SUPA instance bound to one dataset's node universe, schema,
+/// and metapath set. The model owns its incrementally-built DynamicGraph;
+/// callers drive the stream with ObserveEdge (graph insertion) and
+/// TrainEdge (gradient step) — InsLearnTrainer does this per Algorithm 1.
+class SupaModel {
+ public:
+  /// Builds an untrained model. The dataset supplies |V|, node types, the
+  /// schema, and the (symmetric) metapath schema set.
+  SupaModel(const Dataset& data, SupaConfig config);
+
+  /// Inserts an edge into the model's graph, advances last-active
+  /// timestamps, and refreshes the negative table periodically. Call once
+  /// per stream edge, after its first TrainEdge.
+  Status ObserveEdge(const TemporalEdge& e);
+
+  /// One SUPA training step on edge e: sample the influenced graph, update
+  /// the interactive nodes (Eq. 5–6, with persistent short-term
+  /// forgetting), propagate (Eq. 8–10), add negatives (Eq. 12), and apply
+  /// one AdamW step on all touched parameters. Does not insert e into the
+  /// graph.
+  Result<TrainStats> TrainEdge(const TemporalEdge& e);
+
+  /// Edge deletion (§III-A): removes the most recent (u, v, r) edge from
+  /// the graph so walks no longer traverse it, and runs one training step
+  /// at time `t` treating the deletion as an interaction signal (the
+  /// paper: "edge deletion can be viewed as a special relation ... and
+  /// thus shares the same process procedure with edge addition").
+  Result<TrainStats> DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
+                                Timestamp t);
+
+  /// Recommendation score γ(u, v, r) = h^r_u · h^r_v (Eq. 14–15).
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const;
+
+  /// Writes h^r_v = ½(h^L + h^S + c^r) into `out` (dim floats).
+  void FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const;
+
+  /// Rebuilds the degree^{3/4} negative-sampling distribution from current
+  /// degrees (uniform before any edge is observed).
+  Status RebuildNegativeTable();
+
+  /// Full parameter + optimizer snapshot (Algorithm 1's Φ_best).
+  struct Snapshot {
+    std::vector<float> params;
+    SparseAdam::State adam;
+  };
+  Snapshot TakeSnapshot() const;
+  void RestoreSnapshot(const Snapshot& snapshot);
+
+  const DynamicGraph& graph() const { return *graph_; }
+  DynamicGraph& mutable_graph() { return *graph_; }
+  const SupaConfig& config() const { return config_; }
+  EmbeddingStore& store() { return *store_; }
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  /// Per-interactive-node updater scratch (Eq. 5).
+  struct UpdateContext {
+    NodeId node = kInvalidNode;
+    size_t alpha_offset = 0;
+    double delta = 0.0;       // Δ_V
+    double decay_input = 0.0; // σ(α)·Δ
+    double gamma = 1.0;       // g(σ(α)·Δ)
+    std::vector<float> short_before;  // h^S prior to forgetting
+    std::vector<float> h_star;        // target embedding
+    std::vector<float> grad_h_star;   // accumulated dL/dh*
+  };
+
+  /// Eq. 5: applies forgetting to h^S in place and fills `ctx`.
+  void RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx);
+
+  /// Routes dL/dh* into h^L, h^S, and α gradients.
+  void BackpropUpdater(const UpdateContext& ctx);
+
+  /// Maps an edge type to its context-embedding slot (shared-context
+  /// ablation collapses all relations onto slot 0).
+  EdgeTypeId CtxRel(EdgeTypeId r) const {
+    return config_.shared_context ? static_cast<EdgeTypeId>(0) : r;
+  }
+
+  /// Samples one negative node id != u, v.
+  NodeId SampleNegative(NodeId u, NodeId v);
+
+  SupaConfig config_;
+  std::unique_ptr<DynamicGraph> graph_;
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<InfluencedGraphSampler> sampler_;
+  std::unique_ptr<SparseAdam> adam_;
+  GradBuffer grads_;
+  Rng rng_;
+
+  std::vector<double> degrees_;
+  AliasTable neg_table_;
+  size_t observed_since_rebuild_ = 0;
+
+  // reusable scratch
+  UpdateContext ctx_u_;
+  UpdateContext ctx_v_;
+  std::vector<float> scratch_hr_u_;
+  std::vector<float> scratch_hr_v_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_MODEL_H_

@@ -1,0 +1,40 @@
+#include "core/sampler.h"
+
+namespace supa {
+
+InfluencedGraphSampler::InfluencedGraphSampler(
+    const DynamicGraph& graph, std::vector<MetapathSchema> metapaths,
+    int num_walks, int walk_len)
+    : walker_(graph),
+      graph_(&graph),
+      metapaths_(std::move(metapaths)),
+      num_walks_(num_walks),
+      walk_len_(walk_len) {
+  by_head_type_.resize(graph.schema().num_node_types());
+  for (size_t i = 0; i < metapaths_.size(); ++i) {
+    by_head_type_[metapaths_[i].head()].push_back(i);
+  }
+}
+
+void InfluencedGraphSampler::SampleFrom(NodeId start, Rng& rng,
+                                        std::vector<Walk>* out) const {
+  const auto& candidates = by_head_type_[graph_->NodeType(start)];
+  if (candidates.empty()) return;
+  for (int w = 0; w < num_walks_; ++w) {
+    const size_t mp = candidates[rng.Index(candidates.size())];
+    Walk walk = walker_.SampleMetapathWalk(start, metapaths_[mp],
+                                           static_cast<size_t>(walk_len_),
+                                           rng);
+    if (!walk.steps.empty()) out->push_back(std::move(walk));
+  }
+}
+
+InfluencedGraph InfluencedGraphSampler::Sample(NodeId u, NodeId v,
+                                               Rng& rng) const {
+  InfluencedGraph g;
+  SampleFrom(u, rng, &g.from_u);
+  SampleFrom(v, rng, &g.from_v);
+  return g;
+}
+
+}  // namespace supa

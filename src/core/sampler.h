@@ -1,0 +1,62 @@
+// The Influenced Graph Sampling Module (§III-B).
+//
+// For a new edge e = (u, v, r, t) it samples k metapath-constrained walks
+// of length l from each interactive node; the union of the sampled paths is
+// the influenced graph G_{s,e} consumed by the Time-aware Propagation
+// Module.
+
+#ifndef SUPA_CORE_SAMPLER_H_
+#define SUPA_CORE_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/walker.h"
+
+namespace supa {
+
+/// The influenced graph w.r.t. one new edge: the paths sampled from u
+/// (\vec{p}_u) and from v (\vec{p}_v). Walks with zero hops are omitted.
+struct InfluencedGraph {
+  std::vector<Walk> from_u;
+  std::vector<Walk> from_v;
+
+  /// Total number of propagation hops across all paths.
+  size_t TotalSteps() const {
+    size_t n = 0;
+    for (const auto& w : from_u) n += w.steps.size();
+    for (const auto& w : from_v) n += w.steps.size();
+    return n;
+  }
+};
+
+/// Samples influenced graphs against a fixed metapath schema set.
+class InfluencedGraphSampler {
+ public:
+  /// `metapaths` must already be symmetric (Dataset stores them so).
+  InfluencedGraphSampler(const DynamicGraph& graph,
+                         std::vector<MetapathSchema> metapaths,
+                         int num_walks, int walk_len);
+
+  /// Samples \vec{p}_u and \vec{p}_v for a new edge (u, v, ., .). For each
+  /// walk a schema whose head matches the start node's type is chosen
+  /// uniformly; nodes with no matching schema yield no paths.
+  InfluencedGraph Sample(NodeId u, NodeId v, Rng& rng) const;
+
+  /// Samples just the paths for one start node.
+  void SampleFrom(NodeId start, Rng& rng, std::vector<Walk>* out) const;
+
+  const std::vector<MetapathSchema>& metapaths() const { return metapaths_; }
+
+ private:
+  Walker walker_;
+  const DynamicGraph* graph_;
+  std::vector<MetapathSchema> metapaths_;
+  /// metapath indices grouped by head node type.
+  std::vector<std::vector<size_t>> by_head_type_;
+  int num_walks_;
+  int walk_len_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_SAMPLER_H_

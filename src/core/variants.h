@@ -1,0 +1,92 @@
+// Named ablation variants of SUPA used by the Table VII/VIII harnesses.
+
+#ifndef SUPA_CORE_VARIANTS_H_
+#define SUPA_CORE_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// Applies the paper's named variant to a base configuration.
+///
+/// Loss variants (Table VII): "Linter", "Lprop", "Lneg" keep only that
+/// loss; "woLinter", "woLprop", "woLneg" drop that loss.
+/// Heterogeneity/dynamics variants (Table VIII): "sn", "se", "s", "nf",
+/// "nd", "nt". "full" returns the config unchanged.
+inline Result<SupaConfig> ApplyVariant(SupaConfig base,
+                                       const std::string& variant) {
+  if (variant == "full") return base;
+  if (variant == "Linter") {
+    base.use_prop_loss = false;
+    base.use_neg_loss = false;
+    return base;
+  }
+  if (variant == "Lprop") {
+    base.use_inter_loss = false;
+    base.use_neg_loss = false;
+    return base;
+  }
+  if (variant == "Lneg") {
+    base.use_inter_loss = false;
+    base.use_prop_loss = false;
+    return base;
+  }
+  if (variant == "woLinter") {
+    base.use_inter_loss = false;
+    return base;
+  }
+  if (variant == "woLprop") {
+    base.use_prop_loss = false;
+    return base;
+  }
+  if (variant == "woLneg") {
+    base.use_neg_loss = false;
+    return base;
+  }
+  if (variant == "sn") {
+    base.shared_alpha = true;
+    return base;
+  }
+  if (variant == "se") {
+    base.shared_context = true;
+    return base;
+  }
+  if (variant == "s") {
+    base.shared_alpha = true;
+    base.shared_context = true;
+    return base;
+  }
+  if (variant == "nf") {
+    base.use_short_term = false;
+    return base;
+  }
+  if (variant == "nd") {
+    base.use_prop_decay = false;
+    return base;
+  }
+  if (variant == "nt") {
+    base.use_short_term = false;
+    base.use_prop_decay = false;
+    base.use_update_decay = false;
+    return base;
+  }
+  return Status::NotFound("unknown SUPA variant '" + variant + "'");
+}
+
+/// The Table VII variant names in row order.
+inline std::vector<std::string> LossVariantNames() {
+  return {"Linter", "Lprop", "Lneg", "woLinter", "woLprop", "woLneg"};
+}
+
+/// The Table VIII variant names in row order.
+inline std::vector<std::string> HeteroVariantNames() {
+  return {"sn", "se", "s", "nf", "nd", "nt"};
+}
+
+}  // namespace supa
+
+#endif  // SUPA_CORE_VARIANTS_H_

@@ -1,0 +1,24 @@
+// Full dataset (de)serialization: schema, node universe, task roles,
+// metapath schemas, and the edge stream in one self-describing text file,
+// so datasets can move between tools without regenerating from a seed.
+
+#ifndef SUPA_DATA_SERIALIZE_H_
+#define SUPA_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace supa {
+
+/// Writes the complete dataset to `path` (format: "supa-dataset v1",
+/// line-oriented header followed by one edge per line).
+Status SaveDataset(const Dataset& data, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset. Validates before
+/// returning.
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace supa
+
+#endif  // SUPA_DATA_SERIALIZE_H_

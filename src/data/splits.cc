@@ -1,0 +1,40 @@
+#include "data/splits.h"
+
+namespace supa {
+
+Result<TemporalSplit> SplitTemporal(const Dataset& data, double train_frac,
+                                    double valid_frac) {
+  if (train_frac <= 0.0 || valid_frac <= 0.0 ||
+      train_frac + valid_frac >= 1.0) {
+    return Status::InvalidArgument("bad split fractions");
+  }
+  const size_t n = data.edges.size();
+  if (n < 3) return Status::FailedPrecondition("too few edges to split");
+  size_t train_end = static_cast<size_t>(n * train_frac);
+  size_t valid_end = static_cast<size_t>(n * (train_frac + valid_frac));
+  train_end = std::max<size_t>(1, std::min(train_end, n - 2));
+  valid_end = std::max(train_end + 1, std::min(valid_end, n - 1));
+  TemporalSplit split;
+  split.train = EdgeRange{0, train_end};
+  split.valid = EdgeRange{train_end, valid_end};
+  split.test = EdgeRange{valid_end, n};
+  return split;
+}
+
+Result<std::vector<EdgeRange>> SplitKParts(const Dataset& data, size_t k) {
+  const size_t n = data.edges.size();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n < k) return Status::FailedPrecondition("fewer edges than parts");
+  std::vector<EdgeRange> parts;
+  parts.reserve(k);
+  const size_t base = n / k;
+  size_t begin = 0;
+  for (size_t i = 0; i < k; ++i) {
+    size_t end = (i + 1 == k) ? n : begin + base;
+    parts.push_back(EdgeRange{begin, end});
+    begin = end;
+  }
+  return parts;
+}
+
+}  // namespace supa

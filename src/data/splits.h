@@ -1,0 +1,45 @@
+// Temporal splits of a time-sorted edge stream: the 80/1/19 protocol of
+// §IV-C and the 10 equal parts of the dynamic link prediction protocol
+// (§IV-E). All splits are expressed as index ranges into Dataset::edges.
+
+#ifndef SUPA_DATA_SPLITS_H_
+#define SUPA_DATA_SPLITS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace supa {
+
+/// Half-open index range [begin, end) into a dataset's edge vector.
+struct EdgeRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const EdgeRange&) const = default;
+};
+
+/// The paper's 80% train / 1% validation / 19% test temporal split.
+struct TemporalSplit {
+  EdgeRange train;
+  EdgeRange valid;
+  EdgeRange test;
+};
+
+/// Splits the first `train_frac` of edges as train, the next `valid_frac`
+/// as validation, and the remainder as test. Fractions must be in (0, 1)
+/// with train_frac + valid_frac < 1.
+Result<TemporalSplit> SplitTemporal(const Dataset& data,
+                                    double train_frac = 0.80,
+                                    double valid_frac = 0.01);
+
+/// Splits the stream into `k` contiguous equal-size parts (the last part
+/// absorbs the remainder). Requires k >= 1 and at least k edges.
+Result<std::vector<EdgeRange>> SplitKParts(const Dataset& data, size_t k);
+
+}  // namespace supa
+
+#endif  // SUPA_DATA_SPLITS_H_

@@ -1,0 +1,34 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace supa {
+
+DatasetStats ComputeStats(const Dataset& data) {
+  DatasetStats stats;
+  stats.num_nodes = data.num_nodes();
+  stats.num_edges = data.num_edges();
+  stats.num_node_types = data.schema.num_node_types();
+  stats.num_edge_types = data.schema.num_edge_types();
+  stats.num_timestamps = data.NumDistinctTimestamps();
+
+  std::vector<size_t> degree(data.num_nodes(), 0);
+  for (const auto& e : data.edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  size_t total = 0;
+  for (size_t d : degree) {
+    total += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_nodes;
+  }
+  stats.mean_degree = data.num_nodes() == 0
+                          ? 0.0
+                          : static_cast<double>(total) /
+                                static_cast<double>(data.num_nodes());
+  return stats;
+}
+
+}  // namespace supa

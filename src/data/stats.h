@@ -1,0 +1,30 @@
+// Dataset statistics in the shape of the paper's Table III.
+
+#ifndef SUPA_DATA_STATS_H_
+#define SUPA_DATA_STATS_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+
+namespace supa {
+
+/// The Table III columns.
+struct DatasetStats {
+  size_t num_nodes = 0;       // |V|
+  size_t num_edges = 0;       // |E|
+  size_t num_node_types = 0;  // |O|
+  size_t num_edge_types = 0;  // |R|
+  size_t num_timestamps = 0;  // |T|
+  /// Extra diagnostics beyond the paper's table.
+  double mean_degree = 0.0;
+  size_t max_degree = 0;
+  size_t isolated_nodes = 0;
+};
+
+/// Computes the statistics of a dataset.
+DatasetStats ComputeStats(const Dataset& data);
+
+}  // namespace supa
+
+#endif  // SUPA_DATA_STATS_H_

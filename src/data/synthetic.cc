@@ -1,0 +1,430 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+/// Zipf weights for `n` ranked outcomes with exponent s.
+std::vector<double> ZipfWeights(size_t n, double s) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 1.0 / std::pow(i + 1.0, s);
+  return w;
+}
+
+/// Internal per-run generation state.
+struct GenState {
+  // node id blocks per type: [type_begin[t], type_begin[t] + count).
+  std::vector<NodeId> type_begin;
+  std::vector<size_t> type_count;
+  // latent interest cluster per node (drifts for acting nodes).
+  std::vector<uint32_t> cluster;
+  // per (type, cluster): node lists and Zipf samplers over them.
+  std::vector<std::vector<std::vector<NodeId>>> members;  // [type][cluster]
+  std::vector<std::vector<AliasTable>> member_alias;      // [type][cluster]
+  // per (type, cluster): popularity-rank -> member-index permutation;
+  // reshuffled over time to model popularity churn.
+  std::vector<std::vector<std::vector<uint32_t>>> rank_perm;
+  // per type: Zipf sampler over all its nodes (activity / fallback).
+  std::vector<AliasTable> type_alias;
+  // per node: recently visited destinations (for follows_primary).
+  std::vector<std::deque<NodeId>> recent;
+  // per owned node: whether its ownership edge was emitted.
+  std::vector<bool> ownership_emitted;
+};
+
+constexpr size_t kRecentWindow = 20;
+
+}  // namespace
+
+Result<Dataset> GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed) {
+  if (spec.node_types.empty()) {
+    return Status::InvalidArgument("spec needs node types");
+  }
+  if (spec.relations.empty()) {
+    return Status::InvalidArgument("spec needs relations");
+  }
+  if (spec.num_clusters == 0) {
+    return Status::InvalidArgument("spec needs >= 1 cluster");
+  }
+
+  Rng rng(seed);
+  Dataset data;
+  data.name = spec.name;
+
+  // ---- schema & node universe ------------------------------------------
+  GenState st;
+  const size_t num_types = spec.node_types.size();
+  st.type_begin.resize(num_types);
+  st.type_count.resize(num_types);
+  NodeId next_id = 0;
+  for (size_t t = 0; t < num_types; ++t) {
+    const auto& [tname, count] = spec.node_types[t];
+    if (count == 0) return Status::InvalidArgument("empty node type " + tname);
+    NodeTypeId tid = data.schema.AddNodeType(tname);
+    if (tid != t) return Status::Internal("node type id mismatch");
+    st.type_begin[t] = next_id;
+    st.type_count[t] = count;
+    for (size_t i = 0; i < count; ++i) data.node_types.push_back(tid);
+    next_id += static_cast<NodeId>(count);
+  }
+
+  struct ResolvedRelation {
+    EdgeTypeId id;
+    NodeTypeId src;
+    NodeTypeId dst;
+    double rate;
+    bool follows_primary;
+  };
+  std::vector<ResolvedRelation> rels;
+  std::vector<double> rel_rates;
+  for (const auto& r : spec.relations) {
+    EdgeTypeId rid = data.schema.AddEdgeType(r.name);
+    SUPA_ASSIGN_OR_RETURN(NodeTypeId s, data.schema.NodeType(r.src_type));
+    SUPA_ASSIGN_OR_RETURN(NodeTypeId d, data.schema.NodeType(r.dst_type));
+    rels.push_back({rid, s, d, r.rate, r.follows_primary});
+    rel_rates.push_back(r.rate);
+  }
+  struct ResolvedOwnership {
+    EdgeTypeId relation;
+    NodeTypeId owner;
+    NodeTypeId owned;
+  };
+  std::vector<ResolvedOwnership> owns;
+  for (const auto& o : spec.ownerships) {
+    EdgeTypeId rid = data.schema.AddEdgeType(o.relation);
+    SUPA_ASSIGN_OR_RETURN(NodeTypeId owner,
+                          data.schema.NodeType(o.owner_type));
+    SUPA_ASSIGN_OR_RETURN(NodeTypeId owned,
+                          data.schema.NodeType(o.owned_type));
+    owns.push_back({rid, owner, owned});
+  }
+
+  // ---- latent structure --------------------------------------------------
+  const size_t n_nodes = data.node_types.size();
+  st.cluster.resize(n_nodes);
+  for (auto& c : st.cluster)
+    c = static_cast<uint32_t>(rng.Index(spec.num_clusters));
+
+  st.members.assign(num_types, {});
+  st.member_alias.assign(num_types, {});
+  st.type_alias.resize(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    st.members[t].assign(spec.num_clusters, {});
+    for (size_t i = 0; i < st.type_count[t]; ++i) {
+      NodeId v = st.type_begin[t] + static_cast<NodeId>(i);
+      st.members[t][st.cluster[v]].push_back(v);
+    }
+    st.member_alias[t].resize(spec.num_clusters);
+    for (size_t c = 0; c < spec.num_clusters; ++c) {
+      if (!st.members[t][c].empty()) {
+        SUPA_RETURN_NOT_OK(st.member_alias[t][c].Build(
+            ZipfWeights(st.members[t][c].size(), spec.zipf_s)));
+      }
+    }
+    SUPA_RETURN_NOT_OK(
+        st.type_alias[t].Build(ZipfWeights(st.type_count[t], spec.zipf_s)));
+  }
+  st.rank_perm.assign(num_types, {});
+  for (size_t t = 0; t < num_types; ++t) {
+    st.rank_perm[t].resize(spec.num_clusters);
+    for (size_t c = 0; c < spec.num_clusters; ++c) {
+      auto& perm = st.rank_perm[t][c];
+      perm.resize(st.members[t][c].size());
+      for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    }
+  }
+  st.recent.resize(n_nodes);
+  st.ownership_emitted.assign(n_nodes, false);
+
+  // Ownership assignment: owned node -> owner node (fixed once).
+  std::vector<NodeId> owner_of(n_nodes, kInvalidNode);
+  for (const auto& o : owns) {
+    for (size_t i = 0; i < st.type_count[o.owned]; ++i) {
+      NodeId v = st.type_begin[o.owned] + static_cast<NodeId>(i);
+      size_t j = st.type_alias[o.owner].Sample(rng);
+      owner_of[v] = st.type_begin[o.owner] + static_cast<NodeId>(j);
+    }
+  }
+
+  // ---- event stream -------------------------------------------------------
+  data.edges.reserve(spec.num_events + n_nodes / 4);
+  Timestamp t_now = 0.0;
+
+  auto pick_dst = [&](NodeId actor, const ResolvedRelation& rel) -> NodeId {
+    const size_t dst_t = rel.dst;
+    // Multiplex correlation: revisit a recent destination.
+    if (rel.follows_primary && !st.recent[actor].empty() &&
+        rng.Bernoulli(spec.revisit_prob)) {
+      const auto& hist = st.recent[actor];
+      // Prefer recent destinations of the right type.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        NodeId cand = hist[rng.Index(hist.size())];
+        if (data.node_types[cand] == dst_t && cand != actor) return cand;
+      }
+    }
+    // In-cluster draw with Zipf popularity, else global Zipf fallback. The
+    // Zipf sampler picks a popularity *rank*; the churning permutation
+    // decides which member currently holds that rank.
+    const uint32_t c = st.cluster[actor];
+    if (!st.members[dst_t][c].empty() &&
+        rng.Bernoulli(spec.in_cluster_prob)) {
+      size_t j = st.member_alias[dst_t][c].Sample(rng);
+      NodeId cand = st.members[dst_t][c][st.rank_perm[dst_t][c][j]];
+      if (cand != actor) return cand;
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      size_t j = st.type_alias[dst_t].Sample(rng);
+      NodeId cand = st.type_begin[dst_t] + static_cast<NodeId>(j);
+      if (cand != actor) return cand;
+    }
+    return kInvalidNode;
+  };
+
+  for (size_t ev = 0; ev < spec.num_events; ++ev) {
+    // Exponential inter-event time keeps timestamps distinct (|T| large).
+    t_now += -spec.mean_dt * std::log(std::max(rng.NextDouble(), 1e-12));
+
+    // Popularity churn: periodically swap a fraction of each cluster's
+    // popularity ranks, so yesterday's hot items cool down.
+    if (spec.churn_interval > 0 && ev > 0 &&
+        ev % spec.churn_interval == 0) {
+      for (size_t t = 0; t < num_types; ++t) {
+        for (size_t c = 0; c < spec.num_clusters; ++c) {
+          auto& perm = st.rank_perm[t][c];
+          const size_t swaps = static_cast<size_t>(
+              perm.size() * spec.churn_fraction);
+          for (size_t s = 0; s < swaps; ++s) {
+            std::swap(perm[rng.Index(perm.size())],
+                      perm[rng.Index(perm.size())]);
+          }
+        }
+      }
+    }
+
+    const ResolvedRelation& rel = rels[rng.Weighted(rel_rates)];
+    size_t ai = st.type_alias[rel.src].Sample(rng);
+    NodeId actor = st.type_begin[rel.src] + static_cast<NodeId>(ai);
+
+    // Interest drift (Figure 1): the actor occasionally hops clusters.
+    if (rng.Bernoulli(spec.drift_prob)) {
+      st.cluster[actor] = static_cast<uint32_t>(rng.Index(spec.num_clusters));
+    }
+
+    NodeId dst = pick_dst(actor, rel);
+    if (dst == kInvalidNode) continue;
+
+    // Ownership edge on a destination's first appearance.
+    if (owner_of[dst] != kInvalidNode && !st.ownership_emitted[dst]) {
+      st.ownership_emitted[dst] = true;
+      for (const auto& o : owns) {
+        if (data.node_types[dst] == o.owned) {
+          data.edges.push_back(
+              TemporalEdge{owner_of[dst], dst, o.relation, t_now});
+          break;
+        }
+      }
+    }
+
+    data.edges.push_back(TemporalEdge{actor, dst, rel.id, t_now});
+    auto& hist = st.recent[actor];
+    hist.push_back(dst);
+    if (hist.size() > kRecentWindow) hist.pop_front();
+  }
+
+  if (spec.static_graph) {
+    for (auto& e : data.edges) e.time = 1.0;
+  }
+
+  // ---- task roles & metapaths --------------------------------------------
+  SUPA_ASSIGN_OR_RETURN(data.query_type,
+                        data.schema.NodeType(spec.query_type));
+  SUPA_ASSIGN_OR_RETURN(data.target_type,
+                        data.schema.NodeType(spec.target_type));
+  for (const auto& rname : spec.target_relations) {
+    SUPA_ASSIGN_OR_RETURN(EdgeTypeId rid, data.schema.EdgeType(rname));
+    data.target_relations.push_back(rid);
+  }
+  SUPA_ASSIGN_OR_RETURN(auto metapaths,
+                        ParseMetapathList(spec.metapaths, data.schema));
+  for (auto& mp : metapaths) data.metapaths.push_back(mp.Symmetrize());
+
+  SUPA_RETURN_NOT_OK(data.Validate());
+  return data;
+}
+
+namespace {
+
+size_t Scaled(double scale, size_t base) {
+  return std::max<size_t>(4, static_cast<size_t>(base * scale));
+}
+
+}  // namespace
+
+Result<Dataset> MakeUci(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "UCI";
+  spec.node_types = {{"User", Scaled(scale, 400)}};
+  spec.relations = {{"Communicate", "User", "User", 1.0, false}};
+  spec.num_events = Scaled(scale, 12000);
+  spec.num_clusters = 8;
+  spec.drift_prob = 0.01;
+  spec.churn_interval = spec.num_events / 20;
+  spec.metapaths = "User -{Communicate}-> User";
+  spec.query_type = "User";
+  spec.target_type = "User";
+  spec.target_relations = {"Communicate"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<Dataset> MakeAmazon(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "Amazon";
+  spec.node_types = {{"Product", Scaled(scale, 1500)}};
+  // The GATNE-provided Amazon graph has two link types between products
+  // (also-bought / also-viewed).
+  spec.relations = {{"AlsoBuy", "Product", "Product", 0.5, false},
+                    {"AlsoView", "Product", "Product", 0.5, true}};
+  spec.num_events = Scaled(scale, 20000);
+  spec.num_clusters = 12;
+  spec.drift_prob = 0.0;  // static
+  spec.static_graph = true;
+  spec.metapaths = "Product -{AlsoBuy,AlsoView}-> Product";
+  spec.query_type = "Product";
+  spec.target_type = "Product";
+  spec.target_relations = {"AlsoBuy", "AlsoView"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<Dataset> MakeLastfm(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "Last.fm";
+  spec.node_types = {{"User", Scaled(scale, 500)},
+                     {"Artist", Scaled(scale, 2000)}};
+  spec.relations = {{"Listen", "User", "Artist", 1.0, false}};
+  spec.num_events = Scaled(scale, 30000);
+  spec.num_clusters = 10;
+  spec.drift_prob = 0.006;
+  spec.churn_interval = spec.num_events / 12;
+  spec.churn_fraction = 0.2;
+  spec.metapaths =
+      "User -{Listen}-> Artist -{Listen}-> User;"
+      "Artist -{Listen}-> User -{Listen}-> Artist";
+  spec.query_type = "User";
+  spec.target_type = "Artist";
+  spec.target_relations = {"Listen"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<Dataset> MakeMovielens(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "MovieLens";
+  spec.node_types = {{"User", Scaled(scale, 600)},
+                     {"Movie", Scaled(scale, 1200)}};
+  spec.relations = {{"Rate", "User", "Movie", 0.85, false},
+                    {"Tag", "User", "Movie", 0.15, true}};
+  spec.num_events = Scaled(scale, 40000);
+  spec.num_clusters = 10;
+  spec.drift_prob = 0.008;
+  spec.churn_interval = spec.num_events / 20;
+  spec.metapaths =
+      "User -{Rate,Tag}-> Movie -{Rate,Tag}-> User;"
+      "Movie -{Rate,Tag}-> User -{Rate,Tag}-> Movie";
+  spec.query_type = "User";
+  spec.target_type = "Movie";
+  spec.target_relations = {"Rate", "Tag"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<Dataset> MakeTaobao(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "Taobao";
+  spec.node_types = {{"User", Scaled(scale, 500)},
+                     {"Item", Scaled(scale, 2000)}};
+  spec.relations = {{"PageView", "User", "Item", 0.70, false},
+                    {"Buy", "User", "Item", 0.10, true},
+                    {"Cart", "User", "Item", 0.10, true},
+                    {"Favorite", "User", "Item", 0.10, true}};
+  spec.num_events = Scaled(scale, 20000);
+  spec.num_clusters = 10;
+  spec.drift_prob = 0.01;
+  spec.churn_interval = spec.num_events / 20;
+  spec.metapaths =
+      "User -{PageView,Buy,Cart,Favorite}-> Item "
+      "-{PageView,Buy,Cart,Favorite}-> User;"
+      "Item -{PageView,Buy,Cart,Favorite}-> User "
+      "-{PageView,Buy,Cart,Favorite}-> Item";
+  spec.query_type = "User";
+  spec.target_type = "Item";
+  spec.target_relations = {"PageView", "Buy", "Cart", "Favorite"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<Dataset> MakeKuaishou(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "Kuaishou";
+  spec.node_types = {{"User", Scaled(scale, 800)},
+                     {"Video", Scaled(scale, 3000)},
+                     {"Author", Scaled(scale, 300)}};
+  spec.relations = {{"Watch", "User", "Video", 0.80, false},
+                    {"Like", "User", "Video", 0.10, true},
+                    {"Forward", "User", "Video", 0.05, true},
+                    {"Comment", "User", "Video", 0.05, true}};
+  spec.ownerships = {{"Upload", "Author", "Video"}};
+  spec.num_events = Scaled(scale, 50000);
+  spec.num_clusters = 12;
+  spec.drift_prob = 0.015;
+  // Short-video platform: content dies within hours, so churn is strong.
+  spec.churn_interval = spec.num_events / 30;
+  spec.churn_fraction = 0.5;
+  spec.metapaths =
+      "User -{Watch,Like,Forward,Comment}-> Video "
+      "-{Watch,Like,Forward,Comment}-> User;"
+      "Author -{Upload}-> Video -{Upload}-> Author;"
+      "Video -{Watch,Like,Forward,Comment}-> User "
+      "-{Watch,Like,Forward,Comment}-> Video;"
+      "Video -{Upload}-> Author -{Upload}-> Video";
+  spec.query_type = "User";
+  spec.target_type = "Video";
+  spec.target_relations = {"Watch", "Like", "Forward", "Comment"};
+  return GenerateSynthetic(spec, seed);
+}
+
+Result<std::vector<Dataset>> MakeAllPaperDatasets(double scale,
+                                                  uint64_t seed) {
+  std::vector<Dataset> out;
+  SUPA_ASSIGN_OR_RETURN(Dataset uci, MakeUci(scale, seed + 1));
+  out.push_back(std::move(uci));
+  SUPA_ASSIGN_OR_RETURN(Dataset amazon, MakeAmazon(scale, seed + 2));
+  out.push_back(std::move(amazon));
+  SUPA_ASSIGN_OR_RETURN(Dataset lastfm, MakeLastfm(scale, seed + 3));
+  out.push_back(std::move(lastfm));
+  SUPA_ASSIGN_OR_RETURN(Dataset movielens, MakeMovielens(scale, seed + 4));
+  out.push_back(std::move(movielens));
+  SUPA_ASSIGN_OR_RETURN(Dataset taobao, MakeTaobao(scale, seed + 5));
+  out.push_back(std::move(taobao));
+  SUPA_ASSIGN_OR_RETURN(Dataset kuaishou, MakeKuaishou(scale, seed + 6));
+  out.push_back(std::move(kuaishou));
+  return out;
+}
+
+Result<Dataset> MakePaperDataset(const std::string& name, double scale,
+                                 uint64_t seed) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "uci") return MakeUci(scale, seed);
+  if (lower == "amazon") return MakeAmazon(scale, seed);
+  if (lower == "last.fm" || lower == "lastfm") return MakeLastfm(scale, seed);
+  if (lower == "movielens") return MakeMovielens(scale, seed);
+  if (lower == "taobao") return MakeTaobao(scale, seed);
+  if (lower == "kuaishou") return MakeKuaishou(scale, seed);
+  return Status::NotFound("unknown paper dataset '" + name + "'");
+}
+
+}  // namespace supa

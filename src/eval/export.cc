@@ -1,0 +1,40 @@
+#include "eval/export.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+
+namespace supa {
+
+Status ExportEmbeddings(const Recommender& model, const Dataset& data,
+                        const std::string& path,
+                        const ExportOptions& options) {
+  if (options.relation >= data.schema.num_edge_types()) {
+    return Status::OutOfRange("relation id out of range");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+
+  size_t exported = 0;
+  for (NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (options.node_type >= 0 &&
+        data.node_types[v] != static_cast<NodeTypeId>(options.node_type)) {
+      continue;
+    }
+    auto emb = model.Embedding(v, options.relation);
+    if (!emb.ok()) continue;
+    out << v << '\t' << data.schema.NodeTypeName(data.node_types[v]);
+    for (float x : emb.value()) out << '\t' << x;
+    out << '\n';
+    ++exported;
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  if (exported == 0) {
+    return Status::FailedPrecondition(model.name() +
+                                      " exposed no embeddings to export");
+  }
+  return Status::OK();
+}
+
+}  // namespace supa

@@ -1,0 +1,32 @@
+// Embedding export: dump any Recommender's learned node embeddings to TSV
+// for downstream tooling (offline ANN indexes, visualization, analysis).
+
+#ifndef SUPA_EVAL_EXPORT_H_
+#define SUPA_EVAL_EXPORT_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// Export options.
+struct ExportOptions {
+  /// The relation whose embeddings are exported (relation-specific models
+  /// like SUPA produce different vectors per relation).
+  EdgeTypeId relation = 0;
+  /// Restrict to one node type (e.g., items only); -1 exports all nodes.
+  int node_type = -1;
+};
+
+/// Writes one row per node: id, type name, then the embedding values.
+/// Nodes for which the model exposes no embedding are skipped; fails if
+/// the model exposes none at all.
+Status ExportEmbeddings(const Recommender& model, const Dataset& data,
+                        const std::string& path,
+                        const ExportOptions& options = ExportOptions());
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_EXPORT_H_

@@ -1,0 +1,34 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace supa {
+
+double HitAtK(size_t rank, size_t k) { return rank <= k ? 1.0 : 0.0; }
+
+double NdcgAtK(size_t rank, size_t k) {
+  if (rank > k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+double ReciprocalRank(size_t rank) {
+  return 1.0 / static_cast<double>(rank);
+}
+
+void MetricAccumulator::Add(size_t rank) {
+  hit20_ += HitAtK(rank, 20);
+  hit50_ += HitAtK(rank, 50);
+  ndcg10_ += NdcgAtK(rank, 10);
+  mrr_ += ReciprocalRank(rank);
+  ++count_;
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  hit20_ += other.hit20_;
+  hit50_ += other.hit50_;
+  ndcg10_ += other.ndcg10_;
+  mrr_ += other.mrr_;
+  count_ += other.count_;
+}
+
+}  // namespace supa

@@ -1,0 +1,50 @@
+// Ranking metrics of §IV-C: Hit rate @ K, NDCG @ K (binary relevance,
+// single ground truth), and mean reciprocal rank.
+
+#ifndef SUPA_EVAL_METRICS_H_
+#define SUPA_EVAL_METRICS_H_
+
+#include <cstddef>
+
+namespace supa {
+
+/// 1 if the ground truth lands in the top `k`, else 0. `rank` is 1-based.
+double HitAtK(size_t rank, size_t k);
+
+/// Binary-relevance NDCG with a single relevant item:
+/// 1 / log2(rank + 1) when rank <= k, else 0.
+double NdcgAtK(size_t rank, size_t k);
+
+/// 1 / rank.
+double ReciprocalRank(size_t rank);
+
+/// Streaming accumulator for the four paper metrics.
+class MetricAccumulator {
+ public:
+  /// Records one test case's 1-based rank.
+  void Add(size_t rank);
+
+  /// Merges another accumulator.
+  void Merge(const MetricAccumulator& other);
+
+  double hit20() const { return Ratio(hit20_); }
+  double hit50() const { return Ratio(hit50_); }
+  double ndcg10() const { return Ratio(ndcg10_); }
+  double mrr() const { return Ratio(mrr_); }
+  size_t count() const { return count_; }
+
+ private:
+  double Ratio(double sum) const {
+    return count_ == 0 ? 0.0 : sum / static_cast<double>(count_);
+  }
+
+  double hit20_ = 0.0;
+  double hit50_ = 0.0;
+  double ndcg10_ = 0.0;
+  double mrr_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_METRICS_H_

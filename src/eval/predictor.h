@@ -1,0 +1,43 @@
+// Top-K recommendation (§III-F.1): rank all target-type candidates by
+// γ(u, v, r) and return the best K, optionally excluding items the user
+// has already interacted with.
+
+#ifndef SUPA_EVAL_PREDICTOR_H_
+#define SUPA_EVAL_PREDICTOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// One ranked recommendation.
+struct ScoredItem {
+  NodeId item = kInvalidNode;
+  double score = 0.0;
+
+  bool operator==(const ScoredItem&) const = default;
+};
+
+/// Options for top-K retrieval.
+struct TopKOptions {
+  size_t k = 10;
+  /// Candidates the user already touched under the query relation within
+  /// [seen.begin, seen.end) are removed.
+  bool exclude_seen = true;
+  EdgeRange seen;
+};
+
+/// Returns the top-K target-type nodes for `user` under `relation`,
+/// descending by score (ties broken by smaller node id). K is clipped to
+/// the candidate count.
+Result<std::vector<ScoredItem>> RecommendTopK(const Recommender& model,
+                                              const Dataset& data,
+                                              NodeId user,
+                                              EdgeTypeId relation,
+                                              const TopKOptions& options);
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_PREDICTOR_H_

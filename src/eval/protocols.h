@@ -1,0 +1,73 @@
+// The paper's three evaluation protocols:
+//   * link prediction on the 80/1/19 temporal split (Tables V–VI),
+//   * dynamic link prediction over 10 equal stream parts (Figs. 4–5),
+//   * link prediction under neighborhood disturbance, i.e., η-capped
+//     most-recent-neighbor subgraphs (Fig. 6).
+
+#ifndef SUPA_EVAL_PROTOCOLS_H_
+#define SUPA_EVAL_PROTOCOLS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/splits.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+
+namespace supa {
+
+/// Ranking-evaluation options.
+struct EvalConfig {
+  /// Evaluate at most this many test edges (uniform subsample; 0 = all).
+  size_t max_test_edges = 800;
+  /// Rank against at most this many candidates of the target type
+  /// (uniform subsample including the ground truth; 0 = all).
+  size_t candidate_cap = 0;
+  /// Remove already-seen (u, cand, r) training edges from the candidates.
+  bool exclude_seen_positives = true;
+  uint64_t seed = 99;
+};
+
+/// Four-metric summary of one evaluation.
+struct RankingResult {
+  double hit20 = 0.0;
+  double hit50 = 0.0;
+  double ndcg10 = 0.0;
+  double mrr = 0.0;
+  size_t evaluated = 0;
+};
+
+/// Ranks each target-relation test edge's destination against all (or a
+/// sampled subset of) target-type candidates. `seen` is the edge range
+/// whose positives are excluded (normally the train+valid prefix).
+Result<RankingResult> EvaluateLinkPrediction(const Recommender& model,
+                                             const Dataset& data,
+                                             EdgeRange test, EdgeRange seen,
+                                             const EvalConfig& config);
+
+/// One step of the dynamic protocol.
+struct DynamicStepResult {
+  double hit50 = 0.0;
+  double mrr = 0.0;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// §IV-E: split the stream into `parts` equal parts; for each step i train
+/// (incrementally for dynamic methods, from scratch for static ones) on
+/// part i and evaluate on part i+1. Returns `parts - 1` step results.
+Result<std::vector<DynamicStepResult>> RunDynamicProtocol(
+    Recommender& model, const Dataset& data, size_t parts,
+    const EvalConfig& config);
+
+/// §IV-F: returns link-prediction results for each η in `etas`
+/// (0 represents ∞). `factory` must produce a fresh recommender per call.
+Result<std::vector<RankingResult>> RunDisturbanceProtocol(
+    const std::function<std::unique_ptr<Recommender>()>& factory,
+    const Dataset& data, const std::vector<size_t>& etas,
+    const EvalConfig& config);
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_PROTOCOLS_H_

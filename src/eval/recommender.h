@@ -1,0 +1,62 @@
+// The common interface every evaluated method implements — SUPA and all
+// baselines — so the link-prediction, dynamic, and disturbance protocols
+// can drive them uniformly.
+
+#ifndef SUPA_EVAL_RECOMMENDER_H_
+#define SUPA_EVAL_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// A trainable scoring model over a dataset's node universe.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Display name used in benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// True when the method trains incrementally on new data (dynamic
+  /// methods); false for static methods, which are retrained from scratch
+  /// in the dynamic protocol.
+  virtual bool incremental() const { return false; }
+
+  /// Trains from scratch on edges [range.begin, range.end) of `data`.
+  virtual Status Fit(const Dataset& data, EdgeRange range) = 0;
+
+  /// Continues training on a new range. Static methods refit on the new
+  /// range alone (the paper's protocol for §IV-E); incremental methods
+  /// must override.
+  virtual Status FitIncremental(const Dataset& data, EdgeRange range) {
+    return Fit(data, range);
+  }
+
+  /// γ(u, v, r): the predicted affinity of u for v under relation r.
+  virtual double Score(NodeId u, NodeId v, EdgeTypeId r) const = 0;
+
+  /// The embedding used for visualization (Fig. 9). Default: unsupported.
+  virtual Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId r) const {
+    (void)v;
+    (void)r;
+    return Status::FailedPrecondition(name() + " exposes no embeddings");
+  }
+
+  /// Neighborhood-disturbance setting (§IV-F): limit every node to its η
+  /// most recent neighbors during training. 0 = unlimited. Must be set
+  /// before Fit.
+  void set_neighbor_cap(size_t eta) { neighbor_cap_ = eta; }
+  size_t neighbor_cap() const { return neighbor_cap_; }
+
+ protected:
+  size_t neighbor_cap_ = 0;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_RECOMMENDER_H_

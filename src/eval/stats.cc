@@ -1,0 +1,126 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+namespace supa {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double SampleStddev(const std::vector<double>& xs) {
+  return std::sqrt(SampleVariance(xs));
+}
+
+namespace {
+
+// log Gamma via the Lanczos approximation.
+double LogGamma(double x) {
+  static const double kCoef[6] = {76.18009172947146,  -86.50532032941677,
+                                  24.01409824083091,  -1.231739572450155,
+                                  0.1208650973866179e-2, -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (double c : kCoef) ser += c / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+// Continued fraction for the incomplete beta function (Numerical Recipes'
+// betacf, modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    return Status::InvalidArgument("Welch t-test needs >= 2 samples each");
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = SampleVariance(a) / na;
+  const double vb = SampleVariance(b) / nb;
+  TTestResult out;
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    // Identical constant samples: no evidence either way.
+    out.t = 0.0;
+    out.df = na + nb - 2.0;
+    out.p_two_sided = 1.0;
+    out.p_greater = Mean(a) > Mean(b) ? 0.0 : 1.0;
+    return out;
+  }
+  out.t = (Mean(a) - Mean(b)) / denom;
+  out.df = (va + vb) * (va + vb) /
+           (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double cdf = StudentTCdf(out.t, out.df);
+  out.p_greater = 1.0 - cdf;
+  out.p_two_sided = 2.0 * std::min(cdf, 1.0 - cdf);
+  return out;
+}
+
+}  // namespace supa

@@ -1,0 +1,173 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+/// Squared Euclidean distances between all rows.
+std::vector<double> PairwiseSquaredDistances(const std::vector<float>& x,
+                                             size_t n, size_t dim) {
+  std::vector<double> d2(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < dim; ++k) {
+        const double diff = static_cast<double>(x[i * dim + k]) -
+                            static_cast<double>(x[j * dim + k]);
+        acc += diff * diff;
+      }
+      d2[i * n + j] = acc;
+      d2[j * n + i] = acc;
+    }
+  }
+  return d2;
+}
+
+/// Binary-searches the Gaussian bandwidth of row i to match the target
+/// perplexity, filling conditional probabilities p_{j|i}.
+void RowConditionals(const std::vector<double>& d2, size_t n, size_t i,
+                     double perplexity, double* p_row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::infinity();
+  for (int step = 0; step < 64; ++step) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      p_row[j] = (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum += p_row[j];
+    }
+    if (sum <= 0.0) sum = 1e-300;
+    double entropy = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      p_row[j] /= sum;
+      if (p_row[j] > 1e-12) entropy -= p_row[j] * std::log(p_row[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = std::isinf(beta_hi) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::array<double, 2>>> RunTsne(
+    const std::vector<float>& points, size_t n, size_t dim,
+    const TsneConfig& config) {
+  if (n < 4) return Status::InvalidArgument("t-SNE needs >= 4 points");
+  if (points.size() != n * dim) {
+    return Status::InvalidArgument("points size mismatch");
+  }
+  if (config.perplexity >= static_cast<double>(n)) {
+    return Status::InvalidArgument("perplexity must be < n");
+  }
+
+  const std::vector<double> d2 = PairwiseSquaredDistances(points, n, dim);
+
+  // Symmetrized joint probabilities P.
+  std::vector<double> p(n * n, 0.0);
+  {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      RowConditionals(d2, n, i, config.perplexity, row.data());
+      for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v =
+          (p[i * n + j] + p[j * n + i]) / (2.0 * static_cast<double>(n));
+      p[i * n + j] = v;
+      p[j * n + i] = v;
+    }
+    p[i * n + i] = 0.0;
+  }
+
+  Rng rng(config.seed);
+  std::vector<std::array<double, 2>> y(n);
+  for (auto& pt : y) pt = {rng.Gaussian(0.0, 1e-2), rng.Gaussian(0.0, 1e-2)};
+  std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+  std::vector<std::array<double, 2>> grad(n);
+  std::vector<double> q(n * n);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? 4.0 : 1.0;
+    // Student-t affinities Q.
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      q[i * n + i] = 0.0;
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i][0] - y[j][0];
+        const double dy = y[i][1] - y[j][1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        qsum += 2.0 * w;
+      }
+    }
+    if (qsum <= 0.0) qsum = 1e-300;
+
+    for (size_t i = 0; i < n; ++i) grad[i] = {0.0, 0.0};
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[i * n + j];
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - w / qsum) * w;
+        grad[i][0] += coeff * (y[i][0] - y[j][0]);
+        grad[i][1] += coeff * (y[i][1] - y[j][1]);
+      }
+    }
+
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.momentum
+                                : config.final_momentum;
+    for (size_t i = 0; i < n; ++i) {
+      velocity[i][0] =
+          momentum * velocity[i][0] - config.learning_rate * grad[i][0];
+      velocity[i][1] =
+          momentum * velocity[i][1] - config.learning_rate * grad[i][1];
+      y[i][0] += velocity[i][0];
+      y[i][1] += velocity[i][1];
+    }
+    // Center the layout.
+    double mx = 0.0;
+    double my = 0.0;
+    for (const auto& pt : y) {
+      mx += pt[0];
+      my += pt[1];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    for (auto& pt : y) {
+      pt[0] -= mx;
+      pt[1] -= my;
+    }
+  }
+  return y;
+}
+
+double MeanPairDistance(const std::vector<std::array<double, 2>>& layout,
+                        const std::vector<std::pair<size_t, size_t>>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [i, j] : pairs) {
+    const double dx = layout[i][0] - layout[j][0];
+    const double dy = layout[i][1] - layout[j][1];
+    sum += std::sqrt(dx * dx + dy * dy);
+  }
+  return sum / static_cast<double>(pairs.size());
+}
+
+}  // namespace supa

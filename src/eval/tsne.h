@@ -1,0 +1,41 @@
+// Exact (O(n²)) t-SNE for the qualitative embedding visualization of
+// Fig. 9 — small point sets (tens of nodes), so the Barnes-Hut
+// approximation is unnecessary.
+
+#ifndef SUPA_EVAL_TSNE_H_
+#define SUPA_EVAL_TSNE_H_
+
+#include <array>
+#include <vector>
+
+#include "util/status.h"
+
+namespace supa {
+
+/// t-SNE hyper-parameters.
+struct TsneConfig {
+  double perplexity = 5.0;
+  int iterations = 500;
+  double learning_rate = 50.0;
+  /// Iterations with early exaggeration (P scaled by 4).
+  int exaggeration_iters = 100;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 250;
+  uint64_t seed = 13;
+};
+
+/// Projects `points` (n rows of `dim` floats, row-major) to 2-D.
+/// Requires n >= 4 and perplexity < n.
+Result<std::vector<std::array<double, 2>>> RunTsne(
+    const std::vector<float>& points, size_t n, size_t dim,
+    const TsneConfig& config = TsneConfig());
+
+/// Mean Euclidean distance over the given index pairs of a 2-D layout —
+/// the paper's d̄ statistic for user-item pairs.
+double MeanPairDistance(const std::vector<std::array<double, 2>>& layout,
+                        const std::vector<std::pair<size_t, size_t>>& pairs);
+
+}  // namespace supa
+
+#endif  // SUPA_EVAL_TSNE_H_

@@ -1,0 +1,101 @@
+// The dynamic multiplex heterogeneous graph substrate.
+//
+// Edges arrive in non-decreasing time order and are appended to per-node
+// adjacency lists, so the *suffix* of a list is always a node's most recent
+// neighborhood. A global neighbor cap η models the paper's resource-
+// constrained setting (§IV-F, "only the latest η neighbors are available"),
+// which induces the Neighborhood Disturbance phenomenon.
+
+#ifndef SUPA_GRAPH_DYNAMIC_GRAPH_H_
+#define SUPA_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/schema.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// An append-only temporal multiplex adjacency structure. Undirected:
+/// AddEdge(u, v, r, t) makes v visible from u and u visible from v.
+class DynamicGraph {
+ public:
+  /// Creates a graph over `node_types.size()` nodes whose types are given
+  /// per node id. The schema provides |O| and |R|.
+  DynamicGraph(Schema schema, std::vector<NodeTypeId> node_types);
+
+  /// Appends a temporal edge. Timestamps must be non-decreasing across
+  /// calls; node ids must be in range and distinct.
+  Status AddEdge(NodeId u, NodeId v, EdgeTypeId r, Timestamp t);
+
+  /// Removes the most recent (u, v, r) edge from both adjacency lists
+  /// (§III-A: the streaming setting deletes outdated edges). O(degree).
+  /// Last-active timestamps are left untouched.
+  Status RemoveEdge(NodeId u, NodeId v, EdgeTypeId r);
+
+  /// All neighbors of `v` in arrival order (oldest first), ignoring the cap.
+  std::span<const Neighbor> AllNeighbors(NodeId v) const {
+    return adj_[v];
+  }
+
+  /// The most recent neighbors of `v`, honoring the neighbor cap η when one
+  /// is set (0 = unlimited). Oldest-first within the window.
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    const auto& list = adj_[v];
+    if (neighbor_cap_ == 0 || list.size() <= neighbor_cap_) {
+      return list;
+    }
+    return std::span<const Neighbor>(list.data() + list.size() - neighbor_cap_,
+                                     neighbor_cap_);
+  }
+
+  /// Sets the per-node neighbor cap η (0 = unlimited).
+  void set_neighbor_cap(size_t eta) { neighbor_cap_ = eta; }
+
+  /// The active neighbor cap η.
+  size_t neighbor_cap() const { return neighbor_cap_; }
+
+  /// Timestamp of the most recent interaction involving `v` (the paper's
+  /// t'_v), or kNeverActive when the node has no edges yet.
+  Timestamp LastActive(NodeId v) const { return last_active_[v]; }
+
+  /// Overrides a node's last-active timestamp (used by the model when it
+  /// processes a training edge).
+  void SetLastActive(NodeId v, Timestamp t) { last_active_[v] = t; }
+
+  /// The node type φ(v).
+  NodeTypeId NodeType(NodeId v) const { return node_types_[v]; }
+
+  /// Per-node uncapped degree.
+  size_t Degree(NodeId v) const { return adj_[v].size(); }
+
+  /// |V|.
+  size_t num_nodes() const { return node_types_.size(); }
+
+  /// |E| (number of AddEdge calls).
+  size_t num_edges() const { return num_edges_; }
+
+  /// Timestamp of the most recently added edge (or kNeverActive).
+  Timestamp latest_time() const { return latest_time_; }
+
+  /// The type registry.
+  const Schema& schema() const { return schema_; }
+
+  /// All node ids with node type `t`.
+  std::vector<NodeId> NodesOfType(NodeTypeId t) const;
+
+ private:
+  Schema schema_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<Timestamp> last_active_;
+  size_t neighbor_cap_ = 0;
+  size_t num_edges_ = 0;
+  Timestamp latest_time_ = kNeverActive;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,148 @@
+#include "graph/metapath.h"
+
+#include <algorithm>
+
+#include "util/tsv.h"
+
+namespace supa {
+namespace {
+
+// Grammar:  node_type ( "-{" type ("," type)* "}->" node_type )*
+// Whitespace around tokens is ignored.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text.substr(pos, token.size()) == token) {
+      pos += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Reads an identifier: letters, digits, '_', '.'.
+  std::string_view Identifier() {
+    SkipSpace();
+    size_t start = pos;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    return text.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+Result<MetapathSchema> MetapathSchema::Parse(const std::string& text,
+                                             const Schema& schema) {
+  Cursor cur{text};
+  std::string_view head_name = cur.Identifier();
+  if (head_name.empty()) {
+    return Status::InvalidArgument("metapath must start with a node type: " +
+                                   text);
+  }
+  SUPA_ASSIGN_OR_RETURN(NodeTypeId head,
+                        schema.NodeType(std::string(head_name)));
+
+  std::vector<MetapathStep> steps;
+  while (!cur.AtEnd()) {
+    if (!cur.Consume("-{")) {
+      return Status::InvalidArgument("expected '-{' in metapath: " + text);
+    }
+    EdgeTypeMask mask = 0;
+    while (true) {
+      std::string_view et = cur.Identifier();
+      if (et.empty()) {
+        return Status::InvalidArgument("expected edge type name in: " + text);
+      }
+      SUPA_ASSIGN_OR_RETURN(EdgeTypeId etid,
+                            schema.EdgeType(std::string(et)));
+      mask |= EdgeTypeBit(etid);
+      if (cur.Consume(",")) continue;
+      break;
+    }
+    if (!cur.Consume("}->")) {
+      return Status::InvalidArgument("expected '}->' in metapath: " + text);
+    }
+    std::string_view nt = cur.Identifier();
+    if (nt.empty()) {
+      return Status::InvalidArgument("expected node type after '}->' in: " +
+                                     text);
+    }
+    SUPA_ASSIGN_OR_RETURN(NodeTypeId ntid, schema.NodeType(std::string(nt)));
+    steps.push_back(MetapathStep{mask, ntid});
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("metapath needs at least one hop: " + text);
+  }
+  return MetapathSchema(head, std::move(steps));
+}
+
+MetapathSchema MetapathSchema::Symmetrize() const {
+  if (IsSymmetric()) return *this;
+  std::vector<MetapathStep> out = steps_;
+  // Mirror the hops: the reverse of hop i leads back to the node type that
+  // precedes hop i.
+  for (size_t i = steps_.size(); i-- > 0;) {
+    NodeTypeId back_type = (i == 0) ? head_ : steps_[i - 1].dst_type;
+    out.push_back(MetapathStep{steps_[i].edge_types, back_type});
+  }
+  return MetapathSchema(head_, std::move(out));
+}
+
+std::string MetapathSchema::ToString(const Schema& schema) const {
+  std::string out = schema.NodeTypeName(head_);
+  for (const auto& step : steps_) {
+    out += " -{";
+    bool first = true;
+    for (EdgeTypeId r = 0; r < schema.num_edge_types(); ++r) {
+      if (MaskContains(step.edge_types, r)) {
+        if (!first) out += ",";
+        out += schema.EdgeTypeName(r);
+        first = false;
+      }
+    }
+    out += "}-> ";
+    out += schema.NodeTypeName(step.dst_type);
+  }
+  return out;
+}
+
+Result<std::vector<MetapathSchema>> ParseMetapathList(const std::string& text,
+                                                      const Schema& schema) {
+  std::vector<MetapathSchema> out;
+  for (const auto& piece : SplitString(text, ';')) {
+    std::string_view stripped = StripWhitespace(piece);
+    if (stripped.empty()) continue;
+    SUPA_ASSIGN_OR_RETURN(MetapathSchema mp,
+                          MetapathSchema::Parse(std::string(stripped),
+                                                schema));
+    out.push_back(std::move(mp));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no metapath schemas in: " + text);
+  }
+  return out;
+}
+
+}  // namespace supa

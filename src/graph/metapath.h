@@ -1,0 +1,94 @@
+// Multiplex metapath schemas (Definition 3) and their symmetrization
+// (Eq. 4). A schema P = o1 -R1-> o2 -R2-> ... -R_{n-1}-> o_n constrains the
+// node type of every walk position and the edge-type *set* of every hop.
+
+#ifndef SUPA_GRAPH_METAPATH_H_
+#define SUPA_GRAPH_METAPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/schema.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// One hop of a metapath: the admissible edge types and the destination
+/// node type.
+struct MetapathStep {
+  EdgeTypeMask edge_types = 0;
+  NodeTypeId dst_type = 0;
+
+  bool operator==(const MetapathStep&) const = default;
+};
+
+/// A multiplex metapath schema. Walks longer than the schema repeat its
+/// steps cyclically (the paper's f(i, |P|-1) modulus), which is
+/// type-consistent only for symmetric schemas — use Symmetrize() first for
+/// asymmetric ones.
+class MetapathSchema {
+ public:
+  MetapathSchema() = default;
+
+  /// Constructs from a head node type and hop list.
+  MetapathSchema(NodeTypeId head, std::vector<MetapathStep> steps)
+      : head_(head), steps_(std::move(steps)) {}
+
+  /// Parses a textual schema such as
+  ///   "User -{click,like}-> Video -{upload}-> Author"
+  /// against the type names registered in `schema`.
+  static Result<MetapathSchema> Parse(const std::string& text,
+                                      const Schema& schema);
+
+  /// Head node type o_1.
+  NodeTypeId head() const { return head_; }
+
+  /// Tail node type o_n.
+  NodeTypeId tail() const {
+    return steps_.empty() ? head_ : steps_.back().dst_type;
+  }
+
+  /// The hop list (length |P| - 1).
+  const std::vector<MetapathStep>& steps() const { return steps_; }
+
+  /// |P| — number of node positions.
+  size_t length() const { return steps_.size() + 1; }
+
+  /// True iff the tail node type equals the head node type, so cyclic
+  /// repetition is type-consistent.
+  bool IsSymmetric() const { return tail() == head_; }
+
+  /// Eq. 4: o1 -R1-> ... -R_{n-1}-> o_n -R_{n-1}-> ... -R1-> o1.
+  /// Already-symmetric schemas are returned unchanged.
+  MetapathSchema Symmetrize() const;
+
+  /// The hop constraint governing walk step `i` (0-based), with cyclic
+  /// repetition — the paper's f(i, |P|-1).
+  const MetapathStep& StepAt(size_t i) const {
+    return steps_[i % steps_.size()];
+  }
+
+  /// The node type required at walk position `i` (0 = start node).
+  NodeTypeId NodeTypeAt(size_t i) const {
+    if (i == 0) return head_;
+    return steps_[(i - 1) % steps_.size()].dst_type;
+  }
+
+  /// Renders the schema back to text for diagnostics.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const MetapathSchema&) const = default;
+
+ private:
+  NodeTypeId head_ = 0;
+  std::vector<MetapathStep> steps_;
+};
+
+/// Parses a ';'-separated list of schemas.
+Result<std::vector<MetapathSchema>> ParseMetapathList(const std::string& text,
+                                                      const Schema& schema);
+
+}  // namespace supa
+
+#endif  // SUPA_GRAPH_METAPATH_H_

@@ -1,0 +1,39 @@
+#include "graph/schema.h"
+
+namespace supa {
+
+NodeTypeId Schema::AddNodeType(const std::string& name) {
+  auto it = node_type_ids_.find(name);
+  if (it != node_type_ids_.end()) return it->second;
+  const NodeTypeId id = static_cast<NodeTypeId>(node_type_names_.size());
+  node_type_names_.push_back(name);
+  node_type_ids_.emplace(name, id);
+  return id;
+}
+
+EdgeTypeId Schema::AddEdgeType(const std::string& name) {
+  auto it = edge_type_ids_.find(name);
+  if (it != edge_type_ids_.end()) return it->second;
+  const EdgeTypeId id = static_cast<EdgeTypeId>(edge_type_names_.size());
+  edge_type_names_.push_back(name);
+  edge_type_ids_.emplace(name, id);
+  return id;
+}
+
+Result<NodeTypeId> Schema::NodeType(const std::string& name) const {
+  auto it = node_type_ids_.find(name);
+  if (it == node_type_ids_.end()) {
+    return Status::NotFound("unknown node type '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<EdgeTypeId> Schema::EdgeType(const std::string& name) const {
+  auto it = edge_type_ids_.find(name);
+  if (it == edge_type_ids_.end()) {
+    return Status::NotFound("unknown edge type '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace supa

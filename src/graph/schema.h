@@ -1,0 +1,63 @@
+// Registries for the node-type set O and edge-type set R of a DMHG.
+
+#ifndef SUPA_GRAPH_SCHEMA_H_
+#define SUPA_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// Immutable-after-construction name<->id mapping for node and edge types.
+///
+/// Example:
+///   Schema s;
+///   auto user = s.AddNodeType("User");
+///   auto video = s.AddNodeType("Video");
+///   auto click = s.AddEdgeType("click");
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a node type; returns the existing id if the name is known.
+  NodeTypeId AddNodeType(const std::string& name);
+
+  /// Registers an edge type; returns the existing id if the name is known.
+  EdgeTypeId AddEdgeType(const std::string& name);
+
+  /// Looks up a node type by name.
+  Result<NodeTypeId> NodeType(const std::string& name) const;
+
+  /// Looks up an edge type by name.
+  Result<EdgeTypeId> EdgeType(const std::string& name) const;
+
+  /// Name of a node type id. Requires a valid id.
+  const std::string& NodeTypeName(NodeTypeId id) const {
+    return node_type_names_[id];
+  }
+
+  /// Name of an edge type id. Requires a valid id.
+  const std::string& EdgeTypeName(EdgeTypeId id) const {
+    return edge_type_names_[id];
+  }
+
+  /// |O| — the number of node types.
+  size_t num_node_types() const { return node_type_names_.size(); }
+
+  /// |R| — the number of edge types.
+  size_t num_edge_types() const { return edge_type_names_.size(); }
+
+ private:
+  std::vector<std::string> node_type_names_;
+  std::vector<std::string> edge_type_names_;
+  std::unordered_map<std::string, NodeTypeId> node_type_ids_;
+  std::unordered_map<std::string, EdgeTypeId> edge_type_ids_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_GRAPH_SCHEMA_H_

@@ -1,0 +1,66 @@
+// Fundamental identifier and edge types for dynamic multiplex
+// heterogeneous graphs (DMHGs, Definition 1 of the paper).
+
+#ifndef SUPA_GRAPH_TYPES_H_
+#define SUPA_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace supa {
+
+/// Node identifier; dense in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Node type identifier (an element of the paper's set O).
+using NodeTypeId = uint16_t;
+
+/// Edge type identifier (an element of the paper's set R).
+using EdgeTypeId = uint16_t;
+
+/// Event time. The paper models timestamps as positive reals.
+using Timestamp = double;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "before any event".
+inline constexpr Timestamp kNeverActive = -1.0;
+
+/// A temporal typed edge (u, v, r, t) in E ⊆ V × V × R × R+.
+struct TemporalEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  EdgeTypeId type = 0;
+  Timestamp time = 0.0;
+
+  bool operator==(const TemporalEdge&) const = default;
+};
+
+/// One entry of a node's adjacency list: the neighbor reached, the edge
+/// type used, and when the edge was established.
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  EdgeTypeId edge_type = 0;
+  Timestamp time = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// A bitmask over edge types; supports up to 64 distinct types, far beyond
+/// any dataset in the paper (max |R| = 5).
+using EdgeTypeMask = uint64_t;
+
+/// Mask with exactly edge type `r` set.
+inline constexpr EdgeTypeMask EdgeTypeBit(EdgeTypeId r) {
+  return EdgeTypeMask{1} << r;
+}
+
+/// True iff `r` is a member of `mask`.
+inline constexpr bool MaskContains(EdgeTypeMask mask, EdgeTypeId r) {
+  return (mask & EdgeTypeBit(r)) != 0;
+}
+
+}  // namespace supa
+
+#endif  // SUPA_GRAPH_TYPES_H_

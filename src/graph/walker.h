@@ -1,0 +1,68 @@
+// Random walk samplers over the dynamic graph: metapath-constrained walks
+// (the Influenced Graph Sampling Module's primitive, §III-B), plain uniform
+// walks (DeepWalk), and p/q-biased second-order walks (node2vec).
+
+#ifndef SUPA_GRAPH_WALKER_H_
+#define SUPA_GRAPH_WALKER_H_
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/metapath.h"
+#include "util/rng.h"
+
+namespace supa {
+
+/// One hop of a sampled walk: the node reached plus how and when the
+/// traversed edge was established.
+struct WalkStep {
+  NodeId node = kInvalidNode;
+  EdgeTypeId via_type = 0;
+  Timestamp via_time = 0.0;
+
+  bool operator==(const WalkStep&) const = default;
+};
+
+/// A sampled path p: start node followed by up to `walk_len - 1` hops. The
+/// walk terminates early when no admissible neighbor exists.
+struct Walk {
+  NodeId start = kInvalidNode;
+  std::vector<WalkStep> steps;
+
+  /// |p| — number of node positions including the start.
+  size_t length() const { return steps.size() + 1; }
+};
+
+/// Samples walks honoring the graph's neighbor cap.
+class Walker {
+ public:
+  explicit Walker(const DynamicGraph& graph) : graph_(&graph) {}
+
+  /// Samples one walk from `start` constrained by `schema` (Eq. 2–3): node
+  /// position i must have type o_{P, f(i)} and hop j must use an edge type
+  /// in R_{P, f(j)}. Requires schema.IsSymmetric() when walk_len exceeds
+  /// the schema length. Returns an empty-step walk if the start node's type
+  /// does not match the schema head.
+  Walk SampleMetapathWalk(NodeId start, const MetapathSchema& schema,
+                          size_t walk_len, Rng& rng) const;
+
+  /// Uniform random walk (DeepWalk-style); ignores types.
+  Walk SampleUniformWalk(NodeId start, size_t walk_len, Rng& rng) const;
+
+  /// node2vec second-order walk with return parameter `p` and in-out
+  /// parameter `q`.
+  Walk SampleNode2vecWalk(NodeId start, size_t walk_len, double p, double q,
+                          Rng& rng) const;
+
+ private:
+  /// Uniformly samples an admissible neighbor of `v` (edge type within
+  /// `mask`, destination node type `dst_type`). Returns false if none.
+  bool SampleAdmissible(NodeId v, EdgeTypeMask mask, NodeTypeId dst_type,
+                        Rng& rng, Neighbor* out) const;
+
+  const DynamicGraph* graph_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_GRAPH_WALKER_H_

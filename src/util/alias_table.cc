@@ -1,0 +1,50 @@
+#include "util/alias_table.h"
+
+#include <cassert>
+
+namespace supa {
+
+Status AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) return Status::InvalidArgument("alias table needs >= 1 weight");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("weights sum to zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; classify into small (< 1) and large (>= 1).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+  return Status::OK();
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  assert(built());
+  const size_t i = rng.Index(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace supa

@@ -1,0 +1,40 @@
+// Walker's alias method for O(1) sampling from a fixed discrete
+// distribution. Used for the degree^{3/4} negative-sampling distribution
+// (Eq. 12) and for the LINE edge sampler.
+
+#ifndef SUPA_UTIL_ALIAS_TABLE_H_
+#define SUPA_UTIL_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace supa {
+
+/// Immutable after Build(); sampling is O(1) per draw.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights with a positive sum.
+  Status Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()). Requires a built, non-empty table.
+  size_t Sample(Rng& rng) const;
+
+  /// Number of outcomes.
+  size_t size() const { return prob_.size(); }
+
+  /// True when Build() has succeeded.
+  bool built() const { return !prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_ALIAS_TABLE_H_

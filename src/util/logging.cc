@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace supa {
+namespace {
+
+LogLevel ReadInitialLevel() {
+  const char* env = std::getenv("SUPA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  return ParseLogLevel(env);
+}
+
+LogLevel& ActiveLevel() {
+  static LogLevel level = ReadInitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { ActiveLevel() = level; }
+
+LogLevel GetLogLevel() { return ActiveLevel(); }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace supa

@@ -1,0 +1,70 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: SUPA_LOG(INFO) << "processed " << n << " edges";
+// The active level is controlled with SetLogLevel or the SUPA_LOG_LEVEL
+// environment variable (DEBUG, INFO, WARNING, ERROR, OFF).
+
+#ifndef SUPA_UTIL_LOGGING_H_
+#define SUPA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace supa {
+
+/// Severity levels, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kOff };
+
+/// Sets the minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+/// Parses a level name ("DEBUG", "info", ...); unknown names map to kInfo.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SUPA_LOG_DEBUG ::supa::LogLevel::kDebug
+#define SUPA_LOG_INFO ::supa::LogLevel::kInfo
+#define SUPA_LOG_WARNING ::supa::LogLevel::kWarning
+#define SUPA_LOG_ERROR ::supa::LogLevel::kError
+
+#define SUPA_LOG(severity)                                       \
+  if (SUPA_LOG_##severity < ::supa::GetLogLevel()) {             \
+  } else                                                         \
+    ::supa::internal::LogMessage(SUPA_LOG_##severity, __FILE__,  \
+                                 __LINE__)                       \
+        .stream()
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_LOGGING_H_

@@ -1,0 +1,74 @@
+// Small numeric kernels shared by the model and the baselines.
+//
+// All embedding math in the library runs on contiguous float spans; these
+// helpers keep the hot loops branch-light and auto-vectorizable.
+
+#ifndef SUPA_UTIL_MATH_UTILS_H_
+#define SUPA_UTIL_MATH_UTILS_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace supa {
+
+/// Numerically-safe logistic function.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// log(sigmoid(x)) computed without overflow for large |x|.
+inline double LogSigmoid(double x) {
+  if (x >= 0.0) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+/// The paper's monotone decreasing decay g(x) = 1 / log(e + x)  (Eq. 5).
+/// g(0) = 1 and g decays slowly — exactly the "slow attenuation" of §III-D.
+inline double DecayG(double x) { return 1.0 / std::log(M_E + x); }
+
+/// Derivative of DecayG with respect to x.
+inline double DecayGPrime(double x) {
+  const double l = std::log(M_E + x);
+  return -1.0 / ((M_E + x) * l * l);
+}
+
+/// The termination filter D(x) = 1{x <= tau}  (Eq. 9).
+inline double FilterD(double x, double tau) { return x <= tau ? 1.0 : 0.0; }
+
+/// Inverts g(tau) = target for the paper's "g(tau) = 0.3" convention
+/// (§IV-C): tau = exp(1 / target) - e.
+inline double TauFromDecayValue(double target) {
+  return std::exp(1.0 / target) - M_E;
+}
+
+/// Dense dot product over `n` floats.
+inline double Dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+/// y += alpha * x over `n` floats.
+inline void Axpy(double alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i)
+    y[i] += static_cast<float>(alpha * x[i]);
+}
+
+/// x *= alpha over `n` floats.
+inline void Scale(double alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<float>(alpha * x[i]);
+}
+
+/// Euclidean norm.
+inline double Norm2(const float* x, size_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_MATH_UTILS_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef SUPA_UTIL_TIMER_H_
+#define SUPA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace supa {
+
+/// A monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_TIMER_H_

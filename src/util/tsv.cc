@@ -1,0 +1,87 @@
+#include "util/tsv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+namespace supa {
+
+std::vector<std::string> SplitString(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf(StripWhitespace(s));
+  if (buf.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(std::string_view s) {
+  std::string buf(StripWhitespace(s));
+  if (buf.empty()) return Status::InvalidArgument("empty integer");
+  if (buf[0] == '-' || buf[0] == '+') {
+    return Status::InvalidArgument("not an unsigned integer: '" + buf + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<TsvTable> ReadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  TsvTable table;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    table.rows.push_back(SplitString(line, '\t'));
+  }
+  return table;
+}
+
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace supa

@@ -1,0 +1,96 @@
+#include "baselines/skipgram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace supa {
+namespace {
+
+TEST(SkipGramTest, RequiresBuiltNegativeTable) {
+  SkipGramTrainer trainer(10, SkipGramConfig{});
+  AliasTable empty;
+  EXPECT_FALSE(trainer.TrainWalks({{0, 1, 2}}, empty).ok());
+}
+
+TEST(SkipGramTest, LearnsCliqueStructure) {
+  // Two 5-node cliques expressed as walks; after training, in-clique
+  // similarities dominate cross-clique ones.
+  const size_t n = 10;
+  std::vector<std::vector<NodeId>> walks;
+  Rng rng(5);
+  for (int rep = 0; rep < 400; ++rep) {
+    std::vector<NodeId> a;
+    std::vector<NodeId> b;
+    for (int i = 0; i < 5; ++i) {
+      a.push_back(static_cast<NodeId>(rng.Index(5)));
+      b.push_back(static_cast<NodeId>(5 + rng.Index(5)));
+    }
+    walks.push_back(std::move(a));
+    walks.push_back(std::move(b));
+  }
+  auto neg_table = BuildWalkNegativeTable(walks, n);
+  ASSERT_TRUE(neg_table.ok());
+  SkipGramConfig config;
+  config.dim = 16;
+  SkipGramTrainer trainer(n, config);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ASSERT_TRUE(trainer.TrainWalks(walks, neg_table.value()).ok());
+  }
+
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const bool same = (u < 5) == (v < 5);
+      if (same) {
+        intra += trainer.Score(u, v);
+        ++n_intra;
+      } else {
+        inter += trainer.Score(u, v);
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_GT(intra / n_intra, inter / n_inter + 0.1);
+}
+
+TEST(SkipGramTest, DeterministicGivenSeed) {
+  std::vector<std::vector<NodeId>> walks = {{0, 1, 2, 3}, {3, 2, 1, 0}};
+  auto neg_table = BuildWalkNegativeTable(walks, 4).value();
+  SkipGramConfig config;
+  config.dim = 8;
+  SkipGramTrainer a(4, config);
+  SkipGramTrainer b(4, config);
+  ASSERT_TRUE(a.TrainWalks(walks, neg_table).ok());
+  ASSERT_TRUE(b.TrainWalks(walks, neg_table).ok());
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(a.Score(u, v), b.Score(u, v));
+    }
+  }
+}
+
+TEST(BuildWalkNegativeTableTest, EmptyWalksFallBackToUniform) {
+  auto table = BuildWalkNegativeTable({}, 5);
+  ASSERT_TRUE(table.ok());
+  Rng rng(1);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[table.value().Sample(rng)];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(BuildWalkNegativeTableTest, FrequentNodesSampledMore) {
+  std::vector<std::vector<NodeId>> walks = {{0, 0, 0, 0, 0, 0, 1}};
+  auto table = BuildWalkNegativeTable(walks, 3).value();
+  Rng rng(2);
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[table.Sample(rng)];
+  EXPECT_GT(seen[0], seen[1]);
+  EXPECT_EQ(seen[2], 0);  // unseen in walks => never a negative
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+// Shared small dataset for all methods.
+const Dataset& TestData() {
+  static const Dataset data = MakeTaobao(0.2, 51).value();
+  return data;
+}
+
+RegistryOptions FastOptions() {
+  RegistryOptions options;
+  options.dim = 16;
+  options.effort = 0.5;
+  options.seed = 9;
+  return options;
+}
+
+class BaselineParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineParamTest, ConstructsWithCorrectName) {
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value()->name(), GetParam());
+}
+
+TEST_P(BaselineParamTest, FitAndScoreFinite) {
+  const Dataset& data = TestData();
+  auto split = SplitTemporal(data).value();
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value()->Fit(data, split.train).ok());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.Index(data.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.Index(data.num_nodes()));
+    const double s = model.value()->Score(u, v, 0);
+    EXPECT_TRUE(std::isfinite(s)) << GetParam();
+  }
+}
+
+TEST_P(BaselineParamTest, BeatsRandomRanking) {
+  // Every method must rank true held-out destinations above random
+  // candidates more often than chance (MRR against 50 negatives).
+  const Dataset& data = TestData();
+  auto split = SplitTemporal(data).value();
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value()->Fit(data, split.train).ok());
+
+  Rng rng(2);
+  const auto targets = data.TargetNodes();
+  double mrr = 0.0;
+  int count = 0;
+  for (size_t i = split.test.begin;
+       i < split.test.begin + 150 && i < split.test.end; ++i) {
+    const auto& e = data.edges[i];
+    const double gt = model.value()->Score(e.src, e.dst, e.type);
+    int better = 0;
+    for (int j = 0; j < 50; ++j) {
+      const NodeId cand = targets[rng.Index(targets.size())];
+      if (cand == e.dst) continue;
+      if (model.value()->Score(e.src, cand, e.type) > gt) ++better;
+    }
+    mrr += 1.0 / (better + 1);
+    ++count;
+  }
+  mrr /= count;
+  // Chance level for MRR against ~50 negatives is about sum(1/k)/51 ≈ 0.09.
+  // DyGNN is the one method the paper itself reports at near-random level
+  // on the recommendation datasets (Table V: H@50 0.0107 on Taobao vs 0.35
+  // for the leaders), so it only has to clear chance, not beat it widely.
+  const double floor = GetParam() == "DyGNN" ? 0.085 : 0.13;
+  EXPECT_GT(mrr, floor) << GetParam() << " is not better than random";
+}
+
+TEST_P(BaselineParamTest, EmbeddingMatchesDimOrErrors) {
+  const Dataset& data = TestData();
+  auto split = SplitTemporal(data).value();
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok());
+  // Unfitted: must return an error, not crash.
+  EXPECT_FALSE(model.value()->Embedding(0, 0).ok());
+  ASSERT_TRUE(model.value()->Fit(data, split.train).ok());
+  auto emb = model.value()->Embedding(0, 0);
+  ASSERT_TRUE(emb.ok()) << GetParam();
+  EXPECT_GE(emb.value().size(), 16u);
+  for (float x : emb.value()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST_P(BaselineParamTest, NeighborCapDoesNotBreakFit) {
+  const Dataset& data = TestData();
+  auto split = SplitTemporal(data).value();
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok());
+  model.value()->set_neighbor_cap(5);
+  ASSERT_TRUE(model.value()->Fit(data, split.train).ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(model.value()->Score(0, 1, 0)));
+}
+
+TEST_P(BaselineParamTest, FitIncrementalContinues) {
+  const Dataset& data = TestData();
+  auto parts = SplitKParts(data, 4).value();
+  auto model = MakeRecommender(GetParam(), FastOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value()->Fit(data, parts[0]).ok());
+  ASSERT_TRUE(model.value()->FitIncremental(data, parts[1]).ok());
+  EXPECT_TRUE(std::isfinite(model.value()->Score(0, 1, 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, BaselineParamTest, ::testing::ValuesIn(AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, UnknownMethodRejected) {
+  EXPECT_FALSE(MakeRecommender("GhostNet").ok());
+}
+
+TEST(RegistryTest, MethodListsNonEmptyAndContainSupa) {
+  // 16 paper baselines + MF-BPR (extra classical anchor) + SUPA.
+  const auto all = AllMethodNames();
+  EXPECT_EQ(all.size(), 18u);
+  EXPECT_EQ(all.back(), "SUPA");
+  const auto strong = StrongBaselineNames();
+  EXPECT_EQ(strong.back(), "SUPA");
+  for (const auto& name : strong) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+TEST(RegistryTest, IncrementalFlagsAreCorrect) {
+  for (const char* name :
+       {"SUPA", "EvolveGCN", "DyGNN", "NetWalk", "DyHATR"}) {
+    auto m = MakeRecommender(name, FastOptions());
+    ASSERT_TRUE(m.ok());
+    EXPECT_TRUE(m.value()->incremental()) << name;
+  }
+  for (const char* name :
+       {"DeepWalk", "LINE", "node2vec", "GATNE", "MF-BPR", "LightGCN",
+        "NGCF", "MeLU", "TGAT", "DyHNE", "MATN", "MB-GMN", "HybridGNN"}) {
+    auto m = MakeRecommender(name, FastOptions());
+    ASSERT_TRUE(m.ok());
+    EXPECT_FALSE(m.value()->incremental()) << name;
+  }
+}
+
+TEST(SupaVsDyGnnTest, SupaMoreRobustToTinyNeighborCap) {
+  // The headline mechanism claim (Fig. 6): SUPA's sample-update-propagate
+  // degrades less under a harsh neighbor cap than a neighbor-aggregation
+  // streaming baseline. Compare the relative MRR drop at η=2 vs η=∞.
+  const Dataset& data = TestData();
+  EvalConfig config;
+  config.max_test_edges = 150;
+  config.candidate_cap = 200;
+  config.seed = 3;
+
+  auto run = [&](const std::string& method, size_t eta) {
+    auto results = RunDisturbanceProtocol(
+        [&] { return std::move(MakeRecommender(method, FastOptions()).value()); },
+        data, {eta}, config);
+    EXPECT_TRUE(results.ok());
+    return results.value()[0].mrr;
+  };
+
+  const double supa_full = run("SUPA", 0);
+  const double supa_capped = run("SUPA", 2);
+  const double dygnn_full = run("DyGNN", 0);
+  const double dygnn_capped = run("DyGNN", 2);
+
+  const double supa_drop = (supa_full - supa_capped) / std::max(supa_full, 1e-9);
+  const double dygnn_drop =
+      (dygnn_full - dygnn_capped) / std::max(dygnn_full, 1e-9);
+  // SUPA's drop should not be dramatically worse; allow generous slack to
+  // keep the test stable across platforms.
+  EXPECT_LT(supa_drop, dygnn_drop + 0.35);
+}
+
+}  // namespace
+}  // namespace supa

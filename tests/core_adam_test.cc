@@ -1,0 +1,148 @@
+#include "core/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace supa {
+namespace {
+
+TEST(GradBufferTest, RowIsZeroInitialized) {
+  GradBuffer g;
+  float* row = g.Row(0, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(row[i], 0.0f);
+}
+
+TEST(GradBufferTest, AccumulateSums) {
+  GradBuffer g;
+  const float v1[2] = {1.0f, 2.0f};
+  const float v2[2] = {10.0f, 20.0f};
+  g.Accumulate(8, 2, 1.0, v1);
+  g.Accumulate(8, 2, 0.5, v2);
+  float* row = g.Row(8, 2);
+  EXPECT_FLOAT_EQ(row[0], 6.0f);
+  EXPECT_FLOAT_EQ(row[1], 12.0f);
+  EXPECT_EQ(g.num_rows(), 1u);
+}
+
+TEST(GradBufferTest, DistinctOffsetsAreDistinctRows) {
+  GradBuffer g;
+  const float v[1] = {1.0f};
+  g.Accumulate(0, 1, 1.0, v);
+  g.Accumulate(1, 1, 2.0, v);
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(g.Row(0, 1)[0], 1.0f);
+  EXPECT_FLOAT_EQ(g.Row(1, 1)[0], 2.0f);
+}
+
+TEST(GradBufferTest, ScalarAccumulation) {
+  GradBuffer g;
+  g.AccumulateScalar(5, 0.25);
+  g.AccumulateScalar(5, 0.25);
+  EXPECT_FLOAT_EQ(g.Row(5, 1)[0], 0.5f);
+}
+
+TEST(GradBufferTest, ClearResetsWithoutInvalidating) {
+  GradBuffer g;
+  const float v[2] = {1.0f, 1.0f};
+  g.Accumulate(0, 2, 1.0, v);
+  g.Clear();
+  EXPECT_EQ(g.num_rows(), 0u);
+  g.Accumulate(0, 2, 3.0, v);
+  EXPECT_FLOAT_EQ(g.Row(0, 2)[0], 3.0f);
+}
+
+TEST(GradBufferTest, ForEachVisitsAllRows) {
+  GradBuffer g;
+  const float v[2] = {1.0f, -1.0f};
+  g.Accumulate(0, 2, 1.0, v);
+  g.Accumulate(10, 2, 2.0, v);
+  size_t visited = 0;
+  g.ForEach([&](size_t offset, const float* row, size_t len) {
+    EXPECT_TRUE(offset == 0 || offset == 10);
+    EXPECT_EQ(len, 2u);
+    EXPECT_NE(row, nullptr);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(SparseAdamTest, DescendsOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 starting at 0.
+  std::vector<float> param = {0.0f};
+  SparseAdam adam(1, /*lr=*/0.1, /*weight_decay=*/0.0);
+  GradBuffer g;
+  for (int step = 0; step < 500; ++step) {
+    g.Clear();
+    const double grad = 2.0 * (param[0] - 3.0);
+    g.AccumulateScalar(0, grad);
+    adam.Step(g, param.data());
+  }
+  EXPECT_NEAR(param[0], 3.0, 0.05);
+  EXPECT_EQ(adam.step_count(), 500u);
+}
+
+TEST(SparseAdamTest, OnlyTouchedRowsChange) {
+  std::vector<float> param = {1.0f, 1.0f, 1.0f, 1.0f};
+  SparseAdam adam(4, 0.1, 0.0);
+  GradBuffer g;
+  g.AccumulateScalar(1, 1.0);
+  adam.Step(g, param.data());
+  EXPECT_EQ(param[0], 1.0f);
+  EXPECT_LT(param[1], 1.0f);  // positive gradient => descend
+  EXPECT_EQ(param[2], 1.0f);
+  EXPECT_EQ(param[3], 1.0f);
+}
+
+TEST(SparseAdamTest, WeightDecayShrinksUntouchedDirection) {
+  // With pure decay (zero gradient on a touched row), the parameter decays
+  // towards zero.
+  std::vector<float> param = {10.0f};
+  SparseAdam adam(1, 0.1, /*weight_decay=*/0.5);
+  GradBuffer g;
+  for (int i = 0; i < 20; ++i) {
+    g.Clear();
+    g.AccumulateScalar(0, 0.0);
+    adam.Step(g, param.data());
+  }
+  EXPECT_LT(param[0], 10.0f);
+  EXPECT_GT(param[0], 0.0f);
+}
+
+TEST(SparseAdamTest, FirstStepMagnitudeIsLr) {
+  // Adam's bias-corrected first step is ≈ lr * sign(grad).
+  std::vector<float> param = {0.0f};
+  SparseAdam adam(1, 0.01, 0.0);
+  GradBuffer g;
+  g.AccumulateScalar(0, 123.0);
+  adam.Step(g, param.data());
+  EXPECT_NEAR(param[0], -0.01, 1e-5);
+}
+
+TEST(SparseAdamTest, SnapshotRestoreRoundTrip) {
+  std::vector<float> param = {0.0f};
+  SparseAdam adam(1, 0.1, 0.0);
+  GradBuffer g;
+  g.AccumulateScalar(0, 1.0);
+  adam.Step(g, param.data());
+  const SparseAdam::State snap = adam.Snapshot();
+  const float param_snap = param[0];
+  // Diverge...
+  for (int i = 0; i < 5; ++i) adam.Step(g, param.data());
+  EXPECT_NE(adam.step_count(), 1u);
+  // ...and roll back.
+  adam.Restore(snap);
+  param[0] = param_snap;
+  EXPECT_EQ(adam.step_count(), 1u);
+  // Deterministic continuation: two restored copies evolve identically.
+  std::vector<float> p2 = {param_snap};
+  SparseAdam adam2(1, 0.1, 0.0);
+  adam2.Restore(snap);
+  adam.Step(g, param.data());
+  adam2.Step(g, p2.data());
+  EXPECT_EQ(param[0], p2[0]);
+}
+
+}  // namespace
+}  // namespace supa

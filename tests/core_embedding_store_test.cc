@@ -1,0 +1,100 @@
+#include "core/embedding_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace supa {
+namespace {
+
+TEST(EmbeddingStoreTest, LayoutIsDisjointAndComplete) {
+  Rng rng(1);
+  const size_t n = 7;
+  const size_t r = 3;
+  const size_t t = 2;
+  const int d = 8;
+  EmbeddingStore store(n, r, t, d, 0.1, rng);
+  EXPECT_EQ(store.size(), n * d * 2 + n * r * d + t);
+
+  // Every row offset is unique and rows do not overlap.
+  std::set<size_t> offsets;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_TRUE(offsets.insert(store.LongMemOffset(v)).second);
+    EXPECT_TRUE(offsets.insert(store.ShortMemOffset(v)).second);
+    for (EdgeTypeId e = 0; e < r; ++e) {
+      EXPECT_TRUE(offsets.insert(store.ContextOffset(v, e)).second);
+    }
+  }
+  for (size_t row : offsets) EXPECT_EQ(row % d, 0u);
+  for (NodeTypeId o = 0; o < t; ++o) {
+    EXPECT_TRUE(offsets.insert(store.AlphaOffset(o)).second);
+    EXPECT_GE(store.AlphaOffset(o), n * d * 2 + n * r * d);
+  }
+}
+
+TEST(EmbeddingStoreTest, PointersMatchOffsets) {
+  Rng rng(2);
+  EmbeddingStore store(5, 2, 1, 4, 0.1, rng);
+  EXPECT_EQ(store.LongMem(3), store.data() + store.LongMemOffset(3));
+  EXPECT_EQ(store.ShortMem(3), store.data() + store.ShortMemOffset(3));
+  EXPECT_EQ(store.Context(3, 1), store.data() + store.ContextOffset(3, 1));
+  EXPECT_EQ(store.Alpha(0), store.data() + store.AlphaOffset(0));
+}
+
+TEST(EmbeddingStoreTest, RandomInitNonDegenerate) {
+  Rng rng(3);
+  EmbeddingStore store(100, 2, 2, 16, 0.1, rng);
+  // Embedding entries are random with std 0.1.
+  double sum = 0.0;
+  double sq = 0.0;
+  const size_t emb_count = store.size() - 2;
+  for (size_t i = 0; i < emb_count; ++i) {
+    sum += store.data()[i];
+    sq += store.data()[i] * store.data()[i];
+  }
+  const double mean = sum / emb_count;
+  const double var = sq / emb_count - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.02);
+  // α scalars start at exactly zero (σ(0) = ½ drift coefficient).
+  EXPECT_EQ(*store.Alpha(0), 0.0f);
+  EXPECT_EQ(*store.Alpha(1), 0.0f);
+}
+
+TEST(EmbeddingStoreTest, DistinctRowsAreIndependent) {
+  Rng rng(4);
+  EmbeddingStore store(4, 2, 1, 4, 0.1, rng);
+  store.LongMem(0)[0] = 42.0f;
+  store.ShortMem(0)[0] = 43.0f;
+  store.Context(0, 0)[0] = 44.0f;
+  store.Context(0, 1)[0] = 45.0f;
+  EXPECT_EQ(store.LongMem(0)[0], 42.0f);
+  EXPECT_EQ(store.ShortMem(0)[0], 43.0f);
+  EXPECT_EQ(store.Context(0, 0)[0], 44.0f);
+  EXPECT_EQ(store.Context(0, 1)[0], 45.0f);
+  EXPECT_NE(store.LongMem(1)[0], 42.0f);
+}
+
+TEST(EmbeddingStoreTest, SnapshotRestoreRoundTrip) {
+  Rng rng(5);
+  EmbeddingStore store(10, 2, 1, 8, 0.1, rng);
+  const std::vector<float> snap = store.Snapshot();
+  store.LongMem(0)[0] += 1.0f;
+  store.Context(9, 1)[7] -= 2.0f;
+  EXPECT_NE(store.Snapshot(), snap);
+  store.Restore(snap);
+  EXPECT_EQ(store.Snapshot(), snap);
+}
+
+TEST(EmbeddingStoreTest, AccessorDimensions) {
+  Rng rng(6);
+  EmbeddingStore store(3, 4, 2, 12, 0.05, rng);
+  EXPECT_EQ(store.dim(), 12);
+  EXPECT_EQ(store.num_nodes(), 3u);
+  EXPECT_EQ(store.num_relations(), 4u);
+  EXPECT_EQ(store.num_node_types(), 2u);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,155 @@
+#include "core/inslearn.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+Dataset SmallData() { return MakeTaobao(0.15, 41).value(); }
+
+SupaConfig SmallModelConfig() {
+  SupaConfig c;
+  c.dim = 16;
+  c.num_walks = 2;
+  c.walk_len = 3;
+  c.num_neg = 3;
+  c.seed = 5;
+  return c;
+}
+
+InsLearnConfig FastTrainConfig() {
+  InsLearnConfig c;
+  c.batch_size = 512;
+  c.max_iters = 4;
+  c.valid_interval = 2;
+  c.valid_size = 50;
+  c.patience = 1;
+  c.valid_negatives = 30;
+  return c;
+}
+
+TEST(InsLearnTest, SinglePassProcessesAllBatches) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  const size_t n = std::min<size_t>(2000, data.edges.size());
+  auto report = trainer.Train(model, data, EdgeRange{0, n});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().num_batches, (n + 511) / 512);
+  EXPECT_GT(report.value().train_steps, 0u);
+  EXPECT_GE(report.value().iterations, report.value().num_batches);
+  // All edges (train and valid parts) end up in the graph exactly once.
+  EXPECT_EQ(model.graph().num_edges(), n);
+}
+
+TEST(InsLearnTest, EmptyRangeIsNoop) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  auto report = trainer.Train(model, data, EdgeRange{100, 100});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().num_batches, 0u);
+  EXPECT_EQ(model.graph().num_edges(), 0u);
+}
+
+TEST(InsLearnTest, BadRangeRejected) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  EXPECT_FALSE(
+      trainer.Train(model, data, EdgeRange{0, data.edges.size() + 1}).ok());
+  EXPECT_FALSE(trainer.Train(model, data, EdgeRange{10, 5}).ok());
+}
+
+TEST(InsLearnTest, ValidationScoresRecordedPerBatch) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  auto report = trainer.Train(model, data, EdgeRange{0, 1536});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().batch_scores.size(), 3u);
+  for (double score : report.value().batch_scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(InsLearnTest, MaxItersBoundsIterations) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnConfig config = FastTrainConfig();
+  config.max_iters = 2;
+  config.batch_size = 4096;
+  InsLearnTrainer trainer(config);
+  auto report = trainer.Train(model, data, EdgeRange{0, 1000});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report.value().iterations, 2u);
+}
+
+TEST(InsLearnTest, FullPassWorkflowTrains) {
+  // SUPA_w/oIns: conventional multi-epoch training.
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnConfig config = FastTrainConfig();
+  config.single_pass = false;
+  config.full_pass_epochs = 2;
+  InsLearnTrainer trainer(config);
+  const size_t n = 1000;
+  auto report = trainer.Train(model, data, EdgeRange{0, n});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().num_batches, 1u);
+  EXPECT_EQ(model.graph().num_edges(), n);
+  // Two epochs over (n - valid) edges.
+  EXPECT_EQ(report.value().train_steps, 2 * (n - 50));
+}
+
+TEST(InsLearnTest, TrainingImprovesHoldoutRanking) {
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  const size_t n_train = data.edges.size() * 7 / 10;
+
+  // Holdout MRR against 50 sampled negatives, before and after training.
+  auto holdout_mrr = [&](const SupaModel& m) {
+    Rng rng(123);
+    const auto targets = data.TargetNodes();
+    double sum = 0.0;
+    int count = 0;
+    for (size_t i = n_train; i < n_train + 200 && i < data.edges.size();
+         ++i) {
+      const auto& e = data.edges[i];
+      const double gt = m.Score(e.src, e.dst, e.type);
+      int better = 0;
+      for (int j = 0; j < 50; ++j) {
+        const NodeId cand = targets[rng.Index(targets.size())];
+        if (cand == e.dst) continue;
+        if (m.Score(e.src, cand, e.type) > gt) ++better;
+      }
+      sum += 1.0 / (better + 1);
+      ++count;
+    }
+    return sum / count;
+  };
+
+  const double before = holdout_mrr(model);
+  ASSERT_TRUE(trainer.Train(model, data, EdgeRange{0, n_train}).ok());
+  const double after = holdout_mrr(model);
+  EXPECT_GT(after, before);
+}
+
+TEST(InsLearnTest, SequentialTrainingIsIncremental) {
+  // Training range [0, n) in one call equals training [0, n/2) then
+  // [n/2, n) w.r.t. graph content.
+  Dataset data = SmallData();
+  SupaModel model(data, SmallModelConfig());
+  InsLearnTrainer trainer(FastTrainConfig());
+  const size_t n = 1024;
+  ASSERT_TRUE(trainer.Train(model, data, EdgeRange{0, n / 2}).ok());
+  ASSERT_TRUE(trainer.Train(model, data, EdgeRange{n / 2, n}).ok());
+  EXPECT_EQ(model.graph().num_edges(), n);
+}
+
+}  // namespace
+}  // namespace supa

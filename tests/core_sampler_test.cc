@@ -1,0 +1,129 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  std::unique_ptr<DynamicGraph> graph;
+
+  explicit Fixture(double scale = 0.2) {
+    data = MakeTaobao(scale, 11).value();
+    graph = std::make_unique<DynamicGraph>(data.schema, data.node_types);
+    // Load the first half of the stream.
+    for (size_t i = 0; i < data.edges.size() / 2; ++i) {
+      const auto& e = data.edges[i];
+      EXPECT_TRUE(graph->AddEdge(e.src, e.dst, e.type, e.time).ok());
+    }
+  }
+};
+
+TEST(InfluencedGraphSamplerTest, SamplesUpToKWalksPerSide) {
+  Fixture f;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths,
+                                 /*num_walks=*/4, /*walk_len=*/3);
+  Rng rng(1);
+  const auto& e = f.data.edges[f.data.edges.size() / 2];
+  InfluencedGraph g = sampler.Sample(e.src, e.dst, rng);
+  EXPECT_LE(g.from_u.size(), 4u);
+  EXPECT_LE(g.from_v.size(), 4u);
+  // On a warmed-up graph, the interactive nodes usually have neighbors.
+  EXPECT_GT(g.from_u.size() + g.from_v.size(), 0u);
+}
+
+TEST(InfluencedGraphSamplerTest, WalksStartAtInteractiveNodes) {
+  Fixture f;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 3, 4);
+  Rng rng(2);
+  const auto& e = f.data.edges[f.data.edges.size() / 2];
+  InfluencedGraph g = sampler.Sample(e.src, e.dst, rng);
+  for (const auto& w : g.from_u) EXPECT_EQ(w.start, e.src);
+  for (const auto& w : g.from_v) EXPECT_EQ(w.start, e.dst);
+}
+
+TEST(InfluencedGraphSamplerTest, WalkLengthBounded) {
+  Fixture f;
+  const int walk_len = 5;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 4, walk_len);
+  Rng rng(3);
+  for (size_t i = f.data.edges.size() / 2;
+       i < f.data.edges.size() / 2 + 50 && i < f.data.edges.size(); ++i) {
+    const auto& e = f.data.edges[i];
+    InfluencedGraph g = sampler.Sample(e.src, e.dst, rng);
+    for (const auto& w : g.from_u) {
+      EXPECT_LE(w.length(), static_cast<size_t>(walk_len));
+      EXPECT_GE(w.steps.size(), 1u);
+    }
+  }
+}
+
+TEST(InfluencedGraphSamplerTest, StepsFollowMetapathTypes) {
+  Fixture f;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 4, 4);
+  Rng rng(4);
+  const NodeTypeId user = f.data.schema.NodeType("User").value();
+  const NodeTypeId item = f.data.schema.NodeType("Item").value();
+  const auto& e = f.data.edges[f.data.edges.size() / 2];
+  InfluencedGraph g = sampler.Sample(e.src, e.dst, rng);
+  // Taobao metapaths alternate User/Item, so consecutive walk nodes
+  // alternate types.
+  for (const auto& w : g.from_u) {
+    NodeTypeId prev = f.graph->NodeType(w.start);
+    for (const auto& s : w.steps) {
+      const NodeTypeId cur = f.graph->NodeType(s.node);
+      EXPECT_NE(cur, prev);
+      EXPECT_TRUE(cur == user || cur == item);
+      prev = cur;
+    }
+  }
+}
+
+TEST(InfluencedGraphSamplerTest, IsolatedNodeYieldsNoPaths) {
+  Dataset data = MakeTaobao(0.2, 12).value();
+  DynamicGraph graph(data.schema, data.node_types);  // empty graph
+  InfluencedGraphSampler sampler(graph, data.metapaths, 4, 3);
+  Rng rng(5);
+  InfluencedGraph g = sampler.Sample(0, 1, rng);
+  EXPECT_TRUE(g.from_u.empty());
+  EXPECT_TRUE(g.from_v.empty());
+  EXPECT_EQ(g.TotalSteps(), 0u);
+}
+
+TEST(InfluencedGraphSamplerTest, NodeTypeWithoutSchemaGetsNoPaths) {
+  // Kuaishou metapaths exist for all three types, but if we restrict the
+  // schema set to user-headed paths only, an author start yields nothing.
+  Dataset data = MakeKuaishou(0.1, 13).value();
+  DynamicGraph graph(data.schema, data.node_types);
+  for (size_t i = 0; i < data.edges.size() / 2; ++i) {
+    const auto& e = data.edges[i];
+    ASSERT_TRUE(graph.AddEdge(e.src, e.dst, e.type, e.time).ok());
+  }
+  std::vector<MetapathSchema> user_only = {data.metapaths[0]};
+  ASSERT_EQ(user_only[0].head(), data.schema.NodeType("User").value());
+  InfluencedGraphSampler sampler(graph, user_only, 4, 3);
+  Rng rng(6);
+  const NodeId author = data.num_nodes() - 1;  // authors are the last block
+  ASSERT_EQ(data.node_types[author], data.schema.NodeType("Author").value());
+  std::vector<Walk> walks;
+  sampler.SampleFrom(author, rng, &walks);
+  EXPECT_TRUE(walks.empty());
+}
+
+TEST(InfluencedGraphSamplerTest, TotalStepsCountsAllHops) {
+  Fixture f;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 4, 3);
+  Rng rng(7);
+  const auto& e = f.data.edges[f.data.edges.size() / 2];
+  InfluencedGraph g = sampler.Sample(e.src, e.dst, rng);
+  size_t manual = 0;
+  for (const auto& w : g.from_u) manual += w.steps.size();
+  for (const auto& w : g.from_v) manual += w.steps.size();
+  EXPECT_EQ(g.TotalSteps(), manual);
+}
+
+}  // namespace
+}  // namespace supa

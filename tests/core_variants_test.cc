@@ -1,0 +1,108 @@
+#include "core/variants.h"
+
+#include <gtest/gtest.h>
+
+namespace supa {
+namespace {
+
+TEST(VariantsTest, FullIsIdentity) {
+  SupaConfig base;
+  auto c = ApplyVariant(base, "full");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value().use_inter_loss);
+  EXPECT_TRUE(c.value().use_prop_loss);
+  EXPECT_TRUE(c.value().use_neg_loss);
+  EXPECT_FALSE(c.value().shared_alpha);
+  EXPECT_FALSE(c.value().shared_context);
+  EXPECT_TRUE(c.value().use_short_term);
+}
+
+TEST(VariantsTest, SingleLossVariants) {
+  auto inter = ApplyVariant(SupaConfig{}, "Linter").value();
+  EXPECT_TRUE(inter.use_inter_loss);
+  EXPECT_FALSE(inter.use_prop_loss);
+  EXPECT_FALSE(inter.use_neg_loss);
+
+  auto prop = ApplyVariant(SupaConfig{}, "Lprop").value();
+  EXPECT_FALSE(prop.use_inter_loss);
+  EXPECT_TRUE(prop.use_prop_loss);
+  EXPECT_FALSE(prop.use_neg_loss);
+
+  auto neg = ApplyVariant(SupaConfig{}, "Lneg").value();
+  EXPECT_FALSE(neg.use_inter_loss);
+  EXPECT_FALSE(neg.use_prop_loss);
+  EXPECT_TRUE(neg.use_neg_loss);
+}
+
+TEST(VariantsTest, DropOneLossVariants) {
+  auto wo_inter = ApplyVariant(SupaConfig{}, "woLinter").value();
+  EXPECT_FALSE(wo_inter.use_inter_loss);
+  EXPECT_TRUE(wo_inter.use_prop_loss);
+  EXPECT_TRUE(wo_inter.use_neg_loss);
+
+  auto wo_prop = ApplyVariant(SupaConfig{}, "woLprop").value();
+  EXPECT_TRUE(wo_prop.use_inter_loss);
+  EXPECT_FALSE(wo_prop.use_prop_loss);
+
+  auto wo_neg = ApplyVariant(SupaConfig{}, "woLneg").value();
+  EXPECT_FALSE(wo_neg.use_neg_loss);
+  EXPECT_TRUE(wo_neg.use_inter_loss);
+}
+
+TEST(VariantsTest, HeterogeneityVariants) {
+  auto sn = ApplyVariant(SupaConfig{}, "sn").value();
+  EXPECT_TRUE(sn.shared_alpha);
+  EXPECT_FALSE(sn.shared_context);
+
+  auto se = ApplyVariant(SupaConfig{}, "se").value();
+  EXPECT_FALSE(se.shared_alpha);
+  EXPECT_TRUE(se.shared_context);
+
+  auto s = ApplyVariant(SupaConfig{}, "s").value();
+  EXPECT_TRUE(s.shared_alpha);
+  EXPECT_TRUE(s.shared_context);
+}
+
+TEST(VariantsTest, DynamicsVariants) {
+  auto nf = ApplyVariant(SupaConfig{}, "nf").value();
+  EXPECT_FALSE(nf.use_short_term);
+  EXPECT_TRUE(nf.use_prop_decay);
+
+  auto nd = ApplyVariant(SupaConfig{}, "nd").value();
+  EXPECT_TRUE(nd.use_short_term);
+  EXPECT_FALSE(nd.use_prop_decay);
+
+  auto nt = ApplyVariant(SupaConfig{}, "nt").value();
+  EXPECT_FALSE(nt.use_short_term);
+  EXPECT_FALSE(nt.use_prop_decay);
+  EXPECT_FALSE(nt.use_update_decay);
+}
+
+TEST(VariantsTest, PreservesOtherFields) {
+  SupaConfig base;
+  base.dim = 99;
+  base.lr = 0.123;
+  auto c = ApplyVariant(base, "sn").value();
+  EXPECT_EQ(c.dim, 99);
+  EXPECT_EQ(c.lr, 0.123);
+}
+
+TEST(VariantsTest, UnknownVariantRejected) {
+  EXPECT_FALSE(ApplyVariant(SupaConfig{}, "bogus").ok());
+  EXPECT_EQ(ApplyVariant(SupaConfig{}, "bogus").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VariantsTest, NameListsMatchPaperTables) {
+  EXPECT_EQ(LossVariantNames().size(), 6u);   // Table VII rows 1-6
+  EXPECT_EQ(HeteroVariantNames().size(), 6u); // Table VIII rows
+  for (const auto& name : LossVariantNames()) {
+    EXPECT_TRUE(ApplyVariant(SupaConfig{}, name).ok()) << name;
+  }
+  for (const auto& name : HeteroVariantNames()) {
+    EXPECT_TRUE(ApplyVariant(SupaConfig{}, name).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,87 @@
+#include "data/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/supa_dataset_roundtrip.tsv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SerializeTest, RoundTripAllPaperDatasets) {
+  for (const char* name :
+       {"uci", "amazon", "lastfm", "movielens", "taobao", "kuaishou"}) {
+    auto data = MakePaperDataset(name, 0.1, 11);
+    ASSERT_TRUE(data.ok()) << name;
+    ASSERT_TRUE(SaveDataset(data.value(), path_).ok()) << name;
+    auto loaded = LoadDataset(path_);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+
+    const Dataset& a = data.value();
+    const Dataset& b = loaded.value();
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.node_types, b.node_types);
+    EXPECT_EQ(a.query_type, b.query_type);
+    EXPECT_EQ(a.target_type, b.target_type);
+    EXPECT_EQ(a.target_relations, b.target_relations);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      EXPECT_EQ(a.edges[i].src, b.edges[i].src);
+      EXPECT_EQ(a.edges[i].dst, b.edges[i].dst);
+      EXPECT_EQ(a.edges[i].type, b.edges[i].type);
+      EXPECT_NEAR(a.edges[i].time, b.edges[i].time, 1e-6 * a.edges[i].time);
+    }
+    ASSERT_EQ(a.metapaths.size(), b.metapaths.size());
+    for (size_t i = 0; i < a.metapaths.size(); ++i) {
+      EXPECT_EQ(a.metapaths[i], b.metapaths[i]) << name;
+    }
+    EXPECT_EQ(a.schema.num_node_types(), b.schema.num_node_types());
+    EXPECT_EQ(a.schema.num_edge_types(), b.schema.num_edge_types());
+  }
+}
+
+TEST_F(SerializeTest, RejectsWrongMagic) {
+  std::ofstream out(path_);
+  out << "something else\n";
+  out.close();
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(SerializeTest, RejectsTruncatedEdges) {
+  auto data = MakeTaobao(0.05, 12).value();
+  ASSERT_TRUE(SaveDataset(data, path_).ok());
+  // Chop off the last few lines.
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() - 40));
+  out.close();
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(SerializeTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadDataset("/nonexistent/x.tsv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(SerializeTest, SaveRejectsInvalidDataset) {
+  Dataset bad;  // no types, no nodes
+  EXPECT_FALSE(SaveDataset(bad, path_).ok());
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,104 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+Dataset LinearDataset(size_t n) {
+  Dataset d;
+  d.name = "linear";
+  d.schema.AddNodeType("N");
+  d.schema.AddEdgeType("e");
+  d.node_types = {0, 0, 0};
+  for (size_t i = 0; i < n; ++i) {
+    d.edges.push_back(
+        {static_cast<NodeId>(i % 2), 2, 0, static_cast<double>(i)});
+  }
+  return d;
+}
+
+TEST(SplitTemporalTest, PaperFractions) {
+  Dataset d = LinearDataset(1000);
+  auto split = SplitTemporal(d);
+  ASSERT_TRUE(split.ok());
+  const auto& s = split.value();
+  EXPECT_EQ(s.train.begin, 0u);
+  EXPECT_EQ(s.train.end, 800u);
+  EXPECT_EQ(s.valid.begin, 800u);
+  EXPECT_EQ(s.valid.end, 810u);
+  EXPECT_EQ(s.test.begin, 810u);
+  EXPECT_EQ(s.test.end, 1000u);
+  // Covers the stream exactly once.
+  EXPECT_EQ(s.train.size() + s.valid.size() + s.test.size(), 1000u);
+}
+
+TEST(SplitTemporalTest, TemporalOrderPreserved) {
+  Dataset d = LinearDataset(500);
+  auto split = SplitTemporal(d).value();
+  // Last train edge precedes first valid edge precedes first test edge.
+  EXPECT_LE(d.edges[split.train.end - 1].time, d.edges[split.valid.begin].time);
+  EXPECT_LE(d.edges[split.valid.end - 1].time, d.edges[split.test.begin].time);
+}
+
+TEST(SplitTemporalTest, TinyDatasetStillThreeWay) {
+  Dataset d = LinearDataset(5);
+  auto split = SplitTemporal(d);
+  ASSERT_TRUE(split.ok());
+  EXPECT_FALSE(split.value().train.empty());
+  EXPECT_FALSE(split.value().valid.empty());
+  EXPECT_FALSE(split.value().test.empty());
+}
+
+TEST(SplitTemporalTest, RejectsBadFractions) {
+  Dataset d = LinearDataset(100);
+  EXPECT_FALSE(SplitTemporal(d, 0.0, 0.1).ok());
+  EXPECT_FALSE(SplitTemporal(d, 0.9, 0.2).ok());
+  EXPECT_FALSE(SplitTemporal(d, -0.1, 0.1).ok());
+}
+
+TEST(SplitTemporalTest, RejectsTooFewEdges) {
+  Dataset d = LinearDataset(2);
+  EXPECT_FALSE(SplitTemporal(d).ok());
+}
+
+TEST(SplitKPartsTest, EqualPartsCoverStream) {
+  Dataset d = LinearDataset(100);
+  auto parts = SplitKParts(d, 10);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 10u);
+  size_t expect_begin = 0;
+  for (const auto& p : parts.value()) {
+    EXPECT_EQ(p.begin, expect_begin);
+    EXPECT_EQ(p.size(), 10u);
+    expect_begin = p.end;
+  }
+  EXPECT_EQ(parts.value().back().end, 100u);
+}
+
+TEST(SplitKPartsTest, RemainderGoesToLastPart) {
+  Dataset d = LinearDataset(103);
+  auto parts = SplitKParts(d, 10).value();
+  EXPECT_EQ(parts[0].size(), 10u);
+  EXPECT_EQ(parts.back().size(), 13u);
+  EXPECT_EQ(parts.back().end, 103u);
+}
+
+TEST(SplitKPartsTest, Errors) {
+  Dataset d = LinearDataset(5);
+  EXPECT_FALSE(SplitKParts(d, 0).ok());
+  EXPECT_FALSE(SplitKParts(d, 6).ok());
+  EXPECT_TRUE(SplitKParts(d, 5).ok());
+}
+
+TEST(EdgeRangeTest, Basics) {
+  EdgeRange r{3, 7};
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((EdgeRange{5, 5}).empty());
+}
+
+}  // namespace
+}  // namespace supa

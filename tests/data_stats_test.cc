@@ -1,0 +1,75 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+TEST(DatasetStatsTest, HandComputedExample) {
+  Dataset d;
+  d.schema.AddNodeType("User");
+  d.schema.AddNodeType("Item");
+  d.schema.AddEdgeType("click");
+  d.schema.AddEdgeType("buy");
+  d.node_types = {0, 0, 1, 1};
+  d.edges = {{0, 2, 0, 1.0}, {0, 3, 1, 2.0}, {1, 2, 0, 2.0}};
+
+  const DatasetStats s = ComputeStats(d);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.num_node_types, 2u);
+  EXPECT_EQ(s.num_edge_types, 2u);
+  EXPECT_EQ(s.num_timestamps, 2u);
+  // degrees: 0 -> 2, 1 -> 1, 2 -> 2, 3 -> 1; mean 6/4.
+  EXPECT_DOUBLE_EQ(s.mean_degree, 1.5);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+}
+
+TEST(DatasetStatsTest, IsolatedNodesCounted) {
+  Dataset d;
+  d.schema.AddNodeType("N");
+  d.schema.AddEdgeType("e");
+  d.node_types = {0, 0, 0, 0};
+  d.edges = {{0, 1, 0, 1.0}};
+  const DatasetStats s = ComputeStats(d);
+  EXPECT_EQ(s.isolated_nodes, 2u);
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  Dataset d;
+  const DatasetStats s = ComputeStats(d);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.mean_degree, 0.0);
+}
+
+TEST(DatasetStatsTest, PaperSchemaShapesMatchTable3) {
+  // |O| and |R| of every emulated dataset must match Table III exactly.
+  struct Expect {
+    const char* name;
+    size_t o;
+    size_t r;
+  };
+  const Expect expected[] = {{"uci", 1, 1},      {"amazon", 1, 2},
+                             {"lastfm", 2, 1},   {"movielens", 2, 2},
+                             {"taobao", 2, 4},   {"kuaishou", 3, 5}};
+  for (const auto& e : expected) {
+    auto data = MakePaperDataset(e.name, 0.1);
+    ASSERT_TRUE(data.ok()) << e.name;
+    const DatasetStats s = ComputeStats(data.value());
+    EXPECT_EQ(s.num_node_types, e.o) << e.name;
+    EXPECT_EQ(s.num_edge_types, e.r) << e.name;
+    EXPECT_GT(s.mean_degree, 0.0) << e.name;
+  }
+}
+
+TEST(DatasetStatsTest, AmazonSingleTimestamp) {
+  auto data = MakeAmazon(0.1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ComputeStats(data.value()).num_timestamps, 1u);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,208 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace supa {
+namespace {
+
+// Small scale keeps generation fast; structure checks are scale-free.
+constexpr double kScale = 0.2;
+
+TEST(SyntheticTest, GeneratorIsDeterministic) {
+  auto a = MakeTaobao(kScale, 7);
+  auto b = MakeTaobao(kScale, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().edges.size(), b.value().edges.size());
+  for (size_t i = 0; i < a.value().edges.size(); ++i) {
+    EXPECT_EQ(a.value().edges[i], b.value().edges[i]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto a = MakeTaobao(kScale, 7);
+  auto b = MakeTaobao(kScale, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = a.value().edges.size() != b.value().edges.size();
+  for (size_t i = 0;
+       !any_diff && i < std::min(a.value().edges.size(),
+                                 b.value().edges.size());
+       ++i) {
+    any_diff = !(a.value().edges[i] == b.value().edges[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, UciIsHomogeneous) {
+  auto d = MakeUci(kScale);
+  ASSERT_TRUE(d.ok());
+  // Table III: |O| = |R| = 1.
+  EXPECT_EQ(d.value().schema.num_node_types(), 1u);
+  EXPECT_EQ(d.value().schema.num_edge_types(), 1u);
+  EXPECT_TRUE(d.value().Validate().ok());
+  EXPECT_GT(d.value().NumDistinctTimestamps(), d.value().num_edges() / 2);
+}
+
+TEST(SyntheticTest, AmazonIsStaticMultiplex) {
+  auto d = MakeAmazon(kScale);
+  ASSERT_TRUE(d.ok());
+  // Table III: |O| = 1, |R| = 2, |T| = 1.
+  EXPECT_EQ(d.value().schema.num_node_types(), 1u);
+  EXPECT_EQ(d.value().schema.num_edge_types(), 2u);
+  EXPECT_EQ(d.value().NumDistinctTimestamps(), 1u);
+  EXPECT_TRUE(d.value().Validate().ok());
+}
+
+TEST(SyntheticTest, LastfmIsBipartiteNonMultiplex) {
+  auto d = MakeLastfm(kScale);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().schema.num_node_types(), 2u);
+  EXPECT_EQ(d.value().schema.num_edge_types(), 1u);
+  EXPECT_TRUE(d.value().Validate().ok());
+}
+
+TEST(SyntheticTest, MovielensSchema) {
+  auto d = MakeMovielens(kScale);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().schema.num_node_types(), 2u);
+  EXPECT_EQ(d.value().schema.num_edge_types(), 2u);
+  EXPECT_TRUE(d.value().Validate().ok());
+}
+
+TEST(SyntheticTest, TaobaoSchema) {
+  auto d = MakeTaobao(kScale);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().schema.num_node_types(), 2u);
+  EXPECT_EQ(d.value().schema.num_edge_types(), 4u);
+  EXPECT_TRUE(d.value().Validate().ok());
+}
+
+TEST(SyntheticTest, KuaishouSchemaWithUploads) {
+  auto d = MakeKuaishou(kScale);
+  ASSERT_TRUE(d.ok());
+  const Dataset& data = d.value();
+  // Table III: |O| = 3, |R| = 5 (four behaviours + Upload).
+  EXPECT_EQ(data.schema.num_node_types(), 3u);
+  EXPECT_EQ(data.schema.num_edge_types(), 5u);
+  EXPECT_TRUE(data.Validate().ok());
+
+  const EdgeTypeId upload = data.schema.EdgeType("Upload").value();
+  const NodeTypeId author = data.schema.NodeType("Author").value();
+  const NodeTypeId video = data.schema.NodeType("Video").value();
+  // Every video that appears in the stream has exactly one upload edge
+  // from an author.
+  std::set<NodeId> uploaded;
+  size_t upload_edges = 0;
+  for (const auto& e : data.edges) {
+    if (e.type == upload) {
+      ++upload_edges;
+      EXPECT_EQ(data.node_types[e.src], author);
+      EXPECT_EQ(data.node_types[e.dst], video);
+      EXPECT_TRUE(uploaded.insert(e.dst).second) << "duplicate upload";
+    }
+  }
+  EXPECT_GT(upload_edges, 0u);
+  // Any video touched by a behaviour edge must have been uploaded.
+  for (const auto& e : data.edges) {
+    if (e.type != upload && data.node_types[e.dst] == video) {
+      EXPECT_TRUE(uploaded.contains(e.dst));
+    }
+  }
+}
+
+TEST(SyntheticTest, EdgesRespectRelationEndpointTypes) {
+  auto d = MakeTaobao(kScale);
+  ASSERT_TRUE(d.ok());
+  const Dataset& data = d.value();
+  const NodeTypeId user = data.schema.NodeType("User").value();
+  const NodeTypeId item = data.schema.NodeType("Item").value();
+  for (const auto& e : data.edges) {
+    EXPECT_EQ(data.node_types[e.src], user);
+    EXPECT_EQ(data.node_types[e.dst], item);
+  }
+}
+
+TEST(SyntheticTest, DegreesAreLongTailed) {
+  auto d = MakeLastfm(0.5);
+  ASSERT_TRUE(d.ok());
+  const Dataset& data = d.value();
+  std::vector<size_t> deg(data.num_nodes(), 0);
+  for (const auto& e : data.edges) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  std::sort(deg.rbegin(), deg.rend());
+  // Zipf: the busiest node carries far more traffic than the median.
+  const size_t top = deg[0];
+  const size_t median = deg[deg.size() / 2];
+  EXPECT_GT(top, 8 * std::max<size_t>(median, 1));
+}
+
+TEST(SyntheticTest, ScaleGrowsDataset) {
+  auto small = MakeUci(0.2);
+  auto large = MakeUci(0.6);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large.value().num_edges(), 2 * small.value().num_edges());
+  EXPECT_GT(large.value().num_nodes(), small.value().num_nodes());
+}
+
+TEST(SyntheticTest, MetapathsAreSymmetric) {
+  for (const char* name :
+       {"uci", "amazon", "lastfm", "movielens", "taobao", "kuaishou"}) {
+    auto d = MakePaperDataset(name, kScale);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_FALSE(d.value().metapaths.empty()) << name;
+    for (const auto& mp : d.value().metapaths) {
+      EXPECT_TRUE(mp.IsSymmetric()) << name;
+    }
+  }
+}
+
+TEST(SyntheticTest, MakeAllPaperDatasetsReturnsSix) {
+  auto all = MakeAllPaperDatasets(kScale);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 6u);
+  EXPECT_EQ(all.value()[0].name, "UCI");
+  EXPECT_EQ(all.value()[5].name, "Kuaishou");
+}
+
+TEST(SyntheticTest, MakePaperDatasetUnknownName) {
+  EXPECT_FALSE(MakePaperDataset("netflix").ok());
+}
+
+TEST(SyntheticTest, GeneratorRejectsBadSpecs) {
+  SyntheticSpec spec;
+  EXPECT_FALSE(GenerateSynthetic(spec, 1).ok());  // no node types
+  spec.node_types = {{"N", 10}};
+  EXPECT_FALSE(GenerateSynthetic(spec, 1).ok());  // no relations
+}
+
+TEST(SyntheticTest, RevisitCreatesMultiplexCorrelation) {
+  // In Taobao, secondary relations (Buy/Cart/Favorite) mostly revisit
+  // recently viewed items, so the fraction of secondary interactions whose
+  // (user, item) pair already appeared earlier should be high.
+  auto d = MakeTaobao(0.5);
+  ASSERT_TRUE(d.ok());
+  const Dataset& data = d.value();
+  const EdgeTypeId pv = data.schema.EdgeType("PageView").value();
+  std::set<std::pair<NodeId, NodeId>> seen;
+  size_t secondary = 0;
+  size_t secondary_repeat = 0;
+  for (const auto& e : data.edges) {
+    if (e.type != pv) {
+      ++secondary;
+      if (seen.contains({e.src, e.dst})) ++secondary_repeat;
+    }
+    seen.insert({e.src, e.dst});
+  }
+  ASSERT_GT(secondary, 100u);
+  EXPECT_GT(static_cast<double>(secondary_repeat) / secondary, 0.3);
+}
+
+}  // namespace
+}  // namespace supa

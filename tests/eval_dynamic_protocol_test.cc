@@ -1,0 +1,95 @@
+// Focused tests for the dynamic-protocol driver: static methods must be
+// retrained from scratch per step, incremental methods must continue.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+
+namespace supa {
+namespace {
+
+/// Records every Fit / FitIncremental call.
+class SpyRecommender : public Recommender {
+ public:
+  explicit SpyRecommender(bool is_incremental)
+      : is_incremental_(is_incremental) {}
+
+  std::string name() const override { return "Spy"; }
+  bool incremental() const override { return is_incremental_; }
+
+  Status Fit(const Dataset&, EdgeRange range) override {
+    fit_ranges.push_back(range);
+    return Status::OK();
+  }
+  Status FitIncremental(const Dataset&, EdgeRange range) override {
+    incremental_ranges.push_back(range);
+    return Status::OK();
+  }
+  double Score(NodeId u, NodeId v, EdgeTypeId) const override {
+    return static_cast<double>(u * 31 + v);
+  }
+
+  std::vector<EdgeRange> fit_ranges;
+  std::vector<EdgeRange> incremental_ranges;
+
+ private:
+  bool is_incremental_;
+};
+
+TEST(DynamicProtocolTest, StaticMethodRetrainsEveryStep) {
+  Dataset data = MakeLastfm(0.1, 21).value();
+  SpyRecommender spy(/*is_incremental=*/false);
+  EvalConfig config;
+  config.max_test_edges = 20;
+  auto steps = RunDynamicProtocol(spy, data, 5, config);
+  ASSERT_TRUE(steps.ok());
+  // 4 steps, all via Fit (retrain), none incremental.
+  EXPECT_EQ(spy.fit_ranges.size(), 4u);
+  EXPECT_TRUE(spy.incremental_ranges.empty());
+  // Each fit sees exactly one part, in order.
+  auto parts = SplitKParts(data, 5).value();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spy.fit_ranges[i], parts[i]);
+  }
+}
+
+TEST(DynamicProtocolTest, IncrementalMethodContinues) {
+  Dataset data = MakeLastfm(0.1, 22).value();
+  SpyRecommender spy(/*is_incremental=*/true);
+  EvalConfig config;
+  config.max_test_edges = 20;
+  auto steps = RunDynamicProtocol(spy, data, 5, config);
+  ASSERT_TRUE(steps.ok());
+  // First part bootstraps with Fit; the rest continue incrementally.
+  EXPECT_EQ(spy.fit_ranges.size(), 1u);
+  EXPECT_EQ(spy.incremental_ranges.size(), 3u);
+  auto parts = SplitKParts(data, 5).value();
+  EXPECT_EQ(spy.fit_ranges[0], parts[0]);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(spy.incremental_ranges[i], parts[i + 1]);
+  }
+}
+
+TEST(DynamicProtocolTest, StepTimesAreMeasured) {
+  Dataset data = MakeLastfm(0.1, 23).value();
+  SpyRecommender spy(false);
+  EvalConfig config;
+  config.max_test_edges = 20;
+  auto steps = RunDynamicProtocol(spy, data, 4, config).value();
+  ASSERT_EQ(steps.size(), 3u);
+  for (const auto& s : steps) {
+    EXPECT_GE(s.train_seconds, 0.0);
+    EXPECT_GE(s.eval_seconds, 0.0);
+  }
+}
+
+TEST(DynamicProtocolTest, TooFewPartsRejected) {
+  Dataset data = MakeLastfm(0.1, 24).value();
+  SpyRecommender spy(false);
+  EvalConfig config;
+  EXPECT_FALSE(RunDynamicProtocol(spy, data, 0, config).ok());
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,98 @@
+#include "eval/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/recommender.h"
+#include "data/synthetic.h"
+#include "util/tsv.h"
+
+namespace supa {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/supa_export_test.tsv";
+    data_ = MakeTaobao(0.1, 121).value();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  Dataset data_;
+};
+
+/// Deterministic embeddings for testing: [id, id+1].
+class FixedEmbedder : public Recommender {
+ public:
+  std::string name() const override { return "Fixed"; }
+  Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
+  double Score(NodeId, NodeId, EdgeTypeId) const override { return 0.0; }
+  Result<std::vector<float>> Embedding(NodeId v, EdgeTypeId) const override {
+    return std::vector<float>{static_cast<float>(v),
+                              static_cast<float>(v + 1)};
+  }
+};
+
+/// Never exposes embeddings.
+class NoEmbedder : public Recommender {
+ public:
+  std::string name() const override { return "None"; }
+  Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
+  double Score(NodeId, NodeId, EdgeTypeId) const override { return 0.0; }
+};
+
+TEST_F(ExportTest, WritesAllNodes) {
+  FixedEmbedder model;
+  ASSERT_TRUE(ExportEmbeddings(model, data_, path_).ok());
+  auto table = ReadTsv(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().rows.size(), data_.num_nodes());
+  // id, type name, 2 embedding values.
+  EXPECT_EQ(table.value().rows[0].size(), 4u);
+  EXPECT_EQ(table.value().rows[0][0], "0");
+  EXPECT_EQ(table.value().rows[0][1], "User");
+}
+
+TEST_F(ExportTest, NodeTypeFilter) {
+  FixedEmbedder model;
+  ExportOptions options;
+  options.node_type = data_.schema.NodeType("Item").value();
+  ASSERT_TRUE(ExportEmbeddings(model, data_, path_, options).ok());
+  auto table = ReadTsv(path_).value();
+  EXPECT_EQ(table.rows.size(), data_.TargetNodes().size());
+  for (const auto& row : table.rows) EXPECT_EQ(row[1], "Item");
+}
+
+TEST_F(ExportTest, NoEmbeddingsIsError) {
+  NoEmbedder model;
+  EXPECT_EQ(ExportEmbeddings(model, data_, path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExportTest, BadRelationRejected) {
+  FixedEmbedder model;
+  ExportOptions options;
+  options.relation = 99;
+  EXPECT_EQ(ExportEmbeddings(model, data_, path_, options).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ExportTest, RealSupaEmbeddingsExport) {
+  SupaConfig mc;
+  mc.dim = 8;
+  InsLearnConfig tc;
+  tc.max_iters = 2;
+  tc.valid_interval = 1;
+  SupaRecommender supa(mc, tc);
+  auto split = SplitTemporal(data_).value();
+  ASSERT_TRUE(supa.Fit(data_, split.train).ok());
+  ASSERT_TRUE(ExportEmbeddings(supa, data_, path_).ok());
+  auto table = ReadTsv(path_).value();
+  EXPECT_EQ(table.rows.size(), data_.num_nodes());
+  EXPECT_EQ(table.rows[0].size(), 2u + 8u);
+}
+
+}  // namespace
+}  // namespace supa

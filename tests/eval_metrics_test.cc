@@ -1,0 +1,92 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace supa {
+namespace {
+
+TEST(HitAtKTest, Boundary) {
+  EXPECT_EQ(HitAtK(1, 20), 1.0);
+  EXPECT_EQ(HitAtK(20, 20), 1.0);
+  EXPECT_EQ(HitAtK(21, 20), 0.0);
+  EXPECT_EQ(HitAtK(50, 50), 1.0);
+  EXPECT_EQ(HitAtK(51, 50), 0.0);
+}
+
+TEST(NdcgAtKTest, Values) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(2, 10), 1.0 / std::log2(3.0));
+  EXPECT_DOUBLE_EQ(NdcgAtK(10, 10), 1.0 / std::log2(11.0));
+  EXPECT_EQ(NdcgAtK(11, 10), 0.0);
+}
+
+TEST(NdcgAtKTest, MonotoneDecreasingInRank) {
+  double prev = 2.0;
+  for (size_t rank = 1; rank <= 10; ++rank) {
+    const double v = NdcgAtK(rank, 10);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ReciprocalRankTest, Values) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(4), 0.25);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1000), 0.001);
+}
+
+TEST(MetricAccumulatorTest, EmptyIsZero) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.hit20(), 0.0);
+  EXPECT_EQ(acc.hit50(), 0.0);
+  EXPECT_EQ(acc.ndcg10(), 0.0);
+  EXPECT_EQ(acc.mrr(), 0.0);
+}
+
+TEST(MetricAccumulatorTest, AveragesOverCases) {
+  MetricAccumulator acc;
+  acc.Add(1);    // hit20, hit50, ndcg, mrr=1
+  acc.Add(100);  // none; mrr=0.01
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.hit20(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.hit50(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.ndcg10(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.mrr(), (1.0 + 0.01) / 2.0);
+}
+
+TEST(MetricAccumulatorTest, Hit50LooserThanHit20) {
+  MetricAccumulator acc;
+  for (size_t rank : {5, 15, 25, 35, 45, 55}) acc.Add(rank);
+  EXPECT_DOUBLE_EQ(acc.hit20(), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(acc.hit50(), 5.0 / 6.0);
+  EXPECT_GE(acc.hit50(), acc.hit20());
+}
+
+TEST(MetricAccumulatorTest, MergeCombines) {
+  MetricAccumulator a;
+  a.Add(1);
+  MetricAccumulator b;
+  b.Add(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.hit20(), 0.5);
+}
+
+TEST(MetricAccumulatorTest, PerfectAndWorstCase) {
+  MetricAccumulator perfect;
+  for (int i = 0; i < 10; ++i) perfect.Add(1);
+  EXPECT_EQ(perfect.hit20(), 1.0);
+  EXPECT_EQ(perfect.mrr(), 1.0);
+  EXPECT_EQ(perfect.ndcg10(), 1.0);
+
+  MetricAccumulator worst;
+  for (int i = 0; i < 10; ++i) worst.Add(1000000);
+  EXPECT_EQ(worst.hit50(), 0.0);
+  EXPECT_NEAR(worst.mrr(), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace supa

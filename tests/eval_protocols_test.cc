@@ -1,0 +1,253 @@
+#include "eval/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+/// Scores true dataset pairs far above non-pairs, with a tiny
+/// deterministic jitter so ranks are tie-free — an oracle that should
+/// rank every test destination within the user's own true-pair set.
+class OracleRecommender : public Recommender {
+ public:
+  /// Knows exactly the pairs of `range` (e.g., the test period).
+  OracleRecommender(const Dataset& data, EdgeRange range)
+      : n_(data.num_nodes()) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      pairs_.insert(Key(e.src, e.dst));
+      pairs_.insert(Key(e.dst, e.src));
+    }
+  }
+  std::string name() const override { return "Oracle"; }
+  Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
+  double Score(NodeId u, NodeId v, EdgeTypeId) const override {
+    const uint64_t k = Key(u, v);
+    uint64_t h = k * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 31;
+    const double jitter = static_cast<double>(h & 0xffff) / 65535.0 * 1e-3;
+    return (pairs_.contains(k) ? 1.0 : 0.0) + jitter;
+  }
+
+ private:
+  uint64_t Key(NodeId u, NodeId v) const {
+    return static_cast<uint64_t>(u) * n_ + v;
+  }
+  std::unordered_set<uint64_t> pairs_;
+  size_t n_ = 0;
+};
+
+/// Deterministic pseudo-random scores independent of any structure.
+class RandomRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Random"; }
+  Status Fit(const Dataset&, EdgeRange) override {
+    fitted_ = true;
+    return Status::OK();
+  }
+  double Score(NodeId u, NodeId v, EdgeTypeId r) const override {
+    uint64_t h = (static_cast<uint64_t>(u) << 32) ^ (v * 2654435761ULL) ^ r;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    return static_cast<double>(h & 0xffff) / 65535.0;
+  }
+  bool fitted_ = false;
+};
+
+/// A controlled dataset where every user has exactly one test-period
+/// edge, so an oracle knowing the future has a unique untied answer.
+Dataset OneTestPairPerUser() {
+  Dataset d;
+  d.name = "controlled";
+  d.schema.AddNodeType("User");
+  d.schema.AddNodeType("Item");
+  d.schema.AddEdgeType("click");
+  constexpr NodeId kUsers = 50;
+  constexpr NodeId kItems = 100;
+  for (NodeId i = 0; i < kUsers; ++i) d.node_types.push_back(0);
+  for (NodeId i = 0; i < kItems; ++i) d.node_types.push_back(1);
+  double t = 0.0;
+  Rng rng(11);
+  // Train: 10 random interactions per user.
+  for (int round = 0; round < 10; ++round) {
+    for (NodeId u = 0; u < kUsers; ++u) {
+      const NodeId item = kUsers + static_cast<NodeId>(rng.Index(kItems));
+      d.edges.push_back({u, item, 0, t += 1.0});
+    }
+  }
+  // Test: exactly one fresh edge per user.
+  for (NodeId u = 0; u < kUsers; ++u) {
+    const NodeId item = kUsers + static_cast<NodeId>(rng.Index(kItems));
+    d.edges.push_back({u, item, 0, t += 1.0});
+  }
+  d.query_type = 0;
+  d.target_type = 1;
+  d.target_relations = {0};
+  auto mp = MetapathSchema::Parse("User -{click}-> Item -{click}-> User",
+                                  d.schema);
+  d.metapaths = {mp.value()};
+  return d;
+}
+
+TEST(EvaluateLinkPredictionTest, OracleBeatsRandom) {
+  Dataset data = OneTestPairPerUser();
+  const EdgeRange train{0, 500};
+  const EdgeRange test{500, 550};
+  EvalConfig config;
+  config.max_test_edges = 0;  // all 50 cases
+  config.exclude_seen_positives = true;
+
+  OracleRecommender oracle(data, test);
+  RandomRecommender random;
+  auto oracle_result =
+      EvaluateLinkPrediction(oracle, data, test, train, config);
+  auto random_result =
+      EvaluateLinkPrediction(random, data, test, train, config);
+  ASSERT_TRUE(oracle_result.ok());
+  ASSERT_TRUE(random_result.ok());
+  EXPECT_EQ(oracle_result.value().evaluated, 50u);
+  // Each user has a single untied future pair: the oracle ranks it ~first.
+  EXPECT_GT(oracle_result.value().mrr, 0.8);
+  EXPECT_EQ(oracle_result.value().hit20, 1.0);
+  EXPECT_GT(oracle_result.value().mrr, 3 * random_result.value().mrr);
+  EXPECT_GT(oracle_result.value().hit50, random_result.value().hit50);
+}
+
+/// Scores training-range pairs above everything else — the worst case for
+/// evaluation without positive filtering.
+class TrainLoverRecommender : public Recommender {
+ public:
+  std::string name() const override { return "TrainLover"; }
+  Status Fit(const Dataset& data, EdgeRange range) override {
+    n_ = data.num_nodes();
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const auto& e = data.edges[i];
+      train_pairs_.insert(static_cast<uint64_t>(e.src) * n_ + e.dst);
+    }
+    return Status::OK();
+  }
+  double Score(NodeId u, NodeId v, EdgeTypeId) const override {
+    return train_pairs_.contains(static_cast<uint64_t>(u) * n_ + v) ? 1.0
+                                                                    : 0.1;
+  }
+
+ private:
+  std::unordered_set<uint64_t> train_pairs_;
+  size_t n_ = 0;
+};
+
+TEST(EvaluateLinkPredictionTest, ExcludingSeenPositivesImprovesRank) {
+  Dataset data = MakeLastfm(0.15, 4).value();
+  auto split = SplitTemporal(data).value();
+  TrainLoverRecommender model;
+  ASSERT_TRUE(model.Fit(data, split.train).ok());
+  // This scorer ranks already-seen items above every unseen test item, so
+  // the standard protocol (filter seen positives out of the candidates)
+  // must give strictly better ranks than the unfiltered one.
+  EvalConfig with;
+  with.max_test_edges = 200;
+  with.exclude_seen_positives = true;
+  EvalConfig without = with;
+  without.exclude_seen_positives = false;
+  auto r_with =
+      EvaluateLinkPrediction(model, data, split.test, split.train, with)
+          .value();
+  auto r_without =
+      EvaluateLinkPrediction(model, data, split.test, split.train, without)
+          .value();
+  EXPECT_GT(r_with.mrr, r_without.mrr);
+}
+
+TEST(EvaluateLinkPredictionTest, CandidateCapReducesWork) {
+  Dataset data = MakeLastfm(0.15, 5).value();
+  auto split = SplitTemporal(data).value();
+  RandomRecommender random;
+  EvalConfig config;
+  config.max_test_edges = 50;
+  config.candidate_cap = 20;
+  auto r = EvaluateLinkPrediction(random, data, split.test, split.train,
+                                  config);
+  ASSERT_TRUE(r.ok());
+  // With only ~20 candidates, even a random scorer hits the top-20 almost
+  // always.
+  EXPECT_GT(r.value().hit20, 0.9);
+}
+
+TEST(EvaluateLinkPredictionTest, MaxTestEdgesLimitsCases) {
+  Dataset data = MakeLastfm(0.15, 6).value();
+  auto split = SplitTemporal(data).value();
+  RandomRecommender random;
+  EvalConfig config;
+  config.max_test_edges = 37;
+  auto r = EvaluateLinkPrediction(random, data, split.test, split.train,
+                                  config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().evaluated, 37u);
+}
+
+TEST(EvaluateLinkPredictionTest, SkipsNonTargetRelations) {
+  Dataset data = MakeKuaishou(0.1, 7).value();
+  auto split = SplitTemporal(data).value();
+  RandomRecommender random;
+  EvalConfig config;
+  config.max_test_edges = 0;  // all
+  auto r = EvaluateLinkPrediction(random, data, split.test, split.train,
+                                  config);
+  ASSERT_TRUE(r.ok());
+  // Upload edges are not recommendation cases.
+  size_t target_cases = 0;
+  for (size_t i = split.test.begin; i < split.test.end; ++i) {
+    if (data.IsTargetRelation(data.edges[i].type)) ++target_cases;
+  }
+  EXPECT_EQ(r.value().evaluated, target_cases);
+  EXPECT_LT(target_cases, split.test.size());
+}
+
+TEST(EvaluateLinkPredictionTest, BadRangeRejected) {
+  Dataset data = MakeLastfm(0.15, 8).value();
+  RandomRecommender random;
+  EvalConfig config;
+  EXPECT_FALSE(EvaluateLinkPrediction(
+                   random, data, EdgeRange{0, data.edges.size() + 1},
+                   EdgeRange{0, 0}, config)
+                   .ok());
+}
+
+TEST(RunDynamicProtocolTest, ReturnsPartsMinusOneSteps) {
+  Dataset data = MakeLastfm(0.15, 9).value();
+  RandomRecommender random;
+  EvalConfig config;
+  config.max_test_edges = 50;
+  auto steps = RunDynamicProtocol(random, data, 10, config);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ(steps.value().size(), 9u);
+  for (const auto& s : steps.value()) {
+    EXPECT_GE(s.train_seconds, 0.0);
+    EXPECT_GE(s.eval_seconds, 0.0);
+    EXPECT_GE(s.hit50, 0.0);
+    EXPECT_LE(s.hit50, 1.0);
+  }
+  EXPECT_TRUE(random.fitted_);
+}
+
+TEST(RunDisturbanceProtocolTest, OneResultPerEta) {
+  Dataset data = MakeLastfm(0.15, 10).value();
+  EvalConfig config;
+  config.max_test_edges = 50;
+  const std::vector<size_t> etas = {5, 20, 0};
+  auto results = RunDisturbanceProtocol(
+      [] {
+        return std::unique_ptr<Recommender>(new RandomRecommender());
+      },
+      data, etas, config);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,135 @@
+#include "eval/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+// Two well-separated Gaussian clusters in 8-D.
+std::vector<float> TwoClusters(size_t per_cluster, size_t dim,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> points(2 * per_cluster * dim);
+  for (size_t i = 0; i < 2 * per_cluster; ++i) {
+    const double center = i < per_cluster ? -10.0 : 10.0;
+    for (size_t k = 0; k < dim; ++k) {
+      points[i * dim + k] =
+          static_cast<float>(center + rng.Gaussian(0.0, 0.5));
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, RejectsBadInput) {
+  std::vector<float> p(3 * 2, 0.0f);
+  EXPECT_FALSE(RunTsne(p, 3, 2).ok());  // < 4 points
+  std::vector<float> q(10 * 2, 0.0f);
+  EXPECT_FALSE(RunTsne(q, 10, 3).ok());  // size mismatch
+  TsneConfig c;
+  c.perplexity = 20.0;
+  EXPECT_FALSE(RunTsne(std::vector<float>(10 * 2, 0.0f), 10, 2, c).ok());
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  const size_t n = 20;
+  const size_t d = 8;
+  auto layout = RunTsne(TwoClusters(10, d, 1), n, d);
+  ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+  ASSERT_EQ(layout.value().size(), n);
+  for (const auto& pt : layout.value()) {
+    EXPECT_TRUE(std::isfinite(pt[0]));
+    EXPECT_TRUE(std::isfinite(pt[1]));
+  }
+}
+
+TEST(TsneTest, SeparatesClusters) {
+  const size_t per = 10;
+  const size_t d = 8;
+  auto layout = RunTsne(TwoClusters(per, d, 2), 2 * per, d).value();
+  // Mean intra-cluster distance should be much smaller than inter-cluster.
+  double intra = 0.0;
+  double inter = 0.0;
+  size_t n_intra = 0;
+  size_t n_inter = 0;
+  for (size_t i = 0; i < 2 * per; ++i) {
+    for (size_t j = i + 1; j < 2 * per; ++j) {
+      const double dx = layout[i][0] - layout[j][0];
+      const double dy = layout[i][1] - layout[j][1];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const bool same = (i < per) == (j < per);
+      if (same) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  intra /= n_intra;
+  inter /= n_inter;
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  const auto points = TwoClusters(8, 4, 3);
+  auto a = RunTsne(points, 16, 4).value();
+  auto b = RunTsne(points, 16, 4).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i][0], b[i][0]);
+    EXPECT_EQ(a[i][1], b[i][1]);
+  }
+}
+
+TEST(TsneTest, LayoutIsCentered) {
+  auto layout = RunTsne(TwoClusters(8, 4, 4), 16, 4).value();
+  double mx = 0.0;
+  double my = 0.0;
+  for (const auto& pt : layout) {
+    mx += pt[0];
+    my += pt[1];
+  }
+  EXPECT_NEAR(mx / layout.size(), 0.0, 1e-6);
+  EXPECT_NEAR(my / layout.size(), 0.0, 1e-6);
+}
+
+TEST(MeanPairDistanceTest, Computation) {
+  std::vector<std::array<double, 2>> layout = {
+      {0.0, 0.0}, {3.0, 4.0}, {1.0, 1.0}, {1.0, 2.0}};
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(MeanPairDistance(layout, pairs), (5.0 + 1.0) / 2.0);
+  EXPECT_EQ(MeanPairDistance(layout, {}), 0.0);
+}
+
+TEST(TsneTest, PairedPointsStayClose) {
+  // Points that coincide in the input should sit near each other in the
+  // layout — the Fig. 9 use case (matched user-item embeddings).
+  const size_t n = 12;
+  const size_t d = 6;
+  Rng rng(5);
+  std::vector<float> points(n * d);
+  for (size_t pair = 0; pair < n / 2; ++pair) {
+    for (size_t k = 0; k < d; ++k) {
+      const float v = static_cast<float>(rng.Gaussian(0.0, 5.0));
+      points[(2 * pair) * d + k] = v;
+      points[(2 * pair + 1) * d + k] =
+          v + static_cast<float>(rng.Gaussian(0.0, 0.05));
+    }
+  }
+  auto layout = RunTsne(points, n, d).value();
+  std::vector<std::pair<size_t, size_t>> true_pairs;
+  std::vector<std::pair<size_t, size_t>> wrong_pairs;
+  for (size_t pair = 0; pair < n / 2; ++pair) {
+    true_pairs.push_back({2 * pair, 2 * pair + 1});
+    wrong_pairs.push_back({2 * pair, (2 * pair + 2) % n});
+  }
+  EXPECT_LT(MeanPairDistance(layout, true_pairs),
+            MeanPairDistance(layout, wrong_pairs));
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,243 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+Schema TwoTypeSchema() {
+  Schema s;
+  s.AddNodeType("User");
+  s.AddNodeType("Item");
+  s.AddEdgeType("click");
+  s.AddEdgeType("buy");
+  return s;
+}
+
+DynamicGraph MakeGraph() {
+  // Nodes 0,1: users; 2,3,4: items.
+  return DynamicGraph(TwoTypeSchema(), {0, 0, 1, 1, 1});
+}
+
+TEST(DynamicGraphTest, EmptyGraphBasics) {
+  DynamicGraph g = MakeGraph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+  EXPECT_EQ(g.LastActive(0), kNeverActive);
+  EXPECT_EQ(g.latest_time(), kNeverActive);
+}
+
+TEST(DynamicGraphTest, AddEdgeIsUndirected) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  ASSERT_EQ(g.Degree(0), 1u);
+  ASSERT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].node, 2u);
+  EXPECT_EQ(g.Neighbors(2)[0].node, 0u);
+  EXPECT_EQ(g.Neighbors(0)[0].edge_type, 0);
+  EXPECT_EQ(g.Neighbors(0)[0].time, 1.0);
+}
+
+TEST(DynamicGraphTest, LastActiveTracksBothEndpoints) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 1, 5.0).ok());
+  EXPECT_EQ(g.LastActive(0), 5.0);
+  EXPECT_EQ(g.LastActive(2), 1.0);
+  EXPECT_EQ(g.LastActive(3), 5.0);
+  EXPECT_EQ(g.LastActive(4), kNeverActive);
+  EXPECT_EQ(g.latest_time(), 5.0);
+}
+
+TEST(DynamicGraphTest, SetLastActiveOverrides) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  g.SetLastActive(0, 9.0);
+  EXPECT_EQ(g.LastActive(0), 9.0);
+}
+
+TEST(DynamicGraphTest, RejectsBadEdges) {
+  DynamicGraph g = MakeGraph();
+  EXPECT_EQ(g.AddEdge(0, 99, 0, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(99, 0, 0, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(0, 0, 0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(0, 2, 7, 1.0).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 5.0).ok());
+  EXPECT_EQ(g.AddEdge(0, 3, 0, 4.0).code(),
+            StatusCode::kFailedPrecondition);  // time went backwards
+  ASSERT_TRUE(g.AddEdge(0, 3, 0, 5.0).ok());  // equal time is fine
+}
+
+TEST(DynamicGraphTest, NeighborsInArrivalOrder) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 0, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 4, 1, 3.0).ok());
+  auto nb = g.Neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0].node, 2u);
+  EXPECT_EQ(nb[1].node, 3u);
+  EXPECT_EQ(nb[2].node, 4u);
+}
+
+TEST(DynamicGraphTest, NeighborCapKeepsMostRecent) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 0, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 4, 1, 3.0).ok());
+  g.set_neighbor_cap(2);
+  auto nb = g.Neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0].node, 3u);  // oldest of the window first
+  EXPECT_EQ(nb[1].node, 4u);
+  // Uncapped view still has everything.
+  EXPECT_EQ(g.AllNeighbors(0).size(), 3u);
+  EXPECT_EQ(g.Degree(0), 3u);
+  // Cap larger than degree is a no-op.
+  g.set_neighbor_cap(10);
+  EXPECT_EQ(g.Neighbors(0).size(), 3u);
+  // Cap 0 = unlimited.
+  g.set_neighbor_cap(0);
+  EXPECT_EQ(g.Neighbors(0).size(), 3u);
+}
+
+TEST(DynamicGraphTest, NodeTypesAndNodesOfType) {
+  DynamicGraph g = MakeGraph();
+  EXPECT_EQ(g.NodeType(0), 0);
+  EXPECT_EQ(g.NodeType(4), 1);
+  auto users = g.NodesOfType(0);
+  auto items = g.NodesOfType(1);
+  EXPECT_EQ(users, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(items, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(DynamicGraphTest, ParallelEdgesWithDifferentTypesCoexist) {
+  // Multiplexity: the same node pair under different relations.
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1, 2.0).ok());
+  auto nb = g.Neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0].edge_type, 0);
+  EXPECT_EQ(nb[1].edge_type, 1);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeDeletesBothDirections) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 0, 2.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 2, 0).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_EQ(g.Neighbors(0)[0].node, 3u);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeTakesMostRecentDuplicate) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 5.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 2, 0).ok());
+  ASSERT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].time, 1.0);  // the older copy survives
+}
+
+TEST(DynamicGraphTest, RemoveEdgeRespectsEdgeType) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1, 2.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 2, 1).ok());
+  ASSERT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].edge_type, 0);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeErrors) {
+  DynamicGraph g = MakeGraph();
+  ASSERT_TRUE(g.AddEdge(0, 2, 0, 1.0).ok());
+  EXPECT_EQ(g.RemoveEdge(0, 3, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 2, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 99, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DynamicGraphTest, RandomizedOpsMatchReferenceModel) {
+  // Model-based test: random Add/Remove sequences must agree with a naive
+  // reference adjacency implementation.
+  Schema s;
+  s.AddNodeType("N");
+  s.AddEdgeType("a");
+  s.AddEdgeType("b");
+  constexpr size_t kNodes = 12;
+  DynamicGraph g(s, std::vector<NodeTypeId>(kNodes, 0));
+  // Reference: per node, ordered list of (neighbor, type, time).
+  std::vector<std::vector<Neighbor>> ref(kNodes);
+
+  Rng rng(2024);
+  Timestamp t = 0.0;
+  size_t edges_alive = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const bool do_remove = edges_alive > 0 && rng.Bernoulli(0.3);
+    if (do_remove) {
+      // Pick a random existing edge from the reference.
+      NodeId u = static_cast<NodeId>(rng.Index(kNodes));
+      while (ref[u].empty()) u = static_cast<NodeId>(rng.Index(kNodes));
+      const Neighbor target = ref[u][rng.Index(ref[u].size())];
+      ASSERT_TRUE(g.RemoveEdge(u, target.node, target.edge_type).ok());
+      // Mirror: remove most recent matching entries from both sides.
+      auto erase_latest = [](std::vector<Neighbor>& list, NodeId to,
+                             EdgeTypeId type) {
+        for (size_t i = list.size(); i-- > 0;) {
+          if (list[i].node == to && list[i].edge_type == type) {
+            list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+            return;
+          }
+        }
+      };
+      erase_latest(ref[u], target.node, target.edge_type);
+      erase_latest(ref[target.node], u, target.edge_type);
+      --edges_alive;
+    } else {
+      const NodeId u = static_cast<NodeId>(rng.Index(kNodes));
+      NodeId v = static_cast<NodeId>(rng.Index(kNodes));
+      if (u == v) continue;
+      const EdgeTypeId r = static_cast<EdgeTypeId>(rng.Index(2));
+      t += 1.0;
+      ASSERT_TRUE(g.AddEdge(u, v, r, t).ok());
+      ref[u].push_back(Neighbor{v, r, t});
+      ref[v].push_back(Neighbor{u, r, t});
+      ++edges_alive;
+    }
+  }
+
+  ASSERT_EQ(g.num_edges(), edges_alive);
+  for (NodeId v = 0; v < kNodes; ++v) {
+    auto actual = g.AllNeighbors(v);
+    ASSERT_EQ(actual.size(), ref[v].size()) << "node " << v;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i], ref[v][i]) << "node " << v << " entry " << i;
+    }
+  }
+}
+
+TEST(DynamicGraphTest, ManyEdgesStressAppend) {
+  Schema s;
+  s.AddNodeType("N");
+  s.AddEdgeType("e");
+  DynamicGraph g(s, std::vector<NodeTypeId>(100, 0));
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId u = static_cast<NodeId>(i % 100);
+    const NodeId v = static_cast<NodeId>((i + 1) % 100);
+    ASSERT_TRUE(g.AddEdge(u, v, 0, static_cast<double>(i)).ok());
+  }
+  EXPECT_EQ(g.num_edges(), 5000u);
+  size_t total_degree = 0;
+  for (NodeId v = 0; v < 100; ++v) total_degree += g.Degree(v);
+  EXPECT_EQ(total_degree, 10000u);  // 2 endpoints per edge
+}
+
+}  // namespace
+}  // namespace supa

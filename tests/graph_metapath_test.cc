@@ -1,0 +1,132 @@
+#include "graph/metapath.h"
+
+#include <gtest/gtest.h>
+
+namespace supa {
+namespace {
+
+Schema KuaishouSchema() {
+  Schema s;
+  s.AddNodeType("User");
+  s.AddNodeType("Video");
+  s.AddNodeType("Author");
+  s.AddEdgeType("watch");
+  s.AddEdgeType("like");
+  s.AddEdgeType("upload");
+  return s;
+}
+
+TEST(MetapathParseTest, SimpleSymmetric) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch}-> Video -{watch}-> User", s);
+  ASSERT_TRUE(mp.ok()) << mp.status().ToString();
+  EXPECT_EQ(mp.value().head(), s.NodeType("User").value());
+  EXPECT_EQ(mp.value().tail(), s.NodeType("User").value());
+  EXPECT_EQ(mp.value().length(), 3u);
+  EXPECT_TRUE(mp.value().IsSymmetric());
+}
+
+TEST(MetapathParseTest, MultiTypeEdgeSet) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch,like}-> Video -{upload}-> Author", s);
+  ASSERT_TRUE(mp.ok());
+  const auto& steps = mp.value().steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_TRUE(MaskContains(steps[0].edge_types, 0));
+  EXPECT_TRUE(MaskContains(steps[0].edge_types, 1));
+  EXPECT_FALSE(MaskContains(steps[0].edge_types, 2));
+  EXPECT_TRUE(MaskContains(steps[1].edge_types, 2));
+  EXPECT_FALSE(mp.value().IsSymmetric());
+}
+
+TEST(MetapathParseTest, WhitespaceTolerant) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "  User   -{ watch , like }->   Video -{watch}-> User ", s);
+  ASSERT_TRUE(mp.ok()) << mp.status().ToString();
+}
+
+TEST(MetapathParseTest, Errors) {
+  Schema s = KuaishouSchema();
+  EXPECT_FALSE(MetapathSchema::Parse("", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("User", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("Ghost -{watch}-> Video", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("User -{ghost}-> Video", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("User -{watch}-> Ghost", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("User -{watch} Video", s).ok());
+  EXPECT_FALSE(MetapathSchema::Parse("User -{}-> Video", s).ok());
+}
+
+TEST(MetapathSymmetrizeTest, Eq4Mirror) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch}-> Video -{upload}-> Author", s);
+  ASSERT_TRUE(mp.ok());
+  MetapathSchema sym = mp.value().Symmetrize();
+  EXPECT_TRUE(sym.IsSymmetric());
+  // U -w-> V -u-> A -u-> V -w-> U  => 4 hops.
+  ASSERT_EQ(sym.steps().size(), 4u);
+  EXPECT_EQ(sym.NodeTypeAt(0), s.NodeType("User").value());
+  EXPECT_EQ(sym.NodeTypeAt(1), s.NodeType("Video").value());
+  EXPECT_EQ(sym.NodeTypeAt(2), s.NodeType("Author").value());
+  EXPECT_EQ(sym.NodeTypeAt(3), s.NodeType("Video").value());
+  EXPECT_EQ(sym.NodeTypeAt(4), s.NodeType("User").value());
+  EXPECT_EQ(sym.steps()[3].edge_types, sym.steps()[0].edge_types);
+  EXPECT_EQ(sym.steps()[2].edge_types, sym.steps()[1].edge_types);
+}
+
+TEST(MetapathSymmetrizeTest, SymmetricUnchanged) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch}-> Video -{watch}-> User", s);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(mp.value().Symmetrize(), mp.value());
+}
+
+TEST(MetapathStepAtTest, CyclicRepetition) {
+  // The paper's f(i, |P|-1) modulus: step constraints repeat cyclically.
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch}-> Video -{watch}-> User", s);
+  ASSERT_TRUE(mp.ok());
+  const auto& m = mp.value();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.StepAt(i), m.steps()[i % 2]);
+  }
+  // Node types alternate User, Video, User, Video...
+  EXPECT_EQ(m.NodeTypeAt(0), m.NodeTypeAt(2));
+  EXPECT_EQ(m.NodeTypeAt(1), m.NodeTypeAt(3));
+  EXPECT_NE(m.NodeTypeAt(0), m.NodeTypeAt(1));
+}
+
+TEST(MetapathToStringTest, RendersReadably) {
+  Schema s = KuaishouSchema();
+  auto mp = MetapathSchema::Parse(
+      "User -{watch,like}-> Video -{upload}-> Author", s);
+  ASSERT_TRUE(mp.ok());
+  const std::string text = mp.value().ToString(s);
+  EXPECT_NE(text.find("User"), std::string::npos);
+  EXPECT_NE(text.find("watch"), std::string::npos);
+  EXPECT_NE(text.find("like"), std::string::npos);
+  EXPECT_NE(text.find("Author"), std::string::npos);
+  // Round-trips through the parser.
+  auto again = MetapathSchema::Parse(text, s);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ(again.value(), mp.value());
+}
+
+TEST(ParseMetapathListTest, SemicolonSeparated) {
+  Schema s = KuaishouSchema();
+  auto list = ParseMetapathList(
+      "User -{watch}-> Video -{watch}-> User;"
+      "Author -{upload}-> Video -{upload}-> Author", s);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().size(), 2u);
+  EXPECT_FALSE(ParseMetapathList("", s).ok());
+  EXPECT_FALSE(ParseMetapathList(";;", s).ok());
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,67 @@
+#include "graph/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace supa {
+namespace {
+
+TEST(SchemaTest, RegistersSequentialIds) {
+  Schema s;
+  EXPECT_EQ(s.AddNodeType("User"), 0);
+  EXPECT_EQ(s.AddNodeType("Video"), 1);
+  EXPECT_EQ(s.AddEdgeType("click"), 0);
+  EXPECT_EQ(s.AddEdgeType("like"), 1);
+  EXPECT_EQ(s.num_node_types(), 2u);
+  EXPECT_EQ(s.num_edge_types(), 2u);
+}
+
+TEST(SchemaTest, AddIsIdempotent) {
+  Schema s;
+  const NodeTypeId a = s.AddNodeType("User");
+  const NodeTypeId b = s.AddNodeType("User");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s.num_node_types(), 1u);
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s;
+  s.AddNodeType("User");
+  s.AddEdgeType("click");
+  EXPECT_EQ(s.NodeType("User").value(), 0);
+  EXPECT_EQ(s.EdgeType("click").value(), 0);
+  EXPECT_FALSE(s.NodeType("Ghost").ok());
+  EXPECT_FALSE(s.EdgeType("ghost").ok());
+  EXPECT_EQ(s.NodeType("Ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, NamesRoundTrip) {
+  Schema s;
+  s.AddNodeType("User");
+  s.AddNodeType("Video");
+  s.AddEdgeType("watch");
+  EXPECT_EQ(s.NodeTypeName(0), "User");
+  EXPECT_EQ(s.NodeTypeName(1), "Video");
+  EXPECT_EQ(s.EdgeTypeName(0), "watch");
+}
+
+TEST(SchemaTest, CopySemantics) {
+  Schema s;
+  s.AddNodeType("User");
+  Schema t = s;
+  t.AddNodeType("Video");
+  EXPECT_EQ(s.num_node_types(), 1u);
+  EXPECT_EQ(t.num_node_types(), 2u);
+  EXPECT_EQ(t.NodeType("Video").value(), 1);
+}
+
+TEST(EdgeTypeMaskTest, BitOperations) {
+  const EdgeTypeMask m = EdgeTypeBit(0) | EdgeTypeBit(3);
+  EXPECT_TRUE(MaskContains(m, 0));
+  EXPECT_FALSE(MaskContains(m, 1));
+  EXPECT_FALSE(MaskContains(m, 2));
+  EXPECT_TRUE(MaskContains(m, 3));
+  EXPECT_TRUE(MaskContains(EdgeTypeBit(63), 63));
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,168 @@
+// End-to-end integration tests: the full SUPA system (generator → InsLearn
+// → evaluation protocols) on multiple dataset shapes, exercising the same
+// paths the benchmark harnesses use.
+
+#include <gtest/gtest.h>
+
+#include "baselines/recommender.h"
+#include "baselines/registry.h"
+#include "core/variants.h"
+#include "data/synthetic.h"
+#include "eval/protocols.h"
+
+namespace supa {
+namespace {
+
+SupaConfig FastModel() {
+  SupaConfig c;
+  c.dim = 16;
+  c.num_walks = 2;
+  c.walk_len = 3;
+  c.num_neg = 3;
+  c.seed = 1;
+  return c;
+}
+
+InsLearnConfig FastTrain() {
+  InsLearnConfig c;
+  c.batch_size = 512;
+  c.max_iters = 4;
+  c.valid_interval = 2;
+  c.valid_size = 50;
+  c.patience = 1;
+  c.valid_negatives = 30;
+  return c;
+}
+
+EvalConfig FastEval() {
+  EvalConfig c;
+  c.max_test_edges = 150;
+  c.candidate_cap = 300;
+  return c;
+}
+
+// SUPA must run end-to-end on every dataset shape the paper evaluates:
+// homogeneous (UCI), static multiplex (Amazon), bipartite non-multiplex
+// (Last.fm), bipartite multiplex (Taobao), and 3-type with ownership
+// (Kuaishou).
+class EndToEndTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEndTest, SupaTrainsAndEvaluates) {
+  auto data = MakePaperDataset(GetParam(), 0.1, 61);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  auto split = SplitTemporal(data.value()).value();
+
+  SupaRecommender supa(FastModel(), FastTrain());
+  ASSERT_TRUE(supa.Fit(data.value(), split.train).ok());
+  auto result = EvaluateLinkPrediction(supa, data.value(), split.test,
+                                       EdgeRange{0, split.valid.end},
+                                       FastEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().evaluated, 0u);
+  EXPECT_GE(result.value().mrr, 0.0);
+  EXPECT_LE(result.value().hit50, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, EndToEndTest,
+    ::testing::Values("uci", "amazon", "lastfm", "movielens", "taobao",
+                      "kuaishou"));
+
+TEST(EndToEndTest, SupaOutperformsChanceOnDriftingStream) {
+  // Chance MRR with a 300-candidate cap is roughly H(300)/300 ≈ 0.02.
+  auto data = MakeTaobao(0.3, 62).value();
+  auto split = SplitTemporal(data).value();
+  SupaRecommender supa(FastModel(), FastTrain());
+  ASSERT_TRUE(supa.Fit(data, split.train).ok());
+  auto result = EvaluateLinkPrediction(
+      supa, data, split.test, EdgeRange{0, split.valid.end}, FastEval());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().mrr, 0.05);
+}
+
+TEST(EndToEndTest, AblationVariantsRunEndToEnd) {
+  auto data = MakeTaobao(0.1, 63).value();
+  auto split = SplitTemporal(data).value();
+  for (const auto& group : {LossVariantNames(), HeteroVariantNames()}) {
+    for (const auto& variant : group) {
+      auto config = ApplyVariant(FastModel(), variant);
+      ASSERT_TRUE(config.ok()) << variant;
+      SupaRecommender model(config.value(), FastTrain(),
+                            "SUPA_" + variant);
+      ASSERT_TRUE(model.Fit(data, split.train).ok()) << variant;
+      auto result = EvaluateLinkPrediction(model, data, split.test,
+                                           EdgeRange{0, split.valid.end},
+                                           FastEval());
+      ASSERT_TRUE(result.ok()) << variant;
+    }
+  }
+}
+
+TEST(EndToEndTest, DynamicProtocolWithSupa) {
+  auto data = MakeMovielens(0.08, 64).value();
+  SupaRecommender supa(FastModel(), FastTrain());
+  EvalConfig config = FastEval();
+  config.max_test_edges = 80;
+  auto steps = RunDynamicProtocol(supa, data, 5, config);
+  ASSERT_TRUE(steps.ok()) << steps.status().ToString();
+  EXPECT_EQ(steps.value().size(), 4u);
+}
+
+TEST(EndToEndTest, DisturbanceProtocolWithSupa) {
+  auto data = MakeTaobao(0.1, 65).value();
+  EvalConfig config = FastEval();
+  config.max_test_edges = 80;
+  auto results = RunDisturbanceProtocol(
+      [] {
+        return std::unique_ptr<Recommender>(
+            new SupaRecommender(FastModel(), FastTrain()));
+      },
+      data, {5, 0}, config);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 2u);
+}
+
+TEST(EndToEndTest, StaticGraphFallsBackToConventionalTraining) {
+  // §III-A / Table VII: on a static dataset the recommender switches to
+  // the multi-epoch workflow (one "batch"), unless the fallback is off.
+  auto data = MakeAmazon(0.1, 68).value();
+  ASSERT_EQ(data.NumDistinctTimestamps(), 1u);
+  auto split = SplitTemporal(data).value();
+
+  SupaRecommender with_fallback(FastModel(), FastTrain());
+  ASSERT_TRUE(with_fallback.Fit(data, split.train).ok());
+  EXPECT_EQ(with_fallback.last_report().num_batches, 1u);
+
+  InsLearnConfig no_fallback = FastTrain();
+  no_fallback.auto_static_fallback = false;
+  SupaRecommender without(FastModel(), no_fallback);
+  ASSERT_TRUE(without.Fit(data, split.train).ok());
+  EXPECT_GT(without.last_report().num_batches, 1u);
+}
+
+TEST(EndToEndTest, WithoutInsLearnVariantRuns) {
+  auto data = MakeTaobao(0.1, 66).value();
+  auto split = SplitTemporal(data).value();
+  InsLearnConfig wo_ins = FastTrain();
+  wo_ins.single_pass = false;
+  wo_ins.full_pass_epochs = 2;
+  SupaRecommender model(FastModel(), wo_ins, "SUPA_woIns");
+  ASSERT_TRUE(model.Fit(data, split.train).ok());
+  auto result = EvaluateLinkPrediction(model, data, split.test,
+                                       EdgeRange{0, split.valid.end},
+                                       FastEval());
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(EndToEndTest, SupaEmbeddingsFeedTsnePipeline) {
+  auto data = MakeTaobao(0.1, 67).value();
+  auto split = SplitTemporal(data).value();
+  SupaRecommender supa(FastModel(), FastTrain());
+  ASSERT_TRUE(supa.Fit(data, split.train).ok());
+  auto emb = supa.Embedding(0, 0);
+  ASSERT_TRUE(emb.ok());
+  EXPECT_EQ(emb.value().size(), 16u);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,82 @@
+#include "util/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace supa {
+namespace {
+
+TEST(AliasTableTest, RejectsBadWeights) {
+  AliasTable t;
+  EXPECT_FALSE(t.Build({}).ok());
+  EXPECT_FALSE(t.Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(t.Build({1.0, -0.5}).ok());
+  EXPECT_FALSE(t.built());
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build({3.0}).ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, NeverSamplesZeroWeight) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build({1.0, 0.0, 1.0, 0.0}).ok());
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = t.Sample(rng);
+    EXPECT_TRUE(s == 0 || s == 2);
+  }
+}
+
+TEST(AliasTableTest, EmpiricalDistributionMatchesWeights) {
+  AliasTable t;
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(t.Build(w).ok());
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(rng)];
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.01)
+        << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build(std::vector<double>(100, 1.0)).ok());
+  Rng rng(4);
+  std::vector<int> counts(100, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.01, 0.003);
+  }
+}
+
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build({1.0, 0.0}).ok());
+  ASSERT_TRUE(t.Build({0.0, 1.0}).ok());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(t.Sample(rng), 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build({1e-9, 1.0}).ok());
+  Rng rng(6);
+  int zero = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (t.Sample(rng) == 0) ++zero;
+  }
+  EXPECT_LT(zero, 10);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace supa {
+namespace {
+
+TEST(LogLevelTest, ParseKnownNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+}
+
+TEST(LogLevelTest, UnknownNamesDefaultToInfo) {
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kInfo);
+}
+
+TEST(LogLevelTest, SetAndGetRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LogMacroTest, DisabledLevelsDoNotEvaluate) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  SUPA_LOG(DEBUG) << count();
+  SUPA_LOG(ERROR) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+TEST(LogMacroTest, EnabledLevelEvaluatesAndDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 7;
+  };
+  SUPA_LOG(DEBUG) << "value " << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace supa

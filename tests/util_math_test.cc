@@ -1,0 +1,101 @@
+#include "util/math_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace supa {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(SigmoidTest, NoOverflowAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(1e308)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e308)));
+}
+
+TEST(LogSigmoidTest, MatchesLogOfSigmoid) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-10);
+  }
+}
+
+TEST(LogSigmoidTest, StableForLargeNegative) {
+  // log(sigmoid(-800)) = -800 - log1p(exp(-800)) ≈ -800, not -inf.
+  EXPECT_NEAR(LogSigmoid(-800.0), -800.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-1e6)));
+}
+
+TEST(DecayGTest, PaperProperties) {
+  // g(0) = 1/log(e) = 1, monotone decreasing, positive.
+  EXPECT_DOUBLE_EQ(DecayG(0.0), 1.0);
+  double prev = DecayG(0.0);
+  for (double x = 0.5; x < 100.0; x += 0.5) {
+    const double cur = DecayG(x);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, 0.0);
+    prev = cur;
+  }
+}
+
+TEST(DecayGPrimeTest, MatchesFiniteDifference) {
+  for (double x : {0.0, 0.5, 2.0, 10.0, 100.0}) {
+    const double h = 1e-6;
+    const double fd = (DecayG(x + h) - DecayG(std::max(0.0, x - h))) /
+                      (x - h < 0.0 ? h : 2 * h);
+    EXPECT_NEAR(DecayGPrime(x), fd, 1e-5);
+  }
+}
+
+TEST(FilterDTest, ThresholdBehaviour) {
+  EXPECT_EQ(FilterD(1.0, 2.0), 1.0);
+  EXPECT_EQ(FilterD(2.0, 2.0), 1.0);  // boundary: x <= tau keeps
+  EXPECT_EQ(FilterD(2.1, 2.0), 0.0);
+}
+
+TEST(TauFromDecayValueTest, InvertsG) {
+  // The paper sets tau so that g(tau) = 0.3.
+  const double tau = TauFromDecayValue(0.3);
+  EXPECT_NEAR(DecayG(tau), 0.3, 1e-12);
+  EXPECT_GT(tau, 0.0);
+}
+
+TEST(DotTest, Basic) {
+  const float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float b[4] = {4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 4), 20.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a, 4), 30.0);
+  EXPECT_DOUBLE_EQ(Dot(a, b, 0), 0.0);
+}
+
+TEST(AxpyTest, AccumulatesScaled) {
+  const float x[3] = {1.0f, -1.0f, 2.0f};
+  float y[3] = {10.0f, 10.0f, 10.0f};
+  Axpy(2.0, x, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+  EXPECT_FLOAT_EQ(y[2], 14.0f);
+}
+
+TEST(ScaleTest, MultipliesInPlace) {
+  float x[3] = {2.0f, -4.0f, 0.0f};
+  Scale(0.5, x, 3);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+  EXPECT_FLOAT_EQ(x[2], 0.0f);
+}
+
+TEST(Norm2Test, Euclidean) {
+  const float x[2] = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Norm2(x, 2), 5.0);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,90 @@
+#include "util/tsv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace supa {
+namespace {
+
+TEST(SplitStringTest, BasicAndEmptyFields) {
+  auto f = SplitString("a\tb\tc", '\t');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+
+  auto g = SplitString("a\t\tc", '\t');
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[1], "");
+
+  auto h = SplitString("", '\t');
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], "");
+}
+
+TEST(StripWhitespaceTest, Variants) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e3 ").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(ParseUintTest, ValidAndInvalid) {
+  EXPECT_EQ(ParseUint("42").value(), 42u);
+  EXPECT_EQ(ParseUint("0").value(), 0u);
+  EXPECT_FALSE(ParseUint("-1").ok());
+  EXPECT_FALSE(ParseUint("4.2").ok());
+  EXPECT_FALSE(ParseUint("").ok());
+}
+
+class TsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/supa_tsv_test.tsv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TsvFileTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"1", "2", "0", "1.5"}, {"3", "4", "1", "2.5"}};
+  ASSERT_TRUE(WriteTsv(path_, rows).ok());
+  auto table = ReadTsv(path_);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().rows.size(), 2u);
+  EXPECT_EQ(table.value().rows[0][0], "1");
+  EXPECT_EQ(table.value().rows[1][3], "2.5");
+}
+
+TEST_F(TsvFileTest, SkipsCommentsAndBlankLines) {
+  std::ofstream out(path_);
+  out << "# header comment\n\na\tb\n   \nc\td\n";
+  out.close();
+  auto table = ReadTsv(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().rows.size(), 2u);
+}
+
+TEST_F(TsvFileTest, MissingFileIsIOError) {
+  auto table = ReadTsv("/nonexistent/dir/file.tsv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TsvFileTest, UnwritablePathIsIOError) {
+  auto st = WriteTsv("/nonexistent/dir/file.tsv", {{"x"}});
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace supa
