@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mined_metapaths.dir/bench_ext_mined_metapaths.cc.o"
+  "CMakeFiles/bench_ext_mined_metapaths.dir/bench_ext_mined_metapaths.cc.o.d"
+  "bench_ext_mined_metapaths"
+  "bench_ext_mined_metapaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mined_metapaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

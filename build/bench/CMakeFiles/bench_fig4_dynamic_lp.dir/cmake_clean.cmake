@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dynamic_lp.dir/bench_fig4_dynamic_lp.cc.o"
+  "CMakeFiles/bench_fig4_dynamic_lp.dir/bench_fig4_dynamic_lp.cc.o.d"
+  "bench_fig4_dynamic_lp"
+  "bench_fig4_dynamic_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dynamic_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_disturbance.dir/bench_fig6_disturbance.cc.o"
+  "CMakeFiles/bench_fig6_disturbance.dir/bench_fig6_disturbance.cc.o.d"
+  "bench_fig6_disturbance"
+  "bench_fig6_disturbance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_disturbance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hitrate.dir/bench_table5_hitrate.cc.o"
+  "CMakeFiles/bench_table5_hitrate.dir/bench_table5_hitrate.cc.o.d"
+  "bench_table5_hitrate"
+  "bench_table5_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ndcg_mrr.dir/bench_table6_ndcg_mrr.cc.o"
+  "CMakeFiles/bench_table6_ndcg_mrr.dir/bench_table6_ndcg_mrr.cc.o.d"
+  "bench_table6_ndcg_mrr"
+  "bench_table6_ndcg_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ndcg_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automatic_metapaths.dir/automatic_metapaths.cpp.o"
+  "CMakeFiles/automatic_metapaths.dir/automatic_metapaths.cpp.o.d"
+  "automatic_metapaths"
+  "automatic_metapaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automatic_metapaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

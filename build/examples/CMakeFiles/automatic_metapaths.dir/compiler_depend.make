@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for automatic_metapaths.
+# This may be replaced when dependencies are built.

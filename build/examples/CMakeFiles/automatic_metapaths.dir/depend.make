@@ -1,0 +1,2 @@
+# Empty dependencies file for automatic_metapaths.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_drift.dir/interest_drift.cpp.o"
+  "CMakeFiles/interest_drift.dir/interest_drift.cpp.o.d"
+  "interest_drift"
+  "interest_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplex_ecommerce.dir/multiplex_ecommerce.cpp.o"
+  "CMakeFiles/multiplex_ecommerce.dir/multiplex_ecommerce.cpp.o.d"
+  "multiplex_ecommerce"
+  "multiplex_ecommerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplex_ecommerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiplex_ecommerce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming_recommendation "/root/repo/build/examples/streaming_recommendation")
+set_tests_properties(example_streaming_recommendation PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiplex_ecommerce "/root/repo/build/examples/multiplex_ecommerce")
+set_tests_properties(example_multiplex_ecommerce PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_interest_drift "/root/repo/build/examples/interest_drift")
+set_tests_properties(example_interest_drift PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_automatic_metapaths "/root/repo/build/examples/automatic_metapaths")
+set_tests_properties(example_automatic_metapaths PROPERTIES  LABELS "example" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deepwalk.cc" "src/CMakeFiles/supa_baselines.dir/baselines/deepwalk.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/deepwalk.cc.o.d"
+  "/root/repo/src/baselines/dygnn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/dygnn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/dygnn.cc.o.d"
+  "/root/repo/src/baselines/dyhatr.cc" "src/CMakeFiles/supa_baselines.dir/baselines/dyhatr.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/dyhatr.cc.o.d"
+  "/root/repo/src/baselines/dyhne.cc" "src/CMakeFiles/supa_baselines.dir/baselines/dyhne.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/dyhne.cc.o.d"
+  "/root/repo/src/baselines/evolvegcn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/evolvegcn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/evolvegcn.cc.o.d"
+  "/root/repo/src/baselines/gatne.cc" "src/CMakeFiles/supa_baselines.dir/baselines/gatne.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/gatne.cc.o.d"
+  "/root/repo/src/baselines/hybridgnn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/hybridgnn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/hybridgnn.cc.o.d"
+  "/root/repo/src/baselines/lightgcn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/lightgcn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/lightgcn.cc.o.d"
+  "/root/repo/src/baselines/line.cc" "src/CMakeFiles/supa_baselines.dir/baselines/line.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/line.cc.o.d"
+  "/root/repo/src/baselines/matn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/matn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/matn.cc.o.d"
+  "/root/repo/src/baselines/mb_gmn.cc" "src/CMakeFiles/supa_baselines.dir/baselines/mb_gmn.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/mb_gmn.cc.o.d"
+  "/root/repo/src/baselines/melu.cc" "src/CMakeFiles/supa_baselines.dir/baselines/melu.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/melu.cc.o.d"
+  "/root/repo/src/baselines/mf_bpr.cc" "src/CMakeFiles/supa_baselines.dir/baselines/mf_bpr.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/mf_bpr.cc.o.d"
+  "/root/repo/src/baselines/netwalk.cc" "src/CMakeFiles/supa_baselines.dir/baselines/netwalk.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/netwalk.cc.o.d"
+  "/root/repo/src/baselines/ngcf.cc" "src/CMakeFiles/supa_baselines.dir/baselines/ngcf.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/ngcf.cc.o.d"
+  "/root/repo/src/baselines/node2vec.cc" "src/CMakeFiles/supa_baselines.dir/baselines/node2vec.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/node2vec.cc.o.d"
+  "/root/repo/src/baselines/recommender.cc" "src/CMakeFiles/supa_baselines.dir/baselines/recommender.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/recommender.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/supa_baselines.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/skipgram.cc" "src/CMakeFiles/supa_baselines.dir/baselines/skipgram.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/skipgram.cc.o.d"
+  "/root/repo/src/baselines/tgat.cc" "src/CMakeFiles/supa_baselines.dir/baselines/tgat.cc.o" "gcc" "src/CMakeFiles/supa_baselines.dir/baselines/tgat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/supa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

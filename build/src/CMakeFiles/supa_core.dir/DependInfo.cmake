@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adam.cc" "src/CMakeFiles/supa_core.dir/core/adam.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/adam.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/supa_core.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/embedding_store.cc" "src/CMakeFiles/supa_core.dir/core/embedding_store.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/embedding_store.cc.o.d"
+  "/root/repo/src/core/inslearn.cc" "src/CMakeFiles/supa_core.dir/core/inslearn.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/inslearn.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/supa_core.dir/core/model.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/model.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/supa_core.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/supa_core.dir/core/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/supa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_core.dir/core/adam.cc.o"
+  "CMakeFiles/supa_core.dir/core/adam.cc.o.d"
+  "CMakeFiles/supa_core.dir/core/checkpoint.cc.o"
+  "CMakeFiles/supa_core.dir/core/checkpoint.cc.o.d"
+  "CMakeFiles/supa_core.dir/core/embedding_store.cc.o"
+  "CMakeFiles/supa_core.dir/core/embedding_store.cc.o.d"
+  "CMakeFiles/supa_core.dir/core/inslearn.cc.o"
+  "CMakeFiles/supa_core.dir/core/inslearn.cc.o.d"
+  "CMakeFiles/supa_core.dir/core/model.cc.o"
+  "CMakeFiles/supa_core.dir/core/model.cc.o.d"
+  "CMakeFiles/supa_core.dir/core/sampler.cc.o"
+  "CMakeFiles/supa_core.dir/core/sampler.cc.o.d"
+  "libsupa_core.a"
+  "libsupa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/supa_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/supa_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/serialize.cc" "src/CMakeFiles/supa_data.dir/data/serialize.cc.o" "gcc" "src/CMakeFiles/supa_data.dir/data/serialize.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/supa_data.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/supa_data.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/supa_data.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/supa_data.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/supa_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/supa_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/supa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

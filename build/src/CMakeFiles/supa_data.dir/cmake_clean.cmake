@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_data.dir/data/dataset.cc.o"
+  "CMakeFiles/supa_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/supa_data.dir/data/serialize.cc.o"
+  "CMakeFiles/supa_data.dir/data/serialize.cc.o.d"
+  "CMakeFiles/supa_data.dir/data/splits.cc.o"
+  "CMakeFiles/supa_data.dir/data/splits.cc.o.d"
+  "CMakeFiles/supa_data.dir/data/stats.cc.o"
+  "CMakeFiles/supa_data.dir/data/stats.cc.o.d"
+  "CMakeFiles/supa_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/supa_data.dir/data/synthetic.cc.o.d"
+  "libsupa_data.a"
+  "libsupa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

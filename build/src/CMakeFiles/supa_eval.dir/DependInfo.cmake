@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/export.cc" "src/CMakeFiles/supa_eval.dir/eval/export.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/export.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/supa_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/predictor.cc" "src/CMakeFiles/supa_eval.dir/eval/predictor.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/predictor.cc.o.d"
+  "/root/repo/src/eval/protocols.cc" "src/CMakeFiles/supa_eval.dir/eval/protocols.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/protocols.cc.o.d"
+  "/root/repo/src/eval/stats.cc" "src/CMakeFiles/supa_eval.dir/eval/stats.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/stats.cc.o.d"
+  "/root/repo/src/eval/tsne.cc" "src/CMakeFiles/supa_eval.dir/eval/tsne.cc.o" "gcc" "src/CMakeFiles/supa_eval.dir/eval/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/supa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/supa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_eval.dir/eval/export.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/export.cc.o.d"
+  "CMakeFiles/supa_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/supa_eval.dir/eval/predictor.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/predictor.cc.o.d"
+  "CMakeFiles/supa_eval.dir/eval/protocols.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/protocols.cc.o.d"
+  "CMakeFiles/supa_eval.dir/eval/stats.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/stats.cc.o.d"
+  "CMakeFiles/supa_eval.dir/eval/tsne.cc.o"
+  "CMakeFiles/supa_eval.dir/eval/tsne.cc.o.d"
+  "libsupa_eval.a"
+  "libsupa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/supa_graph.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/supa_graph.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/metapath.cc" "src/CMakeFiles/supa_graph.dir/graph/metapath.cc.o" "gcc" "src/CMakeFiles/supa_graph.dir/graph/metapath.cc.o.d"
+  "/root/repo/src/graph/metapath_miner.cc" "src/CMakeFiles/supa_graph.dir/graph/metapath_miner.cc.o" "gcc" "src/CMakeFiles/supa_graph.dir/graph/metapath_miner.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/CMakeFiles/supa_graph.dir/graph/schema.cc.o" "gcc" "src/CMakeFiles/supa_graph.dir/graph/schema.cc.o.d"
+  "/root/repo/src/graph/walker.cc" "src/CMakeFiles/supa_graph.dir/graph/walker.cc.o" "gcc" "src/CMakeFiles/supa_graph.dir/graph/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/supa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

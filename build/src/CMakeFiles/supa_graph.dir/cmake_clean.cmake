@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_graph.dir/graph/dynamic_graph.cc.o"
+  "CMakeFiles/supa_graph.dir/graph/dynamic_graph.cc.o.d"
+  "CMakeFiles/supa_graph.dir/graph/metapath.cc.o"
+  "CMakeFiles/supa_graph.dir/graph/metapath.cc.o.d"
+  "CMakeFiles/supa_graph.dir/graph/metapath_miner.cc.o"
+  "CMakeFiles/supa_graph.dir/graph/metapath_miner.cc.o.d"
+  "CMakeFiles/supa_graph.dir/graph/schema.cc.o"
+  "CMakeFiles/supa_graph.dir/graph/schema.cc.o.d"
+  "CMakeFiles/supa_graph.dir/graph/walker.cc.o"
+  "CMakeFiles/supa_graph.dir/graph/walker.cc.o.d"
+  "libsupa_graph.a"
+  "libsupa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

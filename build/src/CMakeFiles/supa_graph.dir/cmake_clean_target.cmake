@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsupa_graph.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_util.dir/util/alias_table.cc.o"
+  "CMakeFiles/supa_util.dir/util/alias_table.cc.o.d"
+  "CMakeFiles/supa_util.dir/util/logging.cc.o"
+  "CMakeFiles/supa_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/supa_util.dir/util/rng.cc.o"
+  "CMakeFiles/supa_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/supa_util.dir/util/status.cc.o"
+  "CMakeFiles/supa_util.dir/util/status.cc.o.d"
+  "CMakeFiles/supa_util.dir/util/tsv.cc.o"
+  "CMakeFiles/supa_util.dir/util/tsv.cc.o.d"
+  "libsupa_util.a"
+  "libsupa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

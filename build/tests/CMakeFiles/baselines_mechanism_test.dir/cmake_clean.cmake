@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mechanism_test.dir/baselines_mechanism_test.cc.o"
+  "CMakeFiles/baselines_mechanism_test.dir/baselines_mechanism_test.cc.o.d"
+  "baselines_mechanism_test"
+  "baselines_mechanism_test.pdb"
+  "baselines_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

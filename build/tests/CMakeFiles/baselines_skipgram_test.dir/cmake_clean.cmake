@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_skipgram_test.dir/baselines_skipgram_test.cc.o"
+  "CMakeFiles/baselines_skipgram_test.dir/baselines_skipgram_test.cc.o.d"
+  "baselines_skipgram_test"
+  "baselines_skipgram_test.pdb"
+  "baselines_skipgram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_skipgram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_inslearn_test.dir/core_inslearn_test.cc.o"
+  "CMakeFiles/core_inslearn_test.dir/core_inslearn_test.cc.o.d"
+  "core_inslearn_test"
+  "core_inslearn_test.pdb"
+  "core_inslearn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_inslearn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

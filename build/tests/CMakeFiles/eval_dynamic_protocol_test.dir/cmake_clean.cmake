@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_dynamic_protocol_test.dir/eval_dynamic_protocol_test.cc.o"
+  "CMakeFiles/eval_dynamic_protocol_test.dir/eval_dynamic_protocol_test.cc.o.d"
+  "eval_dynamic_protocol_test"
+  "eval_dynamic_protocol_test.pdb"
+  "eval_dynamic_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_dynamic_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_predictor_test.dir/eval_predictor_test.cc.o"
+  "CMakeFiles/eval_predictor_test.dir/eval_predictor_test.cc.o.d"
+  "eval_predictor_test"
+  "eval_predictor_test.pdb"
+  "eval_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

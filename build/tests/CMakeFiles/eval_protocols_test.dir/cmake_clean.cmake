@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_protocols_test.dir/eval_protocols_test.cc.o"
+  "CMakeFiles/eval_protocols_test.dir/eval_protocols_test.cc.o.d"
+  "eval_protocols_test"
+  "eval_protocols_test.pdb"
+  "eval_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tsne_test.dir/eval_tsne_test.cc.o"
+  "CMakeFiles/eval_tsne_test.dir/eval_tsne_test.cc.o.d"
+  "eval_tsne_test"
+  "eval_tsne_test.pdb"
+  "eval_tsne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tsne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

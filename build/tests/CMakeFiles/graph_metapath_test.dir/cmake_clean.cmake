@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_metapath_test.dir/graph_metapath_test.cc.o"
+  "CMakeFiles/graph_metapath_test.dir/graph_metapath_test.cc.o.d"
+  "graph_metapath_test"
+  "graph_metapath_test.pdb"
+  "graph_metapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_metapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_miner_test.dir/graph_miner_test.cc.o"
+  "CMakeFiles/graph_miner_test.dir/graph_miner_test.cc.o.d"
+  "graph_miner_test"
+  "graph_miner_test.pdb"
+  "graph_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

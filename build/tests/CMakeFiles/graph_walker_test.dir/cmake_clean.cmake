@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_walker_test.dir/graph_walker_test.cc.o"
+  "CMakeFiles/graph_walker_test.dir/graph_walker_test.cc.o.d"
+  "graph_walker_test"
+  "graph_walker_test.pdb"
+  "graph_walker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

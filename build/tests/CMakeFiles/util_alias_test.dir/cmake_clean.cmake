@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_alias_test.dir/util_alias_test.cc.o"
+  "CMakeFiles/util_alias_test.dir/util_alias_test.cc.o.d"
+  "util_alias_test"
+  "util_alias_test.pdb"
+  "util_alias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_alias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tsv_test.dir/util_tsv_test.cc.o"
+  "CMakeFiles/util_tsv_test.dir/util_tsv_test.cc.o.d"
+  "util_tsv_test"
+  "util_tsv_test.pdb"
+  "util_tsv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tsv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supa_cli.dir/supa_cli.cc.o"
+  "CMakeFiles/supa_cli.dir/supa_cli.cc.o.d"
+  "supa_cli"
+  "supa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
