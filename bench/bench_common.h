@@ -6,6 +6,8 @@
 //   SUPA_BENCH_EFFORT      training effort multiplier (default 1.0)
 //   SUPA_BENCH_TEST_EDGES  test cases per evaluation (default 300)
 //   SUPA_BENCH_SEEDS       repetitions for significance tests (default 3)
+//   SUPA_BENCH_THREADS     eval worker threads (default 0 = all cores;
+//                          results are thread-count invariant)
 // Command line:
 //   --out <path>           additionally write the rows as TSV
 
@@ -40,6 +42,7 @@ struct BenchEnv {
   double effort = EnvDouble("SUPA_BENCH_EFFORT", 1.0);
   size_t test_edges = EnvSize("SUPA_BENCH_TEST_EDGES", 300);
   size_t seeds = EnvSize("SUPA_BENCH_SEEDS", 2);
+  size_t threads = EnvSize("SUPA_BENCH_THREADS", 0);
 };
 
 /// Accumulates rows, prints an aligned text table, optionally writes TSV.

@@ -7,6 +7,7 @@
 #include "baselines/registry.h"
 #include "data/synthetic.h"
 #include "eval/protocols.h"
+#include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace supa;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     }
     EvalConfig eval;
     eval.max_test_edges = env.test_edges;
+    eval.threads = env.threads;
     auto steps = RunDynamicProtocol(*model.value(), data, kParts, eval);
     if (!steps.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", method.c_str(),
@@ -56,5 +58,46 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+
+  // Thread sweep: how much of the evaluation half of the runtime budget
+  // parallelism recovers. SUPA is trained once on the temporal train
+  // split; the identical evaluation workload is then timed per thread
+  // count (metrics are thread-count invariant by construction).
+  {
+    RegistryOptions options;
+    options.dim = 64;
+    options.effort = env.effort;
+    auto model = MakeRecommender("SUPA", options);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    auto split = SplitTemporal(data).value();
+    if (Status st = model.value()->Fit(data, split.train); !st.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Report sweep("Figure 5b — SUPA evaluation time vs threads");
+    sweep.SetHeader({"threads", "eval_s", "speedup"});
+    double serial_s = 0.0;
+    for (size_t threads : {1, 2, 4}) {
+      EvalConfig eval;
+      eval.max_test_edges = env.test_edges * 4;
+      eval.threads = threads;
+      Timer timer;
+      auto r = EvaluateLinkPrediction(*model.value(), data, split.test,
+                                      EdgeRange{0, split.valid.end}, eval);
+      const double eval_s = timer.ElapsedSeconds();
+      if (!r.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) serial_s = eval_s;
+      sweep.AddRow({std::to_string(threads), Fmt(eval_s, 4),
+                    Fmt(serial_s / eval_s, 2)});
+    }
+    sweep.Print();
+  }
   return 0;
 }

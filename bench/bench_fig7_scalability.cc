@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
 
     EvalConfig eval;
     eval.max_test_edges = env.test_edges;
+    eval.threads = env.threads;
     auto result = EvaluateLinkPrediction(model, data, split.test,
                                          EdgeRange{0, split.valid.end}, eval);
     if (!result.ok()) {
@@ -70,5 +71,63 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+
+  // Thread sweep: evaluation scalability on the largest dataset of the
+  // sweep. One model is trained once; the same link-prediction workload
+  // is then timed at 1/2/4/8 eval threads. The determinism contract
+  // (fixed sharding + per-shard seeds, see util/thread_pool.h) means the
+  // metrics must be bit-identical across rows — only the time may change.
+  {
+    SupaConfig model_config;
+    model_config.dim = 64;
+    InsLearnConfig train_config;
+    train_config.batch_size = 4096;
+    train_config.max_iters = std::max(1, static_cast<int>(8 * env.effort));
+    train_config.valid_interval = 4;
+    SupaRecommender model(model_config, train_config);
+    Status st = model.Fit(data, split.train);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    Report sweep("Figure 7b — evaluation scalability vs threads");
+    sweep.SetHeader({"threads", "eval_s", "speedup", "H@50", "MRR"});
+    double serial_s = 0.0;
+    RankingResult serial_result;
+    for (size_t threads : {1, 2, 4, 8}) {
+      EvalConfig eval;
+      // A larger case budget than the accuracy sweep so per-eval wall
+      // time dominates the pool's scheduling overhead.
+      eval.max_test_edges = env.test_edges * 4;
+      eval.threads = threads;
+      Timer timer;
+      auto result = EvaluateLinkPrediction(
+          model, data, split.test, EdgeRange{0, split.valid.end}, eval);
+      const double eval_s = timer.ElapsedSeconds();
+      if (!result.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) {
+        serial_s = eval_s;
+        serial_result = result.value();
+      } else if (result.value().mrr != serial_result.mrr ||
+                 result.value().hit50 != serial_result.hit50) {
+        std::fprintf(stderr,
+                     "determinism violation: threads=%zu diverged from "
+                     "threads=1\n",
+                     threads);
+        return 1;
+      }
+      sweep.AddRow({std::to_string(threads), Fmt(eval_s, 4),
+                    Fmt(serial_s / eval_s, 2), Fmt(result.value().hit50),
+                    Fmt(result.value().mrr)});
+      SUPA_LOG(INFO) << "fig7b: threads=" << threads << " eval " << eval_s
+                     << "s";
+    }
+    sweep.Print();
+  }
   return 0;
 }

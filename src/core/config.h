@@ -83,6 +83,12 @@ struct InsLearnConfig {
   bool auto_static_fallback = true;
   /// Seed for validation negative sampling.
   uint64_t seed = 7;
+  /// Worker threads for the validation-MRR computation. 0 = auto
+  /// (std::thread::hardware_concurrency); 1 runs fully serially. The
+  /// validation score is bit-identical at every thread count: edges are
+  /// cut into fixed shards with SplitMix64-derived per-shard seeds and
+  /// reduced in shard order (see util/thread_pool.h).
+  size_t threads = 0;
 };
 
 }  // namespace supa

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace supa {
+namespace {
+
+/// Fixed shard count for the parallel validation score — independent of
+/// the thread count so the score is bit-identical at any `threads`
+/// setting (see util/thread_pool.h).
+constexpr size_t kValidationShards = 32;
+
+}  // namespace
 
 Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
                                               const Dataset& data,
@@ -20,25 +29,47 @@ Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
 double InsLearnTrainer::ValidationScore(const SupaModel& model,
                                         const Dataset& data, size_t begin,
                                         size_t end, Rng& rng) const {
+  if (end <= begin) return 0.0;
   const auto& types = data.node_types;
+  // One draw from the caller's stream keys this invocation, so successive
+  // validation rounds see fresh negatives; within the invocation each
+  // shard derives its own generator from that key, so the score does not
+  // depend on how many threads execute the shards.
+  const uint64_t base_seed = rng.Next();
+  const size_t num_edges = end - begin;
+  const size_t num_shards = std::min(num_edges, kValidationShards);
+  std::vector<double> shard_sum(num_shards, 0.0);
+  std::vector<size_t> shard_count(num_shards, 0);
+  ParallelFor(config_.threads, num_shards, [&](size_t shard) {
+    Rng shard_rng(SplitMix64At(base_seed, shard));
+    const size_t shard_begin = begin + shard * num_edges / num_shards;
+    const size_t shard_end = begin + (shard + 1) * num_edges / num_shards;
+    for (size_t i = shard_begin; i < shard_end; ++i) {
+      const TemporalEdge& e = data.edges[i];
+      const double gt = model.Score(e.src, e.dst, e.type);
+      size_t worse = 0;
+      size_t drawn = 0;
+      // Rank against sampled same-type negatives.
+      const size_t want = config_.valid_negatives;
+      for (size_t attempt = 0; attempt < want * 4 && drawn < want;
+           ++attempt) {
+        const NodeId cand = static_cast<NodeId>(shard_rng.Index(types.size()));
+        if (cand == e.dst || cand == e.src) continue;
+        if (types[cand] != types[e.dst]) continue;
+        ++drawn;
+        if (model.Score(e.src, cand, e.type) > gt) ++worse;
+      }
+      shard_sum[shard] += 1.0 / static_cast<double>(worse + 1);
+      ++shard_count[shard];
+    }
+  });
+  // Reduce in fixed shard order for bit-identical results at any thread
+  // count.
   double sum = 0.0;
   size_t count = 0;
-  for (size_t i = begin; i < end; ++i) {
-    const TemporalEdge& e = data.edges[i];
-    const double gt = model.Score(e.src, e.dst, e.type);
-    size_t worse = 0;
-    size_t drawn = 0;
-    // Rank against sampled same-type negatives.
-    const size_t want = config_.valid_negatives;
-    for (size_t attempt = 0; attempt < want * 4 && drawn < want; ++attempt) {
-      const NodeId cand = static_cast<NodeId>(rng.Index(types.size()));
-      if (cand == e.dst || cand == e.src) continue;
-      if (types[cand] != types[e.dst]) continue;
-      ++drawn;
-      if (model.Score(e.src, cand, e.type) > gt) ++worse;
-    }
-    sum += 1.0 / static_cast<double>(worse + 1);
-    ++count;
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    sum += shard_sum[shard];
+    count += shard_count[shard];
   }
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }

@@ -46,6 +46,9 @@ class InsLearnTrainer {
  private:
   /// Validation score θ: mean reciprocal rank of each validation edge's
   /// destination against `valid_negatives` sampled same-type negatives.
+  /// Draws one value from `rng` to key the round, then ranks the edges on
+  /// up to `config_.threads` workers with deterministic sharding — the
+  /// score is bit-identical at every thread count.
   double ValidationScore(const SupaModel& model, const Dataset& data,
                          size_t begin, size_t end, Rng& rng) const;
 

@@ -31,4 +31,10 @@ void MetricAccumulator::Merge(const MetricAccumulator& other) {
   count_ += other.count_;
 }
 
+MetricAccumulator ReduceShards(const std::vector<MetricAccumulator>& shards) {
+  MetricAccumulator out;
+  for (const MetricAccumulator& shard : shards) out.Merge(shard);
+  return out;
+}
+
 }  // namespace supa

@@ -5,6 +5,7 @@
 #define SUPA_EVAL_METRICS_H_
 
 #include <cstddef>
+#include <vector>
 
 namespace supa {
 
@@ -44,6 +45,13 @@ class MetricAccumulator {
   double mrr_ = 0.0;
   size_t count_ = 0;
 };
+
+/// Reduces per-shard partial accumulators in fixed shard (index) order —
+/// the reduction half of the parallel-evaluation determinism contract
+/// (see util/thread_pool.h). Because the shard count is independent of
+/// the thread count and floating-point accumulation happens here in a
+/// single fixed order, the result is bit-identical at any thread count.
+MetricAccumulator ReduceShards(const std::vector<MetricAccumulator>& shards);
 
 }  // namespace supa
 

@@ -4,10 +4,17 @@
 #include <unordered_set>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace supa {
 namespace {
+
+/// Shard count for parallel case ranking. Fixed (never derived from the
+/// thread count) so shard boundaries, per-shard Rng streams, and the
+/// shard-order reduction are identical whether 1 or N threads execute
+/// them — the determinism contract of util/thread_pool.h.
+constexpr size_t kEvalShards = 64;
 
 /// Key for a (query, relation, candidate) positive.
 uint64_t PositiveKey(const Dataset& data, NodeId u, EdgeTypeId r,
@@ -60,48 +67,60 @@ Result<RankingResult> EvaluateLinkPrediction(const Recommender& model,
     cases.resize(config.max_test_edges);
   }
 
-  MetricAccumulator acc;
-  std::vector<NodeId> sampled_candidates;
-  for (size_t idx : cases) {
-    const auto& e = data.edges[idx];
-    // Orient the case so the ranked side is the target type.
-    NodeId query = e.src;
-    NodeId truth = e.dst;
-    if (data.node_types[truth] != data.target_type) {
-      std::swap(query, truth);
-      if (data.node_types[truth] != data.target_type) continue;
-    }
-    const double gt_score = model.Score(query, truth, e.type);
+  // Rank each case against the candidate pool, sharded for parallelism.
+  // Shard s owns the contiguous case block [s*n/S, (s+1)*n/S), seeds its
+  // candidate-sampling Rng from SplitMix64At(seed, s), and accumulates
+  // into its own slot; the slots are reduced in shard order below.
+  const size_t num_shards = std::min(cases.size(), kEvalShards);
+  std::vector<MetricAccumulator> shard_acc(num_shards);
+  ParallelFor(config.threads, num_shards, [&](size_t shard) {
+    Rng shard_rng(SplitMix64At(config.seed, shard));
+    MetricAccumulator& acc = shard_acc[shard];
+    std::vector<NodeId> sampled_candidates;
+    const size_t case_begin = shard * cases.size() / num_shards;
+    const size_t case_end = (shard + 1) * cases.size() / num_shards;
+    for (size_t c = case_begin; c < case_end; ++c) {
+      const auto& e = data.edges[cases[c]];
+      // Orient the case so the ranked side is the target type.
+      NodeId query = e.src;
+      NodeId truth = e.dst;
+      if (data.node_types[truth] != data.target_type) {
+        std::swap(query, truth);
+        if (data.node_types[truth] != data.target_type) continue;
+      }
+      const double gt_score = model.Score(query, truth, e.type);
 
-    const std::vector<NodeId>* pool = &targets;
-    if (config.candidate_cap > 0 && targets.size() > config.candidate_cap) {
-      sampled_candidates.clear();
-      for (size_t k = 0; k < config.candidate_cap; ++k) {
-        sampled_candidates.push_back(targets[rng.Index(targets.size())]);
+      const std::vector<NodeId>* pool = &targets;
+      if (config.candidate_cap > 0 && targets.size() > config.candidate_cap) {
+        sampled_candidates.clear();
+        for (size_t k = 0; k < config.candidate_cap; ++k) {
+          sampled_candidates.push_back(targets[shard_rng.Index(targets.size())]);
+        }
+        pool = &sampled_candidates;
       }
-      pool = &sampled_candidates;
-    }
 
-    size_t better = 0;
-    size_t ties = 0;
-    for (NodeId cand : *pool) {
-      if (cand == truth || cand == query) continue;
-      if (config.exclude_seen_positives &&
-          positives.contains(PositiveKey(data, query, e.type, cand))) {
-        continue;
+      size_t better = 0;
+      size_t ties = 0;
+      for (NodeId cand : *pool) {
+        if (cand == truth || cand == query) continue;
+        if (config.exclude_seen_positives &&
+            positives.contains(PositiveKey(data, query, e.type, cand))) {
+          continue;
+        }
+        const double s = model.Score(query, cand, e.type);
+        if (s > gt_score) {
+          ++better;
+        } else if (s == gt_score) {
+          ++ties;
+        }
+        // NaN scores compare false on both branches and rank below the
+        // ground truth, so a degenerate scorer cannot fake a perfect rank.
       }
-      const double s = model.Score(query, cand, e.type);
-      if (s > gt_score) {
-        ++better;
-      } else if (s == gt_score) {
-        ++ties;
-      }
-      // NaN scores compare false on both branches and rank below the
-      // ground truth, so a degenerate scorer cannot fake a perfect rank.
+      // Expected rank under random tie-breaking.
+      acc.Add(better + 1 + ties / 2);
     }
-    // Expected rank under random tie-breaking.
-    acc.Add(better + 1 + ties / 2);
-  }
+  });
+  const MetricAccumulator acc = ReduceShards(shard_acc);
 
   RankingResult out;
   out.hit20 = acc.hit20();
@@ -148,19 +167,36 @@ Result<std::vector<RankingResult>> RunDisturbanceProtocol(
     const Dataset& data, const std::vector<size_t>& etas,
     const EvalConfig& config) {
   SUPA_ASSIGN_OR_RETURN(TemporalSplit split, SplitTemporal(data));
-  std::vector<RankingResult> out;
-  out.reserve(etas.size());
+  // Each η setting trains and evaluates an independent model, so the η
+  // sweep itself is the parallel axis (one shard per η); the factory runs
+  // serially up front because callers only promise per-instance isolation.
+  std::vector<std::unique_ptr<Recommender>> models;
+  models.reserve(etas.size());
   for (size_t eta : etas) {
-    std::unique_ptr<Recommender> model = factory();
-    model->set_neighbor_cap(eta);
-    SUPA_RETURN_NOT_OK(model->Fit(data, split.train));
-    EdgeRange seen{0, split.valid.end};
-    SUPA_ASSIGN_OR_RETURN(
-        RankingResult r,
-        EvaluateLinkPrediction(*model, data, split.test, seen, config));
-    out.push_back(r);
+    models.push_back(factory());
+    models.back()->set_neighbor_cap(eta);
   }
-  return out;
+  std::vector<Status> statuses(etas.size(), Status::OK());
+  std::vector<RankingResult> results(etas.size());
+  ParallelFor(config.threads, etas.size(), [&](size_t i) {
+    Status st = models[i]->Fit(data, split.train);
+    if (!st.ok()) {
+      statuses[i] = std::move(st);
+      return;
+    }
+    EdgeRange seen{0, split.valid.end};
+    auto r =
+        EvaluateLinkPrediction(*models[i], data, split.test, seen, config);
+    if (!r.ok()) {
+      statuses[i] = r.status();
+      return;
+    }
+    results[i] = r.value();
+  });
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return results;
 }
 
 }  // namespace supa

@@ -27,6 +27,13 @@ struct EvalConfig {
   /// Remove already-seen (u, cand, r) training edges from the candidates.
   bool exclude_seen_positives = true;
   uint64_t seed = 99;
+  /// Worker threads for ranking the test cases. 0 = auto
+  /// (std::thread::hardware_concurrency); 1 runs fully serially. Results
+  /// are bit-identical at every thread count: cases are cut into a fixed
+  /// number of shards, each shard seeds its Rng via
+  /// SplitMix64At(seed, shard), and shard partials are reduced in shard
+  /// order (see util/thread_pool.h).
+  size_t threads = 0;
 };
 
 /// Four-metric summary of one evaluation.
@@ -62,7 +69,10 @@ Result<std::vector<DynamicStepResult>> RunDynamicProtocol(
     const EvalConfig& config);
 
 /// §IV-F: returns link-prediction results for each η in `etas`
-/// (0 represents ∞). `factory` must produce a fresh recommender per call.
+/// (0 represents ∞). `factory` must produce a fresh recommender per call;
+/// it is invoked serially, but the per-η fit + evaluation runs on up to
+/// `config.threads` workers (each η's model is trained and scored on one
+/// worker, so recommenders only need the usual per-instance isolation).
 Result<std::vector<RankingResult>> RunDisturbanceProtocol(
     const std::function<std::unique_ptr<Recommender>()>& factory,
     const Dataset& data, const std::vector<size_t>& etas,

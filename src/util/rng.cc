@@ -94,4 +94,11 @@ size_t Rng::Weighted(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+uint64_t SplitMix64At(uint64_t seed, uint64_t index) {
+  // SplitMix64 advances its state by a fixed odd constant per draw, so the
+  // index-th state is reachable directly with one multiply.
+  uint64_t state = seed + index * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
 }  // namespace supa

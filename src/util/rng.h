@@ -68,6 +68,13 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+/// The `index`-th output of the SplitMix64 stream seeded with `seed`:
+/// random-access per-shard seed derivation for parallel work. Shard s of a
+/// sharded computation seeds its generator with SplitMix64At(seed, s), so
+/// the derived streams are independent of each other, of the caller's
+/// stream, and — crucially — of the thread count executing the shards.
+uint64_t SplitMix64At(uint64_t seed, uint64_t index);
+
 }  // namespace supa
 
 #endif  // SUPA_UTIL_RNG_H_

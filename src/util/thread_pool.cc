@@ -1,0 +1,126 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace supa {
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(ResolveThreads(0));
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+size_t ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ParallelFor(ThreadPool& pool, size_t threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  const size_t workers = std::min(
+      {ResolveThreads(threads), num_shards, pool.num_threads() + 1});
+  if (workers <= 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+
+  // Contiguous block per worker; results must be shard-indexed by the
+  // caller, so the block boundaries never influence the outcome.
+  auto run_block = [&fn, num_shards, workers](size_t w) {
+    const size_t begin = w * num_shards / workers;
+    const size_t end = (w + 1) * num_shards / workers;
+    for (size_t shard = begin; shard < end; ++shard) fn(shard);
+  };
+
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+  } state;
+  state.pending = workers - 1;
+  std::vector<std::exception_ptr> errors(workers);
+
+  for (size_t w = 1; w < workers; ++w) {
+    pool.Submit([&run_block, &state, &errors, w] {
+      try {
+        run_block(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending == 0) state.cv.notify_one();
+    });
+  }
+  try {
+    run_block(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state] { return state.pending == 0; });
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(size_t threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn) {
+  ParallelFor(ThreadPool::Shared(), threads, num_shards, fn);
+}
+
+}  // namespace supa

@@ -1,0 +1,91 @@
+// Fixed-size thread pool and a deterministic parallel-for on top of it.
+//
+// The evaluation stack is embarrassingly parallel (each test case is
+// ranked independently), but reproducibility is a hard requirement: the
+// same seed must give bit-identical results at any thread count. The
+// contract that guarantees this is *static chunked sharding*:
+//
+//   * work is cut into a shard count that does NOT depend on the thread
+//     count,
+//   * each shard derives its own Rng from the caller's seed via
+//     SplitMix64At(seed, shard_index) and writes only shard-local state,
+//   * the caller reduces per-shard partials in fixed shard order.
+//
+// ParallelFor only schedules shards; determinism comes from callers
+// following the contract above (see eval/protocols.cc for the canonical
+// use).
+
+#ifndef SUPA_UTIL_THREAD_POOL_H_
+#define SUPA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace supa {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. A pool of size 0 is valid and runs
+  /// every submitted task inline on the submitting thread.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Tasks must not block on later-submitted tasks (a
+  /// worker executing such a task could wait forever behind itself).
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool shared by every ParallelFor call site, sized to
+  /// the hardware concurrency and started on first use.
+  static ThreadPool& Shared();
+
+  /// True when called from one of any pool's worker threads. ParallelFor
+  /// uses this to run nested invocations serially instead of deadlocking
+  /// on a queue the current worker is itself responsible for draining.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Maps the user-facing thread-count knob to an actual count:
+/// 0 means "auto" (std::thread::hardware_concurrency, at least 1).
+size_t ResolveThreads(size_t requested);
+
+/// Runs fn(shard) for every shard in [0, num_shards), splitting the shard
+/// range into contiguous blocks across up to `threads` workers (the
+/// calling thread participates; extra workers come from `pool`). Blocks
+/// until every shard finished. If any shard throws, the exception of the
+/// lowest-indexed failing block is rethrown after all workers finish.
+///
+/// Runs serially (in shard order, on the caller) when `threads` resolves
+/// to 1, when there is at most one shard, or when invoked from inside a
+/// pool worker (nested parallelism).
+void ParallelFor(ThreadPool& pool, size_t threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn);
+
+/// ParallelFor against the shared process-wide pool.
+void ParallelFor(size_t threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_THREAD_POOL_H_

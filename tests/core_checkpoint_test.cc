@@ -13,7 +13,10 @@ namespace {
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/supa_checkpoint_test.bin";
+    // Per-test-case file name: `ctest -j` runs the cases of this fixture
+    // as concurrent processes, so a shared path races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/supa_checkpoint_" + info->name() + ".bin";
     data_ = MakeTaobao(0.15, 81).value();
   }
   void TearDown() override { std::remove(path_.c_str()); }

@@ -97,7 +97,10 @@ TEST(DatasetTest, BuildGraphRange) {
 class DatasetIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/supa_dataset_test.tsv";
+    // Per-test-case file name: `ctest -j` runs the cases of this fixture
+    // as concurrent processes, so a shared path races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/supa_dataset_io_" + info->name() + ".tsv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

@@ -14,7 +14,10 @@ namespace {
 class ExportTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/supa_export_test.tsv";
+    // Per-test-case file name: `ctest -j` runs the cases of this fixture
+    // as concurrent processes, so a shared path races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/supa_export_" + info->name() + ".tsv";
     data_ = MakeTaobao(0.1, 121).value();
   }
   void TearDown() override { std::remove(path_.c_str()); }

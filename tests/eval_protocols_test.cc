@@ -208,6 +208,54 @@ TEST(EvaluateLinkPredictionTest, SkipsNonTargetRelations) {
   EXPECT_LT(target_cases, split.test.size());
 }
 
+TEST(EvaluateLinkPredictionTest, ThreadCountDoesNotChangeResults) {
+  Dataset data = MakeLastfm(0.15, 13).value();
+  auto split = SplitTemporal(data).value();
+  RandomRecommender random;
+  ASSERT_TRUE(random.Fit(data, split.train).ok());
+  // candidate_cap forces per-shard Rng draws, the part of the evaluation
+  // most likely to diverge under a thread-dependent implementation.
+  EvalConfig config;
+  config.max_test_edges = 150;
+  config.candidate_cap = 50;
+  config.threads = 1;
+  const RankingResult serial =
+      EvaluateLinkPrediction(random, data, split.test, split.train, config)
+          .value();
+  EXPECT_GT(serial.evaluated, 0u);
+  for (size_t threads : {2, 3, 4, 8}) {
+    config.threads = threads;
+    const RankingResult parallel =
+        EvaluateLinkPrediction(random, data, split.test, split.train, config)
+            .value();
+    // The determinism contract is bit-identical, not approximately equal.
+    EXPECT_EQ(parallel.hit20, serial.hit20) << "threads=" << threads;
+    EXPECT_EQ(parallel.hit50, serial.hit50) << "threads=" << threads;
+    EXPECT_EQ(parallel.ndcg10, serial.ndcg10) << "threads=" << threads;
+    EXPECT_EQ(parallel.mrr, serial.mrr) << "threads=" << threads;
+    EXPECT_EQ(parallel.evaluated, serial.evaluated) << "threads=" << threads;
+  }
+}
+
+TEST(EvaluateLinkPredictionTest, AutoThreadsMatchesSerial) {
+  Dataset data = MakeLastfm(0.15, 14).value();
+  auto split = SplitTemporal(data).value();
+  RandomRecommender random;
+  EvalConfig config;
+  config.max_test_edges = 100;
+  config.threads = 1;
+  const RankingResult serial =
+      EvaluateLinkPrediction(random, data, split.test, split.train, config)
+          .value();
+  config.threads = 0;  // auto = hardware concurrency
+  const RankingResult auto_threads =
+      EvaluateLinkPrediction(random, data, split.test, split.train, config)
+          .value();
+  EXPECT_EQ(auto_threads.mrr, serial.mrr);
+  EXPECT_EQ(auto_threads.hit50, serial.hit50);
+  EXPECT_EQ(auto_threads.evaluated, serial.evaluated);
+}
+
 TEST(EvaluateLinkPredictionTest, BadRangeRejected) {
   Dataset data = MakeLastfm(0.15, 8).value();
   RandomRecommender random;
@@ -247,6 +295,28 @@ TEST(RunDisturbanceProtocolTest, OneResultPerEta) {
       data, etas, config);
   ASSERT_TRUE(results.ok());
   EXPECT_EQ(results.value().size(), 3u);
+}
+
+TEST(RunDisturbanceProtocolTest, ThreadCountDoesNotChangeResults) {
+  Dataset data = MakeLastfm(0.15, 11).value();
+  EvalConfig config;
+  config.max_test_edges = 50;
+  const std::vector<size_t> etas = {5, 20, 0};
+  auto factory = [] {
+    return std::unique_ptr<Recommender>(new RandomRecommender());
+  };
+  config.threads = 1;
+  auto serial = RunDisturbanceProtocol(factory, data, etas, config);
+  config.threads = 4;
+  auto parallel = RunDisturbanceProtocol(factory, data, etas, config);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().size(), parallel.value().size());
+  for (size_t i = 0; i < serial.value().size(); ++i) {
+    EXPECT_EQ(serial.value()[i].mrr, parallel.value()[i].mrr) << "eta#" << i;
+    EXPECT_EQ(serial.value()[i].hit50, parallel.value()[i].hit50)
+        << "eta#" << i;
+  }
 }
 
 }  // namespace

@@ -49,7 +49,10 @@ TEST(ParseUintTest, ValidAndInvalid) {
 class TsvFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/supa_tsv_test.tsv";
+    // Per-test-case file name: `ctest -j` runs the cases of this fixture
+    // as concurrent processes, so a shared path races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/supa_tsv_" + info->name() + ".tsv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

@@ -2,8 +2,8 @@
 //
 //   supa_cli generate  --dataset taobao --scale 1 --seed 7 --out edges.tsv
 //   supa_cli train     --dataset taobao --checkpoint model.bin [--dim 64]
-//                      [--iters 16] [--scale 1] [--seed 7]
-//   supa_cli eval      --dataset taobao --checkpoint model.bin
+//                      [--iters 16] [--scale 1] [--seed 7] [--threads N]
+//   supa_cli eval      --dataset taobao --checkpoint model.bin [--threads N]
 //   supa_cli recommend --dataset taobao --checkpoint model.bin --user 3
 //                      --relation Buy [--k 10]
 //   supa_cli mine      --dataset kuaishou [--scale 1]
@@ -11,6 +11,8 @@
 // `--dataset` names one of the bundled paper-dataset emulators; the same
 // (--dataset, --scale, --seed) triple regenerates the identical stream, so
 // train/eval/recommend compose across invocations via the checkpoint.
+// `--threads` sets the evaluation/validation worker count (0 = all cores,
+// the default); results are bit-identical at every setting.
 
 #include <cstdio>
 #include <cstring>
@@ -106,6 +108,7 @@ int CmdTrain(const Args& args) {
   InsLearnConfig tc;
   tc.max_iters = static_cast<int>(args.GetUint("iters", 16));
   tc.valid_interval = 4;
+  tc.threads = static_cast<size_t>(args.GetUint("threads", 0));
   InsLearnTrainer trainer(tc);
   auto report = trainer.Train(model, data.value(), split.train);
   if (!report.ok()) {
@@ -165,6 +168,7 @@ int CmdEval(const Args& args) {
 
   EvalConfig eval;
   eval.max_test_edges = args.GetUint("test-edges", 500);
+  eval.threads = static_cast<size_t>(args.GetUint("threads", 0));
   auto r = EvaluateLinkPrediction(wrapper, data.value(), split.test,
                                   EdgeRange{0, split.valid.end}, eval);
   if (!r.ok()) {
