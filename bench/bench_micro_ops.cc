@@ -8,6 +8,7 @@
 #include "core/inslearn.h"
 #include "core/model.h"
 #include "data/synthetic.h"
+#include "util/simd.h"
 
 namespace supa {
 namespace {
@@ -113,6 +114,193 @@ void BM_AdamStepRows(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_AdamStepRows)->Arg(4)->Arg(16)->Arg(64);
+
+// ---- SIMD kernels: dispatched (avx2 where available) vs portable ---------
+
+std::vector<float> KernelVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+void BM_SimdDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = KernelVec(n, 1), b = KernelVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::BackendName());
+}
+BENCHMARK(BM_SimdDot)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PortableDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = KernelVec(n, 1), b = KernelVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::portable::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PortableDot)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SimdAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = KernelVec(n, 3);
+  auto y = KernelVec(n, 4);
+  for (auto _ : state) {
+    simd::Axpy(0.37, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::BackendName());
+}
+BENCHMARK(BM_SimdAxpy)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PortableAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = KernelVec(n, 3);
+  auto y = KernelVec(n, 4);
+  for (auto _ : state) {
+    simd::portable::Axpy(0.37, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PortableAxpy)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SimdScoreDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto al = KernelVec(n, 5), as = KernelVec(n, 6), ac = KernelVec(n, 7),
+             bl = KernelVec(n, 8), bs = KernelVec(n, 9), bc = KernelVec(n, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::ScoreDot(al.data(), as.data(), ac.data(),
+                                            bl.data(), bs.data(), bc.data(),
+                                            1.0, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::BackendName());
+}
+BENCHMARK(BM_SimdScoreDot)->Arg(32)->Arg(64)->Arg(128);
+
+// ---- GradBuffer: flat open-addressing table under training-like load -----
+
+void BM_GradBufferAccumulate(benchmark::State& state) {
+  // One training step's shape: `rows` distinct rows, each accumulated
+  // twice (influenced node + negative duplicate), then cleared.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  GradBuffer grads;
+  std::vector<float> grad_row(dim, 0.01f);
+  for (auto _ : state) {
+    grads.Clear();
+    for (size_t r = 0; r < rows; ++r) {
+      grads.Accumulate(r * dim * 3, dim, 1.0, grad_row.data());
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      grads.Accumulate(r * dim * 3, dim, -0.5, grad_row.data());
+    }
+    benchmark::DoNotOptimize(grads.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_GradBufferAccumulate)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- Influenced-graph sampling: per-Walk heap vectors vs flat arena ------
+
+void BM_InfluencedGraphSamplingArena(benchmark::State& state) {
+  const Dataset& data = BenchData();
+  SupaConfig config = BenchConfig();
+  config.num_walks = static_cast<int>(state.range(0));
+  auto model = WarmModel(config, 5000);
+  InfluencedGraphSampler sampler(model->graph(), data.metapaths,
+                                 config.num_walks, config.walk_len);
+  Rng rng(1);
+  WalkBuffer arena;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    size_t u_count = 0;
+    sampler.SampleInto(e.src, e.dst, rng, &arena, &u_count);
+    benchmark::DoNotOptimize(arena.num_steps());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InfluencedGraphSamplingArena)->Arg(1)->Arg(4)->Arg(16);
+
+// ---- Snapshots: full-buffer copy vs O(dirty) delta -----------------------
+
+std::unique_ptr<SupaModel> TrainedModel(size_t train_edges) {
+  const Dataset& data = BenchData();
+  auto model = std::make_unique<SupaModel>(data, BenchConfig());
+  for (size_t i = 0; i < train_edges && i < data.edges.size(); ++i) {
+    (void)model->TrainEdge(data.edges[i]);
+    (void)model->ObserveEdge(data.edges[i]);
+  }
+  return model;
+}
+
+/// Dirties a validation-interval's worth of rows between snapshots.
+void TrainBurst(SupaModel& model, size_t begin, size_t count) {
+  const Dataset& data = BenchData();
+  for (size_t i = begin; i < begin + count && i < data.edges.size(); ++i) {
+    (void)model.TrainEdge(data.edges[i]);
+  }
+}
+
+void BM_TakeFullSnapshot(benchmark::State& state) {
+  auto model = TrainedModel(2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->TakeSnapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TakeFullSnapshot);
+
+void BM_TakeDeltaSnapshot(benchmark::State& state) {
+  auto model = TrainedModel(2000);
+  (void)model->TakeDeltaSnapshot();  // establish the baseline outside timing
+  size_t i = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrainBurst(*model, 2000 + (i++ % 2000), 32);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model->TakeDeltaSnapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TakeDeltaSnapshot);
+
+void BM_RestoreFullSnapshot(benchmark::State& state) {
+  auto model = TrainedModel(2000);
+  const SupaModel::Snapshot snap = model->TakeSnapshot();
+  size_t i = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrainBurst(*model, 2000 + (i++ % 2000), 32);
+    state.ResumeTiming();
+    model->RestoreSnapshot(snap);
+    benchmark::DoNotOptimize(model->store().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RestoreFullSnapshot);
+
+void BM_RestoreDeltaSnapshot(benchmark::State& state) {
+  auto model = TrainedModel(2000);
+  const SupaModel::DeltaSnapshot snap = model->TakeDeltaSnapshot();
+  size_t i = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrainBurst(*model, 2000 + (i++ % 2000), 32);
+    state.ResumeTiming();
+    model->RestoreDeltaSnapshot(snap);
+    benchmark::DoNotOptimize(model->store().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RestoreDeltaSnapshot);
 
 void BM_InsLearnBatch(benchmark::State& state) {
   const Dataset& data = BenchData();

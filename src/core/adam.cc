@@ -6,15 +6,62 @@
 
 namespace supa {
 
-float* GradBuffer::Row(size_t offset, size_t len) {
-  auto it = index_.find(offset);
-  if (it == index_.end()) {
-    Slot slot{data_.size(), len};
-    data_.resize(data_.size() + len, 0.0f);
-    it = index_.emplace(offset, slot).first;
+namespace {
+/// Initial slot-table size; must be a power of two.
+constexpr size_t kInitialSlots = 64;
+}  // namespace
+
+uint32_t RowIndex::FindOrInsert(size_t offset, uint32_t len, bool* inserted) {
+  if (table_.empty()) Rehash(kInitialSlots);
+  // Grow at 50% load so probe chains stay short.
+  if ((entries_.size() + 1) * 2 > table_.size()) Rehash(table_.size() * 2);
+
+  size_t slot = Hash(offset) & mask_;
+  while (true) {
+    const uint32_t id_plus1 = table_[slot];
+    if (id_plus1 == 0) {
+      const uint32_t id = static_cast<uint32_t>(entries_.size());
+      table_[slot] = id + 1;
+      entries_.push_back(Entry{offset, len, static_cast<uint32_t>(slot)});
+      *inserted = true;
+      return id;
+    }
+    const Entry& e = entries_[id_plus1 - 1];
+    if (e.offset == offset) {
+      assert(e.len == len);
+      *inserted = false;
+      return id_plus1 - 1;
+    }
+    slot = (slot + 1) & mask_;
   }
-  assert(it->second.len == len);
-  return data_.data() + it->second.pos;
+}
+
+void RowIndex::Rehash(size_t new_slots) {
+  table_.assign(new_slots, 0);
+  mask_ = new_slots - 1;
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    size_t slot = Hash(entries_[id].offset) & mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & mask_;
+    table_[slot] = id + 1;
+    entries_[id].slot = static_cast<uint32_t>(slot);
+  }
+}
+
+void RowIndex::Clear() {
+  // Reset only the slots that are in use — O(entries), not O(table).
+  for (const Entry& e : entries_) table_[e.slot] = 0;
+  entries_.clear();
+}
+
+float* GradBuffer::Row(size_t offset, size_t len) {
+  bool inserted = false;
+  const uint32_t id =
+      index_.FindOrInsert(offset, static_cast<uint32_t>(len), &inserted);
+  if (inserted) {
+    pos_.push_back(data_.size());
+    data_.resize(data_.size() + len, 0.0f);
+  }
+  return data_.data() + pos_[id];
 }
 
 void GradBuffer::Accumulate(size_t offset, size_t len, double alpha,
@@ -31,7 +78,8 @@ void GradBuffer::AccumulateScalar(size_t offset, double g) {
 }
 
 void GradBuffer::Clear() {
-  index_.clear();
+  index_.Clear();
+  pos_.clear();
   data_.clear();
 }
 
@@ -50,6 +98,7 @@ void SparseAdam::Step(const GradBuffer& grads, float* params) {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
   grads.ForEach([&](size_t offset, const float* g, size_t len) {
+    dirty_.Mark(offset, static_cast<uint32_t>(len));
     for (size_t i = 0; i < len; ++i) {
       const size_t p = offset + i;
       const double gi = g[i];

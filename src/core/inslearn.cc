@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace supa {
 namespace {
@@ -79,6 +80,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
                                                         EdgeRange range) {
   InsLearnReport report;
   Rng valid_rng(config_.seed);
+  Timer timer;
 
   for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
     const size_t b1 = std::min(b0 + config_.batch_size, range.end);
@@ -89,17 +91,24 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
 
     double best_score = 0.0;
     int patience_used = 0;
+    // Φ_best is captured lazily on the first validation improvement; a
+    // batch that never improves (or never validates) pays nothing.
     bool have_best = false;
-    SupaModel::Snapshot best = model.TakeSnapshot();
+    SupaModel::DeltaSnapshot best_delta;
+    SupaModel::Snapshot best_full;
 
     bool first_iteration = true;
     for (int iter = 1; iter <= config_.max_iters; ++iter) {
       for (size_t i = b0; i < train_end; ++i) {
+        timer.Reset();
         auto stats = model.TrainEdge(data.edges[i]);
+        report.train_seconds += timer.ElapsedSeconds();
         if (!stats.ok()) return stats.status();
         ++report.train_steps;
         if (first_iteration) {
+          timer.Reset();
           SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+          report.observe_seconds += timer.ElapsedSeconds();
         }
       }
       first_iteration = false;
@@ -107,11 +116,19 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
 
       // STEP 3–4: periodic validation with early stopping.
       if (valid_len > 0 && iter % config_.valid_interval == 0) {
+        timer.Reset();
         const double score =
             ValidationScore(model, data, train_end, b1, valid_rng);
+        report.valid_seconds += timer.ElapsedSeconds();
         if (score > best_score) {
           best_score = score;
-          best = model.TakeSnapshot();
+          timer.Reset();
+          if (config_.use_delta_snapshots) {
+            best_delta = model.TakeDeltaSnapshot();
+          } else {
+            best_full = model.TakeSnapshot();
+          }
+          report.snapshot_seconds += timer.ElapsedSeconds();
           have_best = true;
           patience_used = 0;
         } else {
@@ -122,14 +139,24 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
     }
 
     // STEP 5: roll back to the best validated model.
-    if (have_best) model.RestoreSnapshot(best);
+    if (have_best) {
+      timer.Reset();
+      if (config_.use_delta_snapshots) {
+        model.RestoreDeltaSnapshot(best_delta);
+      } else {
+        model.RestoreSnapshot(best_full);
+      }
+      report.snapshot_seconds += timer.ElapsedSeconds();
+    }
     report.batch_scores.push_back(best_score);
 
     // The validation edges are part of the stream; make them visible to
     // subsequent batches (graph only; per Algorithm 1 they are not trained).
+    timer.Reset();
     for (size_t i = train_end; i < b1; ++i) {
       SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
     }
+    report.observe_seconds += timer.ElapsedSeconds();
     ++report.num_batches;
   }
   return report;
@@ -141,6 +168,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
   InsLearnReport report;
   report.num_batches = 1;
   Rng valid_rng(config_.seed);
+  Timer timer;
 
   const size_t n = range.size();
   size_t valid_len = std::min(config_.valid_size, n / 5);
@@ -148,26 +176,41 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
 
   double best_score = 0.0;
   int patience_used = 0;
+  // Lazily captured on the first validation improvement, as in
+  // TrainSinglePass.
   bool have_best = false;
-  SupaModel::Snapshot best = model.TakeSnapshot();
+  SupaModel::DeltaSnapshot best_delta;
+  SupaModel::Snapshot best_full;
 
   for (int epoch = 1; epoch <= config_.full_pass_epochs; ++epoch) {
     for (size_t i = range.begin; i < train_end; ++i) {
+      timer.Reset();
       auto stats = model.TrainEdge(data.edges[i]);
+      report.train_seconds += timer.ElapsedSeconds();
       if (!stats.ok()) return stats.status();
       ++report.train_steps;
       if (epoch == 1) {
+        timer.Reset();
         SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+        report.observe_seconds += timer.ElapsedSeconds();
       }
     }
     ++report.iterations;
     if (valid_len > 0) {
+      timer.Reset();
       const double score =
           ValidationScore(model, data, train_end, range.end, valid_rng);
+      report.valid_seconds += timer.ElapsedSeconds();
       report.batch_scores.push_back(score);
       if (score > best_score) {
         best_score = score;
-        best = model.TakeSnapshot();
+        timer.Reset();
+        if (config_.use_delta_snapshots) {
+          best_delta = model.TakeDeltaSnapshot();
+        } else {
+          best_full = model.TakeSnapshot();
+        }
+        report.snapshot_seconds += timer.ElapsedSeconds();
         have_best = true;
         patience_used = 0;
       } else if (++patience_used > config_.patience) {
@@ -175,10 +218,20 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
       }
     }
   }
-  if (have_best) model.RestoreSnapshot(best);
+  if (have_best) {
+    timer.Reset();
+    if (config_.use_delta_snapshots) {
+      model.RestoreDeltaSnapshot(best_delta);
+    } else {
+      model.RestoreSnapshot(best_full);
+    }
+    report.snapshot_seconds += timer.ElapsedSeconds();
+  }
+  timer.Reset();
   for (size_t i = train_end; i < range.end; ++i) {
     SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
   }
+  report.observe_seconds += timer.ElapsedSeconds();
   return report;
 }
 

@@ -28,6 +28,16 @@ struct InsLearnReport {
   size_t train_steps = 0;
   /// Total within-batch iterations executed.
   size_t iterations = 0;
+
+  // Per-phase wall-clock breakdown (seconds), for the runtime benches.
+  /// Time inside TrainEdge calls.
+  double train_seconds = 0.0;
+  /// Time computing validation MRR.
+  double valid_seconds = 0.0;
+  /// Time taking + restoring Φ_best snapshots.
+  double snapshot_seconds = 0.0;
+  /// Time inserting edges into the graph (ObserveEdge).
+  double observe_seconds = 0.0;
 };
 
 /// Drives SupaModel training over an edge range of a dataset.

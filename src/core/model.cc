@@ -1,12 +1,23 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 
 #include "util/math_utils.h"
+#include "util/simd.h"
 
 namespace supa {
+
+namespace {
+
+/// Re-base the delta-snapshot baseline once the dirty set covers this
+/// fraction of the parameter buffer: beyond it a delta stops being
+/// meaningfully cheaper than a full copy.
+constexpr double kRebaseDirtyFraction = 0.25;
+
+}  // namespace
 
 SupaModel::SupaModel(const Dataset& data, SupaConfig config)
     : config_(config), rng_(config.seed) {
@@ -33,16 +44,19 @@ Status SupaModel::ObserveEdge(const TemporalEdge& e) {
 
 Status SupaModel::RebuildNegativeTable() {
   observed_since_rebuild_ = 0;
+  // The weight vector is scratch reused across rebuilds — the table is
+  // refreshed every neg_table_refresh observed edges, so reallocating
+  // O(|V|) doubles each time adds up on long streams.
   if (graph_->num_edges() == 0) {
     // Uniform before any structure exists.
-    std::vector<double> w(degrees_.size(), 1.0);
-    return neg_table_.Build(w);
+    neg_weight_scratch_.assign(degrees_.size(), 1.0);
+    return neg_table_.Build(neg_weight_scratch_);
   }
-  std::vector<double> w(degrees_.size());
+  neg_weight_scratch_.resize(degrees_.size());
   for (size_t i = 0; i < degrees_.size(); ++i) {
-    w[i] = std::pow(degrees_[i], 0.75);
+    neg_weight_scratch_[i] = std::pow(degrees_[i], 0.75);
   }
-  return neg_table_.Build(w);
+  return neg_table_.Build(neg_weight_scratch_);
 }
 
 NodeId SupaModel::SampleNegative(NodeId u, NodeId v) {
@@ -57,7 +71,7 @@ void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
   const size_t d = static_cast<size_t>(config_.dim);
   ctx->node = node;
   ctx->grad_h_star.assign(d, 0.0f);
-  ctx->h_star.assign(d, 0.0f);
+  ctx->h_star.resize(d);
   ctx->gamma = 1.0;
   ctx->delta = 0.0;
   ctx->decay_input = 0.0;
@@ -79,15 +93,20 @@ void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
       ctx->gamma = DecayG(ctx->decay_input);
       ctx->short_before.assign(hs, hs + d);
       // Persistent forgetting: the short-term memory itself decays, and the
-      // new interaction's gradient signal is re-encoded into it.
+      // new interaction's gradient signal is re-encoded into it. This
+      // mutates parameters outside the optimizer, so the row is marked
+      // dirty here rather than relying on the optimizer step that
+      // normally follows (TrainEdge can error out in between).
+      adam_->MarkDirty(store_->ShortMemOffset(node),
+                       static_cast<uint32_t>(d));
       Scale(ctx->gamma, hs, d);
     } else {
       ctx->short_before.assign(hs, hs + d);
     }
-    for (size_t i = 0; i < d; ++i) ctx->h_star[i] = hl[i] + hs[i];
+    simd::Add(hl, hs, ctx->h_star.data(), d);
   } else {
     ctx->short_before.clear();
-    for (size_t i = 0; i < d; ++i) ctx->h_star[i] = hl[i];
+    std::memcpy(ctx->h_star.data(), hl, d * sizeof(float));
   }
 }
 
@@ -111,7 +130,8 @@ void SupaModel::BackpropUpdater(const UpdateContext& ctx) {
   }
 }
 
-Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e) {
+Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
+                                        const TrainOptions& options) {
   if (e.src >= graph_->num_nodes() || e.dst >= graph_->num_nodes()) {
     return Status::OutOfRange("train edge endpoint out of range");
   }
@@ -127,15 +147,13 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e) {
   RunUpdater(e.dst, e.time, &ctx_v_);
 
   // ---- interaction loss (Eq. 6–7) ----------------------------------------
-  if (config_.use_inter_loss) {
+  if (config_.use_inter_loss && options.use_inter_loss) {
     scratch_hr_u_.resize(d);
     scratch_hr_v_.resize(d);
     const float* cu = store_->Context(e.src, r_ctx);
     const float* cv = store_->Context(e.dst, r_ctx);
-    for (size_t i = 0; i < d; ++i) {
-      scratch_hr_u_[i] = 0.5f * (ctx_u_.h_star[i] + cu[i]);
-      scratch_hr_v_[i] = 0.5f * (ctx_v_.h_star[i] + cv[i]);
-    }
+    simd::HalfSum(ctx_u_.h_star.data(), cu, scratch_hr_u_.data(), d);
+    simd::HalfSum(ctx_v_.h_star.data(), cv, scratch_hr_v_.data(), d);
     const double s = Dot(scratch_hr_u_.data(), scratch_hr_v_.data(), d);
     stats.loss_inter = -LogSigmoid(s);
     const double a = 1.0 - Sigmoid(s);  // -dL/ds
@@ -150,12 +168,18 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e) {
 
   // ---- time-aware propagation (Eq. 8–10) ----------------------------------
   if (config_.use_prop_loss) {
-    InfluencedGraph influenced = sampler_->Sample(e.src, e.dst, rng_);
-    auto propagate = [&](const std::vector<Walk>& walks,
+    // The influenced graph is sampled into a model-owned arena reused
+    // across edges — no per-walk heap traffic on the hot path.
+    size_t u_walks = 0;
+    sampler_->SampleInto(e.src, e.dst, rng_, &walk_arena_, &u_walks);
+    auto propagate = [&](size_t walk_begin, size_t walk_end,
                          UpdateContext& origin) {
-      for (const Walk& walk : walks) {
+      for (size_t w = walk_begin; w < walk_end; ++w) {
+        const WalkBuffer::Span& span = walk_arena_.walk(w);
+        const WalkStep* steps = walk_arena_.steps_of(span);
         double f = 1.0;  // cumulative attenuation along the path
-        for (const WalkStep& step : walk.steps) {
+        for (size_t si = 0; si < span.size(); ++si) {
+          const WalkStep& step = steps[si];
           if (config_.use_prop_decay) {
             const double delta_e = std::max(0.0, e.time - step.via_time);
             if (FilterD(delta_e, config_.tau) == 0.0) break;  // termination
@@ -174,8 +198,8 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e) {
         }
       }
     };
-    propagate(influenced.from_u, ctx_u_);
-    propagate(influenced.from_v, ctx_v_);
+    propagate(0, u_walks, ctx_u_);
+    propagate(u_walks, walk_arena_.num_walks(), ctx_v_);
   }
 
   // ---- negative sampling loss (Eq. 12) -------------------------------------
@@ -216,42 +240,27 @@ Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
   // the change through the remaining influenced graph. The interaction
   // loss is skipped — a deleted edge is no longer evidence that u and v
   // should embed closely.
-  SupaConfig saved = config_;
-  config_.use_inter_loss = false;
-  auto stats = TrainEdge(TemporalEdge{u, v, r, t});
-  config_ = saved;
-  return stats;
+  TrainOptions options;
+  options.use_inter_loss = false;
+  return TrainEdge(TemporalEdge{u, v, r, t}, options);
 }
 
 double SupaModel::Score(NodeId u, NodeId v, EdgeTypeId r) const {
   const size_t d = static_cast<size_t>(config_.dim);
   const EdgeTypeId rr = CtxRel(r);
-  const float* ul = store_->LongMem(u);
-  const float* us = store_->ShortMem(u);
-  const float* uc = store_->Context(u, rr);
-  const float* vl = store_->LongMem(v);
-  const float* vs = store_->ShortMem(v);
-  const float* vc = store_->Context(v, rr);
-  double acc = 0.0;
-  const double short_u = config_.use_short_term ? 1.0 : 0.0;
-  for (size_t i = 0; i < d; ++i) {
-    const double hu = 0.5 * (ul[i] + short_u * us[i] + uc[i]);
-    const double hv = 0.5 * (vl[i] + short_u * vs[i] + vc[i]);
-    acc += hu * hv;
-  }
-  return acc;
+  const double short_w = config_.use_short_term ? 1.0 : 0.0;
+  return simd::ScoreDot(store_->LongMem(u), store_->ShortMem(u),
+                        store_->Context(u, rr), store_->LongMem(v),
+                        store_->ShortMem(v), store_->Context(v, rr), short_w,
+                        d);
 }
 
 void SupaModel::FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const {
   const size_t d = static_cast<size_t>(config_.dim);
   const EdgeTypeId rr = CtxRel(r);
-  const float* hl = store_->LongMem(v);
-  const float* hs = store_->ShortMem(v);
-  const float* c = store_->Context(v, rr);
   const double short_w = config_.use_short_term ? 1.0 : 0.0;
-  for (size_t i = 0; i < d; ++i) {
-    out[i] = static_cast<float>(0.5 * (hl[i] + short_w * hs[i] + c[i]));
-  }
+  simd::CombineHalf(store_->LongMem(v), store_->ShortMem(v),
+                    store_->Context(v, rr), short_w, out, d);
 }
 
 SupaModel::Snapshot SupaModel::TakeSnapshot() const {
@@ -261,6 +270,115 @@ SupaModel::Snapshot SupaModel::TakeSnapshot() const {
 void SupaModel::RestoreSnapshot(const Snapshot& snapshot) {
   store_->Restore(snapshot.params);
   adam_->Restore(snapshot.adam);
+  // The whole buffer changed; dirty tracking no longer describes the
+  // distance to the old baseline.
+  InvalidateDeltaBaseline();
+}
+
+void SupaModel::InvalidateDeltaBaseline() {
+  delta_baseline_.reset();
+  adam_->ClearDirty();
+}
+
+SupaModel::DeltaSnapshot SupaModel::TakeDeltaSnapshot() {
+  if (delta_baseline_ == nullptr ||
+      static_cast<double>(adam_->dirty_rows().num_floats()) >
+          kRebaseDirtyFraction * static_cast<double>(store_->size())) {
+    // (Re-)establish the baseline: one full copy, after which snapshots
+    // and restores are O(dirty) until the dirty set grows too large again.
+    delta_baseline_ = std::make_shared<const Snapshot>(TakeSnapshot());
+    adam_->ClearDirty();
+  }
+
+  const DirtyRowSet& dirty = adam_->dirty_rows();
+  DeltaSnapshot snap;
+  snap.baseline = delta_baseline_;
+  snap.adam_step = adam_->step_count();
+  snap.offsets.reserve(dirty.num_rows());
+  snap.lens.reserve(dirty.num_rows());
+  snap.params.reserve(dirty.num_floats());
+  snap.m.reserve(dirty.num_floats());
+  snap.v.reserve(dirty.num_floats());
+  const float* params = store_->data();
+  const float* m = adam_->m_data();
+  const float* v = adam_->v_data();
+  dirty.ForEach([&](size_t offset, uint32_t len) {
+    snap.offsets.push_back(offset);
+    snap.lens.push_back(len);
+    snap.params.insert(snap.params.end(), params + offset,
+                       params + offset + len);
+    snap.m.insert(snap.m.end(), m + offset, m + offset + len);
+    snap.v.insert(snap.v.end(), v + offset, v + offset + len);
+  });
+#ifndef NDEBUG
+  snap.debug_full = TakeSnapshot();
+#endif
+  return snap;
+}
+
+void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
+  assert(snapshot.baseline != nullptr &&
+         "RestoreDeltaSnapshot needs a snapshot from TakeDeltaSnapshot");
+  float* params = store_->data();
+  float* m = adam_->m_data();
+  float* v = adam_->v_data();
+  // Baseline identity (not an id/epoch counter) gates the fast path: both
+  // shared_ptrs pin their object, so pointer equality here can never alias
+  // a freed-and-recycled baseline.
+  if (delta_baseline_ != nullptr && snapshot.baseline == delta_baseline_) {
+    // Fast path: revert every row dirty since the shared baseline, then
+    // re-apply the snapshot's rows below — O(dirty) total.
+    const Snapshot& base = *delta_baseline_;
+    adam_->dirty_rows().ForEach([&](size_t offset, uint32_t len) {
+      std::memcpy(params + offset, base.params.data() + offset,
+                  len * sizeof(float));
+      std::memcpy(m + offset, base.adam.m.data() + offset,
+                  len * sizeof(float));
+      std::memcpy(v + offset, base.adam.v.data() + offset,
+                  len * sizeof(float));
+    });
+  } else {
+    // Full-copy fallback: the model was re-based or fully restored since
+    // this snapshot was taken, so its baseline (kept alive by the shared
+    // handle) is copied wholesale and adopted as the live baseline.
+    const Snapshot& base = *snapshot.baseline;
+    std::memcpy(params, base.params.data(),
+                base.params.size() * sizeof(float));
+    std::memcpy(m, base.adam.m.data(), base.adam.m.size() * sizeof(float));
+    std::memcpy(v, base.adam.v.data(), base.adam.v.size() * sizeof(float));
+    delta_baseline_ = snapshot.baseline;
+  }
+
+  size_t pos = 0;
+  for (size_t i = 0; i < snapshot.offsets.size(); ++i) {
+    const size_t offset = snapshot.offsets[i];
+    const size_t len = snapshot.lens[i];
+    std::memcpy(params + offset, snapshot.params.data() + pos,
+                len * sizeof(float));
+    std::memcpy(m + offset, snapshot.m.data() + pos, len * sizeof(float));
+    std::memcpy(v + offset, snapshot.v.data() + pos, len * sizeof(float));
+    pos += len;
+  }
+  adam_->set_step_count(snapshot.adam_step);
+
+  // The live state now differs from the baseline exactly on the
+  // snapshot's rows.
+  adam_->ClearDirty();
+  for (size_t i = 0; i < snapshot.offsets.size(); ++i) {
+    adam_->MarkDirty(snapshot.offsets[i], snapshot.lens[i]);
+  }
+
+#ifndef NDEBUG
+  // Determinism contract: the delta path must reproduce a full restore
+  // bit-for-bit.
+  if (!snapshot.debug_full.params.empty()) {
+    assert(store_->Snapshot() == snapshot.debug_full.params);
+    const SparseAdam::State state = adam_->Snapshot();
+    assert(state.m == snapshot.debug_full.adam.m);
+    assert(state.v == snapshot.debug_full.adam.v);
+    assert(state.step == snapshot.debug_full.adam.step);
+  }
+#endif
 }
 
 }  // namespace supa

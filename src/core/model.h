@@ -6,6 +6,7 @@
 #ifndef SUPA_CORE_MODEL_H_
 #define SUPA_CORE_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,14 @@ struct TrainStats {
   double total() const { return loss_inter + loss_prop + loss_neg; }
 };
 
+/// Per-call switches for one TrainEdge step, layered on top of the model's
+/// SupaConfig (a loss runs only when both the config and the options enable
+/// it). This is how DeleteEdge suppresses the interaction loss without
+/// mutating the model's configuration.
+struct TrainOptions {
+  bool use_inter_loss = true;
+};
+
 /// A trainable SUPA instance bound to one dataset's node universe, schema,
 /// and metapath set. The model owns its incrementally-built DynamicGraph;
 /// callers drive the stream with ObserveEdge (graph insertion) and
@@ -49,7 +58,8 @@ class SupaModel {
   /// forgetting), propagate (Eq. 8–10), add negatives (Eq. 12), and apply
   /// one AdamW step on all touched parameters. Does not insert e into the
   /// graph.
-  Result<TrainStats> TrainEdge(const TemporalEdge& e);
+  Result<TrainStats> TrainEdge(const TemporalEdge& e,
+                               const TrainOptions& options = TrainOptions{});
 
   /// Edge deletion (§III-A): removes the most recent (u, v, r) edge from
   /// the graph so walks no longer traverse it, and runs one training step
@@ -76,6 +86,45 @@ class SupaModel {
   };
   Snapshot TakeSnapshot() const;
   void RestoreSnapshot(const Snapshot& snapshot);
+
+  /// O(dirty) snapshot: the rows touched since the current baseline plus a
+  /// shared handle to that baseline. Algorithm 1 snapshots every
+  /// I_valid-th iteration but only O(touched-rows) parameters actually
+  /// change between snapshots, so copying the dirty rows instead of the
+  /// whole buffer turns an O(|V|·(2+R)·d) copy into an O(dirty) one.
+  ///
+  /// Protocol:
+  ///   * The model keeps one full baseline copy (re-established lazily and
+  ///     whenever the dirty set outgrows kRebaseDirtyFraction of the
+  ///     buffer, which amortizes the occasional full copy).
+  ///   * TakeDeltaSnapshot records every row dirty since that baseline.
+  ///   * RestoreDeltaSnapshot reverts currently-dirty rows to the baseline
+  ///     and re-applies the snapshot's rows — O(dirty) when the snapshot
+  ///     shares the live baseline (compared by shared_ptr identity, which
+  ///     both sides keep alive, so it cannot alias a recycled object), and
+  ///     a full copy from the snapshot's own baseline otherwise, so stale
+  ///     snapshots restore correctly after a re-base or a full
+  ///     RestoreSnapshot.
+  ///
+  /// Debug builds additionally embed a full copy in every delta snapshot
+  /// and assert after restore that the delta path reproduced it
+  /// bit-for-bit.
+  struct DeltaSnapshot {
+    std::shared_ptr<const Snapshot> baseline;
+    /// Dirty rows at snapshot time: row i covers
+    /// [offsets[i], offsets[i] + lens[i]) and its payload lives at the
+    /// running prefix position in params/m/v.
+    std::vector<size_t> offsets;
+    std::vector<uint32_t> lens;
+    std::vector<float> params;
+    std::vector<float> m;
+    std::vector<float> v;
+    uint64_t adam_step = 0;
+    /// Filled only in debug builds (determinism cross-check).
+    Snapshot debug_full;
+  };
+  DeltaSnapshot TakeDeltaSnapshot();
+  void RestoreDeltaSnapshot(const DeltaSnapshot& snapshot);
 
   const DynamicGraph& graph() const { return *graph_; }
   DynamicGraph& mutable_graph() { return *graph_; }
@@ -111,6 +160,10 @@ class SupaModel {
   /// Samples one negative node id != u, v.
   NodeId SampleNegative(NodeId u, NodeId v);
 
+  /// Drops the delta baseline (after a whole-buffer restore) so stale
+  /// delta snapshots take the full-copy fallback.
+  void InvalidateDeltaBaseline();
+
   SupaConfig config_;
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<EmbeddingStore> store_;
@@ -123,11 +176,16 @@ class SupaModel {
   AliasTable neg_table_;
   size_t observed_since_rebuild_ = 0;
 
+  // delta-snapshot baseline (see DeltaSnapshot)
+  std::shared_ptr<const Snapshot> delta_baseline_;
+
   // reusable scratch
   UpdateContext ctx_u_;
   UpdateContext ctx_v_;
   std::vector<float> scratch_hr_u_;
   std::vector<float> scratch_hr_v_;
+  WalkBuffer walk_arena_;
+  std::vector<double> neg_weight_scratch_;
 };
 
 }  // namespace supa

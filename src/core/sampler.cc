@@ -37,4 +37,24 @@ InfluencedGraph InfluencedGraphSampler::Sample(NodeId u, NodeId v,
   return g;
 }
 
+void InfluencedGraphSampler::SampleFromInto(NodeId start, Rng& rng,
+                                            WalkBuffer* out) const {
+  const auto& candidates = by_head_type_[graph_->NodeType(start)];
+  if (candidates.empty()) return;
+  for (int w = 0; w < num_walks_; ++w) {
+    const size_t mp = candidates[rng.Index(candidates.size())];
+    walker_.SampleMetapathWalkInto(start, metapaths_[mp],
+                                   static_cast<size_t>(walk_len_), rng, out);
+  }
+}
+
+void InfluencedGraphSampler::SampleInto(NodeId u, NodeId v, Rng& rng,
+                                        WalkBuffer* out,
+                                        size_t* u_count) const {
+  out->Clear();
+  SampleFromInto(u, rng, out);
+  *u_count = out->num_walks();
+  SampleFromInto(v, rng, out);
+}
+
 }  // namespace supa

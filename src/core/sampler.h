@@ -45,6 +45,17 @@ class InfluencedGraphSampler {
   /// Samples just the paths for one start node.
   void SampleFrom(NodeId start, Rng& rng, std::vector<Walk>* out) const;
 
+  /// Arena variant of Sample: clears `out`, writes \vec{p}_u then
+  /// \vec{p}_v into it, and sets `*u_count` to the number of u-walks —
+  /// spans [0, *u_count) start at u, the rest at v. Draws the same rng
+  /// sequence as Sample, so the two are interchangeable bit-for-bit.
+  void SampleInto(NodeId u, NodeId v, Rng& rng, WalkBuffer* out,
+                  size_t* u_count) const;
+
+  /// Arena variant of SampleFrom: appends spans to `out` (zero-hop walks
+  /// omitted, as in SampleFrom).
+  void SampleFromInto(NodeId start, Rng& rng, WalkBuffer* out) const;
+
   const std::vector<MetapathSchema>& metapaths() const { return metapaths_; }
 
  private:

@@ -24,21 +24,26 @@ Walk Walker::SampleMetapathWalk(NodeId start, const MetapathSchema& schema,
                                 size_t walk_len, Rng& rng) const {
   Walk walk;
   walk.start = start;
-  if (walk_len <= 1) return walk;
-  if (graph_->NodeType(start) != schema.head()) return walk;
-  walk.steps.reserve(walk_len - 1);
-  NodeId cur = start;
-  for (size_t hop = 0; hop + 1 < walk_len; ++hop) {
-    const MetapathStep& constraint = schema.StepAt(hop);
-    Neighbor nb;
-    if (!SampleAdmissible(cur, constraint.edge_types, constraint.dst_type,
-                          rng, &nb)) {
-      break;
-    }
-    walk.steps.push_back(WalkStep{nb.node, nb.edge_type, nb.time});
-    cur = nb.node;
-  }
+  if (walk_len > 1) walk.steps.reserve(walk_len - 1);
+  WalkMetapath(start, schema, walk_len, rng,
+               [&](const WalkStep& step) { walk.steps.push_back(step); });
   return walk;
+}
+
+size_t Walker::SampleMetapathWalkInto(NodeId start,
+                                      const MetapathSchema& schema,
+                                      size_t walk_len, Rng& rng,
+                                      WalkBuffer* out) const {
+  out->BeginWalk(start);
+  const size_t hops =
+      WalkMetapath(start, schema, walk_len, rng,
+                   [out](const WalkStep& step) { out->PushStep(step); });
+  if (hops == 0) {
+    out->AbortWalk();
+  } else {
+    out->CommitWalk();
+  }
+  return hops;
 }
 
 Walk Walker::SampleUniformWalk(NodeId start, size_t walk_len,

@@ -5,6 +5,8 @@
 #ifndef SUPA_GRAPH_WALKER_H_
 #define SUPA_GRAPH_WALKER_H_
 
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
@@ -33,6 +35,76 @@ struct Walk {
   size_t length() const { return steps.size() + 1; }
 };
 
+/// A caller-owned flat arena of walks: every step of every walk lives in
+/// one contiguous `steps` vector and each walk is a [begin, end) span over
+/// it. Reusing one WalkBuffer across training edges makes influenced-graph
+/// sampling allocation-free in steady state (per-`Walk` heap vectors were
+/// the hot path's dominant allocation source).
+class WalkBuffer {
+ public:
+  struct Span {
+    NodeId start = kInvalidNode;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+
+    size_t size() const { return end - begin; }
+  };
+
+  /// Drops all walks; keeps the arena's capacity.
+  void Clear() {
+    steps_.clear();
+    spans_.clear();
+    open_ = false;
+  }
+
+  size_t num_walks() const { return spans_.size(); }
+  size_t num_steps() const { return steps_.size(); }
+
+  const Span& walk(size_t i) const { return spans_[i]; }
+
+  /// First step of `span`; valid while no further steps are appended.
+  const WalkStep* steps_of(const Span& span) const {
+    return steps_.data() + span.begin;
+  }
+
+  // Builder interface (used by Walker / the sampler):
+
+  /// Opens a new walk starting at `start`.
+  void BeginWalk(NodeId start) {
+    assert(!open_);
+    pending_ = Span{start, static_cast<uint32_t>(steps_.size()),
+                    static_cast<uint32_t>(steps_.size())};
+    open_ = true;
+  }
+
+  /// Appends one hop to the open walk.
+  void PushStep(const WalkStep& step) {
+    assert(open_);
+    steps_.push_back(step);
+  }
+
+  /// Closes the open walk, keeping it as a span.
+  void CommitWalk() {
+    assert(open_);
+    pending_.end = static_cast<uint32_t>(steps_.size());
+    spans_.push_back(pending_);
+    open_ = false;
+  }
+
+  /// Discards the open walk and any steps it pushed.
+  void AbortWalk() {
+    assert(open_);
+    steps_.resize(pending_.begin);
+    open_ = false;
+  }
+
+ private:
+  std::vector<WalkStep> steps_;
+  std::vector<Span> spans_;
+  Span pending_;
+  bool open_ = false;
+};
+
 /// Samples walks honoring the graph's neighbor cap.
 class Walker {
  public:
@@ -46,6 +118,13 @@ class Walker {
   Walk SampleMetapathWalk(NodeId start, const MetapathSchema& schema,
                           size_t walk_len, Rng& rng) const;
 
+  /// Arena variant: appends the walk to `out` as a new span and returns the
+  /// number of hops taken. Zero-hop walks append nothing. Draws the same
+  /// rng sequence as SampleMetapathWalk.
+  size_t SampleMetapathWalkInto(NodeId start, const MetapathSchema& schema,
+                                size_t walk_len, Rng& rng,
+                                WalkBuffer* out) const;
+
   /// Uniform random walk (DeepWalk-style); ignores types.
   Walk SampleUniformWalk(NodeId start, size_t walk_len, Rng& rng) const;
 
@@ -55,6 +134,30 @@ class Walker {
                           Rng& rng) const;
 
  private:
+  /// Core metapath loop: feeds sampled hops to `sink(const WalkStep&)` and
+  /// returns the hop count. Shared by the Walk- and arena-returning entry
+  /// points so both draw identical rng sequences.
+  template <typename Sink>
+  size_t WalkMetapath(NodeId start, const MetapathSchema& schema,
+                      size_t walk_len, Rng& rng, Sink&& sink) const {
+    if (walk_len <= 1) return 0;
+    if (graph_->NodeType(start) != schema.head()) return 0;
+    size_t hops = 0;
+    NodeId cur = start;
+    for (size_t hop = 0; hop + 1 < walk_len; ++hop) {
+      const MetapathStep& constraint = schema.StepAt(hop);
+      Neighbor nb;
+      if (!SampleAdmissible(cur, constraint.edge_types, constraint.dst_type,
+                            rng, &nb)) {
+        break;
+      }
+      sink(WalkStep{nb.node, nb.edge_type, nb.time});
+      cur = nb.node;
+      ++hops;
+    }
+    return hops;
+  }
+
   /// Uniformly samples an admissible neighbor of `v` (edge type within
   /// `mask`, destination node type `dst_type`). Returns false if none.
   bool SampleAdmissible(NodeId v, EdgeTypeMask mask, NodeTypeId dst_type,

@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "util/simd.h"
+
 namespace supa {
 
 /// Numerically-safe logistic function.
@@ -46,22 +48,20 @@ inline double TauFromDecayValue(double target) {
   return std::exp(1.0 / target) - M_E;
 }
 
-/// Dense dot product over `n` floats.
+/// Dense dot product over `n` floats (double accumulators; see util/simd.h
+/// for the fixed lane decomposition that keeps it machine-independent).
 inline double Dot(const float* a, const float* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
-  return acc;
+  return simd::Dot(a, b, n);
 }
 
 /// y += alpha * x over `n` floats.
 inline void Axpy(double alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i)
-    y[i] += static_cast<float>(alpha * x[i]);
+  simd::Axpy(alpha, x, y, n);
 }
 
 /// x *= alpha over `n` floats.
 inline void Scale(double alpha, float* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) x[i] = static_cast<float>(alpha * x[i]);
+  simd::Scale(alpha, x, n);
 }
 
 /// Euclidean norm.

@@ -1,0 +1,423 @@
+// Vectorized numeric kernels for the embedding hot paths.
+//
+// Every kernel has two implementations with *bit-identical* results:
+//
+//   * simd::portable::* — plain C++ that fixes the reference semantics, and
+//   * an AVX2+FMA path compiled via function-level target attributes and
+//     selected at runtime with __builtin_cpu_supports, so the default -O2
+//     build gains vector code on machines that have it and stays portable
+//     everywhere else.
+//
+// Bit-identity across backends (and therefore across machines) is part of
+// the library's determinism contract, and is what lets the rest of the
+// code call the dispatched entry points without thinking about hardware.
+// It is achieved by construction:
+//
+//   * Reductions (Dot, ScoreDot) are defined over a fixed lane
+//     decomposition — lane j accumulates elements j, j+L, j+2L, ... — with
+//     a fixed combination tree, and the portable code replicates that
+//     decomposition exactly. float×float products are exact in double
+//     (24+24 < 53 mantissa bits), so FMA and mul-then-add agree on them.
+//   * Where a product is *not* exact (ScoreDot's hu·hv, CombineHalf's
+//     short_w·h^S), both paths use IEEE fused multiply-add (std::fma /
+//     vfmadd), which pins a single rounding on every platform.
+//   * Elementwise kernels (Axpy, Scale, Add, AddInto, HalfSum,
+//     CombineHalf) have no cross-lane dependency at all; both paths apply
+//     the same per-element rounding sequence.
+//
+// The environment variable SUPA_SIMD=portable forces the portable path
+// (useful for cross-checking and benchmarking).
+//
+// Aliasing: for kernels with an output span, the output must be disjoint
+// from the inputs or exactly equal to one of them (AddInto's y, Scale's x);
+// partial overlap is undefined, as with the scalar code they replace.
+
+#ifndef SUPA_UTIL_SIMD_H_
+#define SUPA_UTIL_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SUPA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SUPA_SIMD_X86 0
+#endif
+
+namespace supa::simd {
+
+/// True when the AVX2+FMA fast path is compiled in, supported by the CPU,
+/// and not disabled via SUPA_SIMD=portable.
+inline bool HasAvx2() {
+#if SUPA_SIMD_X86
+  static const bool ok = [] {
+    const char* env = std::getenv("SUPA_SIMD");
+    if (env != nullptr && env[0] == 'p') return false;
+    return static_cast<bool>(__builtin_cpu_supports("avx2")) &&
+           static_cast<bool>(__builtin_cpu_supports("fma"));
+  }();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+/// Human-readable backend name for logs and bench reports.
+inline const char* BackendName() { return HasAvx2() ? "avx2" : "portable"; }
+
+// ---------------------------------------------------------------------------
+// Portable reference implementations. These define the semantics; the AVX2
+// path below reproduces them bit-for-bit.
+// ---------------------------------------------------------------------------
+
+namespace portable {
+
+/// Dot product with double accumulation over 8 fixed lanes:
+/// lane j sums elements j, j+8, ...; lanes combine as
+/// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)); the tail is added sequentially.
+inline double Dot(const float* a, const float* b, size_t n) {
+  double lane[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    for (int j = 0; j < 8; ++j) {
+      // Exact product (float mantissas fit double); += cannot contract
+      // differently from FMA here, so the result is pinned either way.
+      lane[j] += static_cast<double>(a[i + j]) * static_cast<double>(b[i + j]);
+    }
+  }
+  const double r0 = lane[0] + lane[4];
+  const double r1 = lane[1] + lane[5];
+  const double r2 = lane[2] + lane[6];
+  const double r3 = lane[3] + lane[7];
+  double acc = (r0 + r2) + (r1 + r3);
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+/// y[i] += float(alpha * x[i]) — the product rounds to double, converts to
+/// float, then adds in float, exactly like the scalar code it replaces.
+inline void Axpy(double alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += static_cast<float>(alpha * static_cast<double>(x[i]));
+  }
+}
+
+/// x[i] = float(alpha * x[i]).
+inline void Scale(double alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(alpha * static_cast<double>(x[i]));
+  }
+}
+
+/// out[i] = a[i] + b[i] in float.
+inline void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+/// y[i] += x[i] in float.
+inline void AddInto(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+/// out[i] = 0.5f * (a[i] + b[i]) in float.
+inline void HalfSum(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
+}
+
+/// out[i] = float(0.5 * (fma(short_w, hs[i], hl[i]) + c[i])) — the final
+/// embedding h^r = ½(h^L + w·h^S + c^r) in double precision.
+inline void CombineHalf(const float* hl, const float* hs, const float* c,
+                        double short_w, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double t = std::fma(short_w, static_cast<double>(hs[i]),
+                              static_cast<double>(hl[i])) +
+                     static_cast<double>(c[i]);
+    out[i] = static_cast<float>(0.5 * t);
+  }
+}
+
+/// Single tail element of ScoreDot; shared so both backends agree exactly.
+inline double ScoreDotTail(double acc, const float* al, const float* as,
+                           const float* ac, const float* bl, const float* bs,
+                           const float* bc, double short_w, size_t i) {
+  const double hu =
+      0.5 * (std::fma(short_w, static_cast<double>(as[i]),
+                      static_cast<double>(al[i])) +
+             static_cast<double>(ac[i]));
+  const double hv =
+      0.5 * (std::fma(short_w, static_cast<double>(bs[i]),
+                      static_cast<double>(bl[i])) +
+             static_cast<double>(bc[i]));
+  return std::fma(hu, hv, acc);
+}
+
+/// γ(u, v, r) = Σ_i hu_i · hv_i with hu = ½(h^L + w·h^S + c^r) (Eq. 14–15),
+/// fused so scoring never materializes the two final embeddings. Double
+/// accumulation over 4 fixed lanes combined as (l0+l2) + (l1+l3).
+inline double ScoreDot(const float* al, const float* as, const float* ac,
+                       const float* bl, const float* bs, const float* bc,
+                       double short_w, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < n4; i += 4) {
+    for (int j = 0; j < 4; ++j) {
+      lane[j] = ScoreDotTail(lane[j], al, as, ac, bl, bs, bc, short_w, i + j);
+    }
+  }
+  double acc = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+  for (; i < n; ++i) {
+    acc = ScoreDotTail(acc, al, as, ac, bl, bs, bc, short_w, i);
+  }
+  return acc;
+}
+
+}  // namespace portable
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA path. Compiled with per-function target attributes so the
+// translation unit itself needs no -mavx2; only executed after HasAvx2().
+// ---------------------------------------------------------------------------
+
+#if SUPA_SIMD_X86
+
+#define SUPA_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+namespace avx2 {
+
+SUPA_TARGET_AVX2 inline double Dot(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();  // lanes 0..3
+  __m256d acc_hi = _mm256_setzero_pd();  // lanes 4..7
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256 af = _mm256_loadu_ps(a + i);
+    const __m256 bf = _mm256_loadu_ps(b + i);
+    acc_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(af)),
+                             _mm256_cvtps_pd(_mm256_castps256_ps128(bf)),
+                             acc_lo);
+    acc_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(af, 1)),
+                             _mm256_cvtps_pd(_mm256_extractf128_ps(bf, 1)),
+                             acc_hi);
+  }
+  // r[j] = lane_j + lane_{j+4}; then (r0+r2) + (r1+r3).
+  const __m256d r = _mm256_add_pd(acc_lo, acc_hi);
+  const __m128d lo = _mm256_castpd256_pd128(r);        // r0, r1
+  const __m128d hi = _mm256_extractf128_pd(r, 1);      // r2, r3
+  const __m128d s = _mm_add_pd(lo, hi);                // r0+r2, r1+r3
+  double acc = _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+SUPA_TARGET_AVX2 inline void Axpy(double alpha, const float* x, float* y,
+                                  size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256 xf = _mm256_loadu_ps(x + i);
+    // Round alpha*x to double, then to float (matching the scalar
+    // double-rounding), then add in float.
+    const __m128 lo = _mm256_cvtpd_ps(
+        _mm256_mul_pd(va, _mm256_cvtps_pd(_mm256_castps256_ps128(xf))));
+    const __m128 hi = _mm256_cvtpd_ps(
+        _mm256_mul_pd(va, _mm256_cvtps_pd(_mm256_extractf128_ps(xf, 1))));
+    const __m256 prod = _mm256_set_m128(hi, lo);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) {
+    y[i] += static_cast<float>(alpha * static_cast<double>(x[i]));
+  }
+}
+
+SUPA_TARGET_AVX2 inline void Scale(double alpha, float* x, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m256 xf = _mm256_loadu_ps(x + i);
+    const __m128 lo = _mm256_cvtpd_ps(
+        _mm256_mul_pd(va, _mm256_cvtps_pd(_mm256_castps256_ps128(xf))));
+    const __m128 hi = _mm256_cvtpd_ps(
+        _mm256_mul_pd(va, _mm256_cvtps_pd(_mm256_extractf128_ps(xf, 1))));
+    _mm256_storeu_ps(x + i, _mm256_set_m128(hi, lo));
+  }
+  for (; i < n; ++i) {
+    x[i] = static_cast<float>(alpha * static_cast<double>(x[i]));
+  }
+}
+
+SUPA_TARGET_AVX2 inline void Add(const float* a, const float* b, float* out,
+                                 size_t n) {
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+SUPA_TARGET_AVX2 inline void AddInto(const float* x, float* y, size_t n) {
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+SUPA_TARGET_AVX2 inline void HalfSum(const float* a, const float* b,
+                                     float* out, size_t n) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_mul_ps(half, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i))));
+  }
+  for (; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
+}
+
+SUPA_TARGET_AVX2 inline void CombineHalf(const float* hl, const float* hs,
+                                         const float* c, double short_w,
+                                         float* out, size_t n) {
+  const __m256d vw = _mm256_set1_pd(short_w);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < n4; i += 4) {
+    const __m256d dl = _mm256_cvtps_pd(_mm_loadu_ps(hl + i));
+    const __m256d ds = _mm256_cvtps_pd(_mm_loadu_ps(hs + i));
+    const __m256d dc = _mm256_cvtps_pd(_mm_loadu_ps(c + i));
+    const __m256d t =
+        _mm256_add_pd(_mm256_fmadd_pd(vw, ds, dl), dc);  // fma(w,hs,hl)+c
+    _mm_storeu_ps(out + i, _mm256_cvtpd_ps(_mm256_mul_pd(vhalf, t)));
+  }
+  for (; i < n; ++i) {
+    const double t = std::fma(short_w, static_cast<double>(hs[i]),
+                              static_cast<double>(hl[i])) +
+                     static_cast<double>(c[i]);
+    out[i] = static_cast<float>(0.5 * t);
+  }
+}
+
+SUPA_TARGET_AVX2 inline double ScoreDot(const float* al, const float* as,
+                                        const float* ac, const float* bl,
+                                        const float* bs, const float* bc,
+                                        double short_w, size_t n) {
+  const __m256d vw = _mm256_set1_pd(short_w);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < n4; i += 4) {
+    const __m256d hu = _mm256_mul_pd(
+        vhalf,
+        _mm256_add_pd(
+            _mm256_fmadd_pd(vw, _mm256_cvtps_pd(_mm_loadu_ps(as + i)),
+                            _mm256_cvtps_pd(_mm_loadu_ps(al + i))),
+            _mm256_cvtps_pd(_mm_loadu_ps(ac + i))));
+    const __m256d hv = _mm256_mul_pd(
+        vhalf,
+        _mm256_add_pd(
+            _mm256_fmadd_pd(vw, _mm256_cvtps_pd(_mm_loadu_ps(bs + i)),
+                            _mm256_cvtps_pd(_mm_loadu_ps(bl + i))),
+            _mm256_cvtps_pd(_mm_loadu_ps(bc + i))));
+    acc = _mm256_fmadd_pd(hu, hv, acc);
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d s = _mm_add_pd(lo, hi);  // l0+l2, l1+l3
+  double out = _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  for (; i < n; ++i) {
+    out = portable::ScoreDotTail(out, al, as, ac, bl, bs, bc, short_w, i);
+  }
+  return out;
+}
+
+}  // namespace avx2
+
+#undef SUPA_TARGET_AVX2
+
+#endif  // SUPA_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Runtime-dispatched entry points — what the library calls.
+// ---------------------------------------------------------------------------
+
+inline double Dot(const float* a, const float* b, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::Dot(a, b, n);
+#endif
+  return portable::Dot(a, b, n);
+}
+
+inline void Axpy(double alpha, const float* x, float* y, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::Axpy(alpha, x, y, n);
+#endif
+  portable::Axpy(alpha, x, y, n);
+}
+
+inline void Scale(double alpha, float* x, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::Scale(alpha, x, n);
+#endif
+  portable::Scale(alpha, x, n);
+}
+
+inline void Add(const float* a, const float* b, float* out, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::Add(a, b, out, n);
+#endif
+  portable::Add(a, b, out, n);
+}
+
+inline void AddInto(const float* x, float* y, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::AddInto(x, y, n);
+#endif
+  portable::AddInto(x, y, n);
+}
+
+inline void HalfSum(const float* a, const float* b, float* out, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::HalfSum(a, b, out, n);
+#endif
+  portable::HalfSum(a, b, out, n);
+}
+
+inline void CombineHalf(const float* hl, const float* hs, const float* c,
+                        double short_w, float* out, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2()) return avx2::CombineHalf(hl, hs, c, short_w, out, n);
+#endif
+  portable::CombineHalf(hl, hs, c, short_w, out, n);
+}
+
+inline double ScoreDot(const float* al, const float* as, const float* ac,
+                       const float* bl, const float* bs, const float* bc,
+                       double short_w, size_t n) {
+#if SUPA_SIMD_X86
+  if (HasAvx2())
+    return avx2::ScoreDot(al, as, ac, bl, bs, bc, short_w, n);
+#endif
+  return portable::ScoreDot(al, as, ac, bl, bs, bc, short_w, n);
+}
+
+}  // namespace supa::simd
+
+#endif  // SUPA_UTIL_SIMD_H_

@@ -68,6 +68,128 @@ TEST(GradBufferTest, ForEachVisitsAllRows) {
   EXPECT_EQ(visited, 2u);
 }
 
+// ---- flat-table internals (RowIndex / insertion order / dirty rows) ------
+
+TEST(GradBufferTest, ForEachIteratesInInsertionOrder) {
+  // The flat table must iterate rows in the order they were first touched —
+  // never hash-bucket order. This is part of the determinism contract:
+  // SparseAdam applies rows in this order, and delta snapshots record them
+  // in this order.
+  GradBuffer g;
+  const std::vector<size_t> offsets = {96, 0, 1024, 8, 4096, 16, 72};
+  const float v[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  for (const size_t off : offsets) g.Accumulate(off, 4, 1.0, v);
+  std::vector<size_t> seen;
+  g.ForEach([&](size_t offset, const float*, size_t) {
+    seen.push_back(offset);
+  });
+  EXPECT_EQ(seen, offsets);
+}
+
+TEST(GradBufferTest, ManyRowsSurviveRehash) {
+  // Enough distinct rows to force several table growths; values and order
+  // must be preserved across rehashes.
+  GradBuffer g;
+  constexpr size_t kRows = 1000;
+  for (size_t r = 0; r < kRows; ++r) {
+    const float v[2] = {static_cast<float>(r), -static_cast<float>(r)};
+    g.Accumulate(r * 2, 2, 1.0, v);
+  }
+  // Second pass accumulates into the same rows (duplicate-row semantics).
+  for (size_t r = 0; r < kRows; ++r) {
+    const float v[2] = {1.0f, 1.0f};
+    g.Accumulate(r * 2, 2, 1.0, v);
+  }
+  EXPECT_EQ(g.num_rows(), kRows);
+  size_t expect = 0;
+  g.ForEach([&](size_t offset, const float* row, size_t len) {
+    EXPECT_EQ(offset, expect * 2);
+    EXPECT_EQ(len, 2u);
+    EXPECT_FLOAT_EQ(row[0], static_cast<float>(expect) + 1.0f);
+    EXPECT_FLOAT_EQ(row[1], -static_cast<float>(expect) + 1.0f);
+    ++expect;
+  });
+  EXPECT_EQ(expect, kRows);
+}
+
+TEST(GradBufferTest, ClearedBufferReusesRowsInNewOrder) {
+  GradBuffer g;
+  const float v[1] = {1.0f};
+  g.Accumulate(10, 1, 1.0, v);
+  g.Accumulate(20, 1, 1.0, v);
+  g.Clear();
+  // New insertion order after Clear wins.
+  g.Accumulate(20, 1, 5.0, v);
+  g.Accumulate(10, 1, 7.0, v);
+  std::vector<size_t> seen;
+  g.ForEach([&](size_t offset, const float* row, size_t) {
+    seen.push_back(offset);
+    EXPECT_FLOAT_EQ(row[0], offset == 20 ? 5.0f : 7.0f);
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{20, 10}));
+}
+
+TEST(GradBufferTest, MixedScalarAndVectorRows) {
+  // The α gradient is a scalar (len-1) row living alongside embedding rows;
+  // both kinds must coexist and accumulate independently.
+  GradBuffer g;
+  const float v[3] = {1.0f, 2.0f, 3.0f};
+  g.Accumulate(0, 3, 1.0, v);
+  g.AccumulateScalar(100, 0.5);
+  g.Accumulate(0, 3, 1.0, v);
+  g.AccumulateScalar(100, 0.25);
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(g.Row(0, 3)[2], 6.0f);
+  EXPECT_FLOAT_EQ(g.Row(100, 1)[0], 0.75f);
+}
+
+TEST(RowIndexTest, FindOrInsertIsIdempotent) {
+  RowIndex index;
+  bool inserted = false;
+  const uint32_t id0 = index.FindOrInsert(64, 16, &inserted);
+  EXPECT_TRUE(inserted);
+  const uint32_t id1 = index.FindOrInsert(64, 16, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(id0, id1);
+  EXPECT_EQ(index.size(), 1u);
+  index.Clear();
+  EXPECT_TRUE(index.empty());
+  const uint32_t id2 = index.FindOrInsert(64, 16, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(id2, 0u);
+}
+
+TEST(DirtyRowSetTest, TracksRowsAndFloatCounts) {
+  DirtyRowSet dirty;
+  dirty.Mark(0, 16);
+  dirty.Mark(32, 16);
+  dirty.Mark(0, 16);  // idempotent
+  dirty.Mark(1000, 1);
+  EXPECT_EQ(dirty.num_rows(), 3u);
+  EXPECT_EQ(dirty.num_floats(), 33u);
+  std::vector<size_t> seen;
+  dirty.ForEach([&](size_t offset, uint32_t) { seen.push_back(offset); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 32, 1000}));
+  dirty.Clear();
+  EXPECT_EQ(dirty.num_rows(), 0u);
+  EXPECT_EQ(dirty.num_floats(), 0u);
+}
+
+TEST(SparseAdamTest, StepMarksTouchedRowsDirty) {
+  std::vector<float> param(8, 1.0f);
+  SparseAdam adam(8, 0.1, 0.0);
+  GradBuffer g;
+  g.AccumulateScalar(2, 1.0);
+  g.AccumulateScalar(5, -1.0);
+  adam.Step(g, param.data());
+  EXPECT_EQ(adam.dirty_rows().num_rows(), 2u);
+  adam.MarkDirty(6, 2);
+  EXPECT_EQ(adam.dirty_rows().num_rows(), 3u);
+  EXPECT_EQ(adam.dirty_rows().num_floats(), 4u);
+  adam.ClearDirty();
+  EXPECT_EQ(adam.dirty_rows().num_rows(), 0u);
+}
+
 TEST(SparseAdamTest, DescendsOnQuadratic) {
   // Minimize f(x) = (x - 3)^2 starting at 0.
   std::vector<float> param = {0.0f};

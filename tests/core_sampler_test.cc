@@ -113,6 +113,41 @@ TEST(InfluencedGraphSamplerTest, NodeTypeWithoutSchemaGetsNoPaths) {
   EXPECT_TRUE(walks.empty());
 }
 
+// The arena API must be a drop-in for the Walk-returning one: identical
+// walks, identical u/v split, and — critically — an identical rng draw
+// sequence, so switching the hot path to the arena cannot perturb
+// training.
+TEST(InfluencedGraphSamplerTest, ArenaSamplingMatchesWalkSampling) {
+  Fixture f;
+  InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 4, 4);
+  WalkBuffer arena;
+  for (size_t k = 0; k < 8; ++k) {
+    Rng rng_a(100 + k);
+    Rng rng_b(100 + k);
+    const auto& e = f.data.edges[f.data.edges.size() / 2 + k];
+    InfluencedGraph g = sampler.Sample(e.src, e.dst, rng_a);
+
+    size_t u_count = 0;
+    // Reused across iterations on purpose — the arena must self-clear.
+    sampler.SampleInto(e.src, e.dst, rng_b, &arena, &u_count);
+
+    ASSERT_EQ(arena.num_walks(), g.from_u.size() + g.from_v.size());
+    ASSERT_EQ(u_count, g.from_u.size());
+    for (size_t w = 0; w < arena.num_walks(); ++w) {
+      const WalkBuffer::Span& span = arena.walk(w);
+      const Walk& want = w < u_count ? g.from_u[w] : g.from_v[w - u_count];
+      EXPECT_EQ(span.start, want.start);
+      ASSERT_EQ(span.size(), want.steps.size());
+      const WalkStep* steps = arena.steps_of(span);
+      for (size_t s = 0; s < span.size(); ++s) {
+        EXPECT_EQ(steps[s], want.steps[s]);
+      }
+    }
+    // Same number of draws consumed → generators stay in lockstep.
+    EXPECT_EQ(rng_a.Next(), rng_b.Next());
+  }
+}
+
 TEST(InfluencedGraphSamplerTest, TotalStepsCountsAllHops) {
   Fixture f;
   InfluencedGraphSampler sampler(*f.graph, f.data.metapaths, 4, 3);

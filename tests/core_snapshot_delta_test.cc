@@ -1,0 +1,205 @@
+// Delta snapshots (SupaModel::TakeDeltaSnapshot / RestoreDeltaSnapshot)
+// must be indistinguishable from full snapshots — bit-for-bit, across
+// re-bases, stale baselines, and the whole multi-batch InsLearn workflow.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "data/synthetic.h"
+
+namespace supa {
+namespace {
+
+SupaConfig SmallConfig() {
+  SupaConfig config;
+  config.dim = 16;
+  config.num_walks = 2;
+  config.walk_len = 3;
+  config.num_neg = 2;
+  config.seed = 5;
+  return config;
+}
+
+/// Trains + observes edges [begin, end) of the stream.
+void TrainPrefix(SupaModel& model, const Dataset& data, size_t begin,
+                 size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    ASSERT_TRUE(model.TrainEdge(data.edges[i]).ok());
+    ASSERT_TRUE(model.ObserveEdge(data.edges[i]).ok());
+  }
+}
+
+void ExpectSameState(const SupaModel::Snapshot& a,
+                     const SupaModel::Snapshot& b) {
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.adam.m, b.adam.m);
+  EXPECT_EQ(a.adam.v, b.adam.v);
+  EXPECT_EQ(a.adam.step, b.adam.step);
+}
+
+TEST(DeltaSnapshotTest, RestoreIsBitIdenticalToFullSnapshot) {
+  Dataset data = MakeTaobao(0.2, 21).value();
+  SupaModel model(data, SmallConfig());
+  const size_t n = std::min<size_t>(data.edges.size(), 300);
+
+  TrainPrefix(model, data, 0, n / 2);
+  const SupaModel::Snapshot full = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta = model.TakeDeltaSnapshot();
+
+  TrainPrefix(model, data, n / 2, n);
+  model.RestoreDeltaSnapshot(delta);
+  ExpectSameState(model.TakeSnapshot(), full);
+}
+
+TEST(DeltaSnapshotTest, SameDeltaRestoresRepeatedly) {
+  Dataset data = MakeTaobao(0.2, 22).value();
+  SupaModel model(data, SmallConfig());
+  TrainPrefix(model, data, 0, 100);
+  const SupaModel::Snapshot full = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta = model.TakeDeltaSnapshot();
+
+  for (int round = 0; round < 3; ++round) {
+    // Train-only (snapshots cover parameters, not the graph, so the same
+    // edges can be re-trained but must not be re-observed).
+    for (size_t i = 100; i < 160; ++i) {
+      ASSERT_TRUE(model.TrainEdge(data.edges[i]).ok());
+    }
+    model.RestoreDeltaSnapshot(delta);
+    ExpectSameState(model.TakeSnapshot(), full);
+  }
+}
+
+TEST(DeltaSnapshotTest, InterleavedSnapshotsRestoreInAnyOrder) {
+  Dataset data = MakeTaobao(0.2, 23).value();
+  SupaModel model(data, SmallConfig());
+
+  TrainPrefix(model, data, 0, 80);
+  const SupaModel::Snapshot full_a = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_a = model.TakeDeltaSnapshot();
+
+  TrainPrefix(model, data, 80, 160);
+  const SupaModel::Snapshot full_b = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_b = model.TakeDeltaSnapshot();
+
+  TrainPrefix(model, data, 160, 220);
+  model.RestoreDeltaSnapshot(delta_a);
+  ExpectSameState(model.TakeSnapshot(), full_a);
+
+  // delta_b's rows are no longer the live dirty set; it must still land
+  // exactly on state B.
+  model.RestoreDeltaSnapshot(delta_b);
+  ExpectSameState(model.TakeSnapshot(), full_b);
+}
+
+TEST(DeltaSnapshotTest, StaleSnapshotSurvivesFullRestore) {
+  Dataset data = MakeTaobao(0.2, 24).value();
+  SupaModel model(data, SmallConfig());
+
+  TrainPrefix(model, data, 0, 80);
+  const SupaModel::Snapshot full_a = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_a = model.TakeDeltaSnapshot();
+
+  TrainPrefix(model, data, 80, 140);
+  const SupaModel::Snapshot full_b = model.TakeSnapshot();
+
+  // A whole-buffer restore invalidates the live baseline...
+  model.RestoreSnapshot(full_b);
+  TrainPrefix(model, data, 140, 180);
+
+  // ...so delta_a takes the full-copy fallback through its own shared
+  // baseline, and must still reproduce state A exactly.
+  model.RestoreDeltaSnapshot(delta_a);
+  ExpectSameState(model.TakeSnapshot(), full_a);
+}
+
+TEST(DeltaSnapshotTest, StaleSnapshotSurvivesRebase) {
+  Dataset data = MakeTaobao(0.1, 25).value();
+  SupaModel model(data, SmallConfig());
+
+  TrainPrefix(model, data, 0, 40);
+  const SupaModel::Snapshot full_a = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_a = model.TakeDeltaSnapshot();
+
+  // Touch enough rows that the next TakeDeltaSnapshot re-bases (the small
+  // dataset makes >25% of the buffer dirty quickly).
+  const size_t n = std::min<size_t>(data.edges.size(), 400);
+  TrainPrefix(model, data, 40, n);
+  const SupaModel::Snapshot full_b = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_b = model.TakeDeltaSnapshot();
+
+  model.RestoreDeltaSnapshot(delta_a);  // possibly stale after a re-base
+  ExpectSameState(model.TakeSnapshot(), full_a);
+
+  model.RestoreDeltaSnapshot(delta_b);
+  ExpectSameState(model.TakeSnapshot(), full_b);
+}
+
+// Regression: restoring a stale snapshot rewinds the live baseline to the
+// snapshot's; snapshots taken against *other* baselines must then keep
+// taking the fallback (the fast path is gated on baseline object identity
+// — an epoch counter would collide after the rewind and corrupt state).
+TEST(DeltaSnapshotTest, FastPathNotTakenAfterBaselineRewind) {
+  Dataset data = MakeTaobao(0.1, 27).value();
+  SupaModel model(data, SmallConfig());
+  const size_t n = std::min<size_t>(data.edges.size(), 600);
+
+  TrainPrefix(model, data, 0, 30);
+  const SupaModel::Snapshot full_a = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_a = model.TakeDeltaSnapshot();
+
+  // Heavy training so the next TakeDeltaSnapshot re-bases.
+  TrainPrefix(model, data, 30, n / 2);
+  const SupaModel::Snapshot full_b = model.TakeSnapshot();
+  const SupaModel::DeltaSnapshot delta_b = model.TakeDeltaSnapshot();
+
+  // Rewind the live baseline to delta_a's via the fallback path...
+  model.RestoreDeltaSnapshot(delta_a);
+  ExpectSameState(model.TakeSnapshot(), full_a);
+
+  // ...then force another re-base from the rewound baseline.
+  TrainPrefix(model, data, n / 2, n);
+  (void)model.TakeDeltaSnapshot();
+
+  // delta_b references neither the rewound nor the re-based baseline; it
+  // must restore exactly (via its own baseline), not fast-path garbage.
+  model.RestoreDeltaSnapshot(delta_b);
+  ExpectSameState(model.TakeSnapshot(), full_b);
+}
+
+// The headline equivalence: the full multi-batch InsLearn workflow —
+// periodic validation, Φ_best capture, early stopping, batch-end rollback
+// — produces bit-identical parameters with delta and full snapshots.
+TEST(DeltaSnapshotTest, InsLearnDeltaMatchesFullAcrossBatches) {
+  Dataset data = MakeTaobao(0.3, 26).value();
+  const size_t n = std::min<size_t>(data.edges.size(), 600);
+
+  InsLearnConfig train_config;
+  train_config.batch_size = 128;
+  train_config.valid_size = 32;
+  train_config.valid_interval = 1;
+  train_config.max_iters = 3;
+  train_config.patience = 1;
+  train_config.threads = 1;
+
+  auto run = [&](bool use_delta) {
+    SupaModel model(data, SmallConfig());
+    InsLearnConfig c = train_config;
+    c.use_delta_snapshots = use_delta;
+    InsLearnTrainer trainer(c);
+    auto report = trainer.Train(model, data, EdgeRange{0, n});
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.value().num_batches, 2u);
+    return std::make_pair(model.TakeSnapshot(), report.value().batch_scores);
+  };
+
+  const auto [snap_delta, scores_delta] = run(true);
+  const auto [snap_full, scores_full] = run(false);
+  ExpectSameState(snap_delta, snap_full);
+  EXPECT_EQ(scores_delta, scores_full);
+}
+
+}  // namespace
+}  // namespace supa

@@ -1,0 +1,191 @@
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math_utils.h"
+#include "util/rng.h"
+
+namespace supa {
+namespace {
+
+// The dispatched kernels promise bit-identical results to the portable
+// reference on every length and alignment — that is the determinism
+// contract that makes AVX2 an implementation detail. These tests sweep odd
+// lengths (tail handling) and deliberately misaligned pointers (the
+// embedding store hands out unaligned rows all the time). On machines
+// without AVX2 the dispatch degenerates to portable-vs-portable, which is
+// vacuous but harmless; run with SUPA_SIMD=portable to force that.
+
+std::vector<float> RandomVec(size_t n, Rng& rng, double scale = 2.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+  return v;
+}
+
+// Lengths around the 4- and 8-wide vector boundaries plus typical dims.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                           31, 33, 63, 64, 65, 67, 128};
+// Byte misalignment via element offsets into an oversized buffer.
+const size_t kOffsets[] = {0, 1, 2, 3, 5};
+
+TEST(SimdTest, DotMatchesPortableOnAllLengthsAndAlignments) {
+  Rng rng(11);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      const auto a = RandomVec(n + off, rng);
+      const auto b = RandomVec(n + off, rng);
+      const double got = simd::Dot(a.data() + off, b.data() + off, n);
+      const double want = simd::portable::Dot(a.data() + off, b.data() + off, n);
+      EXPECT_EQ(got, want) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdTest, AxpyMatchesPortable) {
+  Rng rng(12);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      const auto x = RandomVec(n + off, rng);
+      auto y1 = RandomVec(n + off, rng);
+      auto y2 = y1;
+      const double alpha = rng.Uniform(-2.0, 2.0);
+      simd::Axpy(alpha, x.data() + off, y1.data() + off, n);
+      simd::portable::Axpy(alpha, x.data() + off, y2.data() + off, n);
+      EXPECT_EQ(y1, y2) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdTest, ScaleMatchesPortable) {
+  Rng rng(13);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      auto x1 = RandomVec(n + off, rng);
+      auto x2 = x1;
+      const double alpha = rng.Uniform(-1.0, 1.0);
+      simd::Scale(alpha, x1.data() + off, n);
+      simd::portable::Scale(alpha, x2.data() + off, n);
+      EXPECT_EQ(x1, x2) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdTest, ElementwiseKernelsMatchPortable) {
+  Rng rng(14);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      const auto a = RandomVec(n + off, rng);
+      const auto b = RandomVec(n + off, rng);
+      std::vector<float> o1(n + off, 0.0f), o2(n + off, 0.0f);
+
+      simd::Add(a.data() + off, b.data() + off, o1.data() + off, n);
+      simd::portable::Add(a.data() + off, b.data() + off, o2.data() + off, n);
+      EXPECT_EQ(o1, o2);
+
+      auto y1 = a, y2 = a;
+      simd::AddInto(b.data() + off, y1.data() + off, n);
+      simd::portable::AddInto(b.data() + off, y2.data() + off, n);
+      EXPECT_EQ(y1, y2);
+
+      simd::HalfSum(a.data() + off, b.data() + off, o1.data() + off, n);
+      simd::portable::HalfSum(a.data() + off, b.data() + off,
+                              o2.data() + off, n);
+      EXPECT_EQ(o1, o2);
+    }
+  }
+}
+
+TEST(SimdTest, CombineHalfMatchesPortable) {
+  Rng rng(15);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      const auto hl = RandomVec(n + off, rng);
+      const auto hs = RandomVec(n + off, rng);
+      const auto c = RandomVec(n + off, rng);
+      for (double w : {0.0, 1.0, 0.37}) {
+        std::vector<float> o1(n + off, 0.0f), o2(n + off, 0.0f);
+        simd::CombineHalf(hl.data() + off, hs.data() + off, c.data() + off, w,
+                          o1.data() + off, n);
+        simd::portable::CombineHalf(hl.data() + off, hs.data() + off,
+                                    c.data() + off, w, o2.data() + off, n);
+        EXPECT_EQ(o1, o2) << "n=" << n << " off=" << off << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, ScoreDotMatchesPortable) {
+  Rng rng(16);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      const auto al = RandomVec(n + off, rng), as = RandomVec(n + off, rng),
+                 ac = RandomVec(n + off, rng), bl = RandomVec(n + off, rng),
+                 bs = RandomVec(n + off, rng), bc = RandomVec(n + off, rng);
+      for (double w : {0.0, 1.0}) {
+        const double got =
+            simd::ScoreDot(al.data() + off, as.data() + off, ac.data() + off,
+                           bl.data() + off, bs.data() + off, bc.data() + off,
+                           w, n);
+        const double want = simd::portable::ScoreDot(
+            al.data() + off, as.data() + off, ac.data() + off,
+            bl.data() + off, bs.data() + off, bc.data() + off, w, n);
+        EXPECT_EQ(got, want) << "n=" << n << " off=" << off << " w=" << w;
+      }
+    }
+  }
+}
+
+// ScoreDot is a fused form of "materialize both final embeddings with
+// CombineHalf, then Dot them". Fusion changes the rounding sequence, so
+// only near-equality is promised — but it must be tight.
+TEST(SimdTest, ScoreDotAgreesWithMaterializedEmbeddings) {
+  Rng rng(17);
+  const size_t n = 64;
+  const auto al = RandomVec(n, rng), as = RandomVec(n, rng),
+             ac = RandomVec(n, rng), bl = RandomVec(n, rng),
+             bs = RandomVec(n, rng), bc = RandomVec(n, rng);
+  std::vector<float> hu(n), hv(n);
+  for (double w : {0.0, 1.0}) {
+    simd::CombineHalf(al.data(), as.data(), ac.data(), w, hu.data(), n);
+    simd::CombineHalf(bl.data(), bs.data(), bc.data(), w, hv.data(), n);
+    const double materialized = simd::Dot(hu.data(), hv.data(), n);
+    const double fused =
+        simd::ScoreDot(al.data(), as.data(), ac.data(), bl.data(), bs.data(),
+                       bc.data(), w, n);
+    EXPECT_NEAR(fused, materialized, 1e-5);
+  }
+}
+
+// math_utils routes its Dot/Axpy/Scale through the dispatched kernels; the
+// aliases must stay in sync.
+TEST(SimdTest, MathUtilsRoutesThroughSimd) {
+  Rng rng(18);
+  const size_t n = 67;
+  const auto a = RandomVec(n, rng);
+  const auto b = RandomVec(n, rng);
+  EXPECT_EQ(Dot(a.data(), b.data(), n), simd::Dot(a.data(), b.data(), n));
+  auto y1 = b, y2 = b;
+  Axpy(0.75, a.data(), y1.data(), n);
+  simd::Axpy(0.75, a.data(), y2.data(), n);
+  EXPECT_EQ(y1, y2);
+  auto x1 = a, x2 = a;
+  Scale(-0.3, x1.data(), n);
+  simd::Scale(-0.3, x2.data(), n);
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(SimdTest, BackendNameIsConsistentWithHasAvx2) {
+  if (simd::HasAvx2()) {
+    EXPECT_STREQ(simd::BackendName(), "avx2");
+  } else {
+    EXPECT_STREQ(simd::BackendName(), "portable");
+  }
+}
+
+}  // namespace
+}  // namespace supa
