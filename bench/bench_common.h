@@ -8,8 +8,13 @@
 //   SUPA_BENCH_SEEDS       repetitions for significance tests (default 3)
 //   SUPA_BENCH_THREADS     eval worker threads (default 0 = all cores;
 //                          results are thread-count invariant)
+//   SUPA_METRICS_OUT       write a metrics-registry JSON snapshot here at
+//                          process exit
+//   SUPA_TRACE_OUT         enable trace spans and write Chrome trace JSON
+//                          here at process exit
 // Command line:
 //   --out <path>           additionally write the rows as TSV
+//   --json-out <path>      additionally write the rows as JSON
 
 #ifndef SUPA_BENCH_BENCH_COMMON_H_
 #define SUPA_BENCH_BENCH_COMMON_H_
@@ -19,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/tsv.h"
 
@@ -36,8 +44,48 @@ inline size_t EnvSize(const char* name, size_t fallback) {
       EnvDouble(name, static_cast<double>(fallback)));
 }
 
-/// The standard knobs, read once per harness.
+/// Honors SUPA_METRICS_OUT / SUPA_TRACE_OUT: enables tracing when a trace
+/// path is set and installs one atexit hook that writes the exports when
+/// the harness ends (normal return or std::exit). Idempotent, so every
+/// BenchEnv construction may call it.
+inline void InitObservabilityFromEnv() {
+  static const bool installed = [] {
+    const bool want_metrics = std::getenv("SUPA_METRICS_OUT") != nullptr;
+    const bool want_trace = std::getenv("SUPA_TRACE_OUT") != nullptr;
+    if (want_trace) obs::TraceRecorder::Global().Enable(true);
+    if (!want_metrics && !want_trace) return false;
+    std::atexit([] {
+      std::string error;
+      if (const char* path = std::getenv("SUPA_TRACE_OUT")) {
+        obs::TraceRecorder::Global().Enable(false);
+        if (obs::TraceRecorder::Global().WriteJson(path, &error)) {
+          std::fprintf(stderr, "(wrote trace %s)\n", path);
+        } else {
+          std::fprintf(stderr, "failed to write trace %s: %s\n", path,
+                       error.c_str());
+        }
+      }
+      if (const char* path = std::getenv("SUPA_METRICS_OUT")) {
+        if (obs::WriteMetricsJson(obs::MetricsRegistry::Global(), path,
+                                  &error)) {
+          std::fprintf(stderr, "(wrote metrics %s)\n", path);
+        } else {
+          std::fprintf(stderr, "failed to write metrics %s: %s\n", path,
+                       error.c_str());
+        }
+      }
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
+/// The standard knobs, read once per harness. Constructing the env also
+/// arms the observability exports above — every harness constructs one, so
+/// SUPA_METRICS_OUT / SUPA_TRACE_OUT work across the whole bench suite.
 struct BenchEnv {
+  BenchEnv() { InitObservabilityFromEnv(); }
+
   double scale = EnvDouble("SUPA_BENCH_SCALE", 1.0);
   double effort = EnvDouble("SUPA_BENCH_EFFORT", 1.0);
   size_t test_edges = EnvSize("SUPA_BENCH_TEST_EDGES", 300);
@@ -93,18 +141,55 @@ class Report {
     }
   }
 
+  /// Writes the table as JSON when `path` is non-empty:
+  /// {"title": ..., "header": [...], "rows": [[...], ...]}. Cells stay
+  /// strings — the report layer formats, consumers parse what they need.
+  void MaybeWriteJson(const std::string& path) const {
+    if (path.empty()) return;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("title", title_);
+    w.Key("header").BeginArray();
+    for (const auto& cell : header_) w.String(cell);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : rows_) {
+      w.BeginArray();
+      for (const auto& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::string error;
+    if (!obs::WriteTextFile(path, w.str(), &error)) {
+      SUPA_LOG(ERROR) << "failed to write " << path << ": " << error;
+    } else {
+      std::printf("(wrote %s)\n", path.c_str());
+    }
+  }
+
  private:
   std::string title_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Parses `--out <path>` from argv; empty when absent.
-inline std::string OutPath(int argc, char** argv) {
+/// Parses `--<flag> <path>` from argv; empty when absent.
+inline std::string FlagPath(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--out") return argv[i + 1];
+    if (std::string(argv[i]) == flag) return argv[i + 1];
   }
   return "";
+}
+
+/// Parses `--out <path>` from argv; empty when absent.
+inline std::string OutPath(int argc, char** argv) {
+  return FlagPath(argc, argv, "--out");
+}
+
+/// Parses `--json-out <path>` from argv; empty when absent.
+inline std::string JsonOutPath(int argc, char** argv) {
+  return FlagPath(argc, argv, "--json-out");
 }
 
 /// Fixed-precision formatting for metric cells.

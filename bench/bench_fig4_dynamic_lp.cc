@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
   h50_report.Print();
   mrr_report.Print();
   h50_report.MaybeWriteTsv(OutPath(argc, argv));
+  h50_report.MaybeWriteJson(JsonOutPath(argc, argv));
   return 0;
 }

@@ -13,18 +13,12 @@
 #include "core/model.h"
 #include "data/synthetic.h"
 #include "eval/protocols.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "util/simd.h"
 #include "util/timer.h"
 
 namespace {
-
-/// Minimal JSON value formatting for the machine-readable report; all our
-/// keys/strings are plain identifiers, so no escaping is needed.
-std::string JsonNum(double x) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", x);
-  return buf;
-}
 
 struct MethodRuntime {
   std::string method;
@@ -85,6 +79,7 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+  report.MaybeWriteJson(JsonOutPath(argc, argv));
 
   // SUPA per-phase runtime breakdown + snapshot-path comparison, emitted as
   // BENCH_fig5.json so dashboards and CI can track edges/sec without
@@ -116,9 +111,20 @@ int main(int argc, char** argv) {
     };
 
     InsLearnReport delta_report, full_report;
+    // Registry deltas across the delta-snapshot run expose the snapshot
+    // machinery's behavior (re-bases, O(dirty) restores vs full-copy
+    // fallbacks) without the trainer having to thread them through its
+    // report.
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
     const double delta_wall_s = run_inslearn(true, &delta_report);
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global().Snapshot();
     const double full_wall_s = run_inslearn(false, &full_report);
     if (delta_wall_s < 0.0 || full_wall_s < 0.0) return 1;
+    auto counter_delta = [&](const char* name) {
+      return after.CounterValue(name) - before.CounterValue(name);
+    };
 
     const size_t n_edges = data.edges.size();
     const double edges_per_sec =
@@ -206,55 +212,68 @@ int main(int argc, char** argv) {
         take_speedup, 1e3 * restore_full_s / reps,
         1e3 * restore_delta_s / reps, restore_speedup);
 
-    std::string json = "{\n";
-    json += "  \"dataset\": \"MovieLens\",\n";
-    json += "  \"scale\": " + JsonNum(env.scale) + ",\n";
-    json += "  \"simd_backend\": \"" + std::string(simd::BackendName()) +
-            "\",\n";
-    json += "  \"methods\": [\n";
-    for (size_t i = 0; i < method_runtimes.size(); ++i) {
-      const MethodRuntime& m = method_runtimes[i];
-      json += "    {\"method\": \"" + m.method +
-              "\", \"train_s\": " + JsonNum(m.train_s) +
-              ", \"eval_s\": " + JsonNum(m.eval_s) +
-              ", \"total_s\": " + JsonNum(m.train_s + m.eval_s) + "}";
-      json += (i + 1 < method_runtimes.size()) ? ",\n" : "\n";
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("dataset", "MovieLens");
+    w.Field("scale", env.scale);
+    w.Field("simd_backend", std::string_view(simd::BackendName()));
+    w.Key("methods").BeginArray();
+    for (const MethodRuntime& m : method_runtimes) {
+      w.BeginObject();
+      w.Field("method", m.method);
+      w.Field("train_s", m.train_s);
+      w.Field("eval_s", m.eval_s);
+      w.Field("total_s", m.train_s + m.eval_s);
+      w.EndObject();
     }
-    json += "  ],\n";
-    json += "  \"supa_inslearn\": {\n";
-    json += "    \"edges\": " + std::to_string(n_edges) + ",\n";
-    json += "    \"train_steps\": " +
-            std::to_string(delta_report.train_steps) + ",\n";
-    json += "    \"wall_s\": " + JsonNum(delta_wall_s) + ",\n";
-    json += "    \"edges_per_sec\": " + JsonNum(edges_per_sec) + ",\n";
-    json += "    \"train_steps_per_sec\": " + JsonNum(steps_per_sec) + ",\n";
-    json += "    \"phases\": {\"train_s\": " +
-            JsonNum(delta_report.train_seconds) +
-            ", \"valid_s\": " + JsonNum(delta_report.valid_seconds) +
-            ", \"snapshot_s\": " + JsonNum(delta_report.snapshot_seconds) +
-            ", \"observe_s\": " + JsonNum(delta_report.observe_seconds) +
-            "},\n";
-    json += "    \"snapshot\": {\"delta_s\": " +
-            JsonNum(delta_report.snapshot_seconds) +
-            ", \"full_s\": " + JsonNum(full_report.snapshot_seconds) +
-            ", \"speedup\": " + JsonNum(snapshot_speedup) + "},\n";
-    json += "    \"snapshot_ops\": {\"take_full_ms\": " +
-            JsonNum(1e3 * take_full_s / reps) +
-            ", \"take_delta_ms\": " + JsonNum(1e3 * take_delta_s / reps) +
-            ", \"take_speedup\": " + JsonNum(take_speedup) +
-            ", \"restore_full_ms\": " + JsonNum(1e3 * restore_full_s / reps) +
-            ", \"restore_delta_ms\": " +
-            JsonNum(1e3 * restore_delta_s / reps) +
-            ", \"restore_speedup\": " + JsonNum(restore_speedup) + "}\n";
-    json += "  }\n";
-    json += "}\n";
-    const char* json_path = "BENCH_fig5.json";
-    if (std::FILE* f = std::fopen(json_path, "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("(wrote %s)\n", json_path);
+    w.EndArray();
+    w.Key("supa_inslearn").BeginObject();
+    w.Field("edges", static_cast<uint64_t>(n_edges));
+    w.Field("train_steps", static_cast<uint64_t>(delta_report.train_steps));
+    w.Field("wall_s", delta_wall_s);
+    w.Field("edges_per_sec", edges_per_sec);
+    w.Field("train_steps_per_sec", steps_per_sec);
+    w.Key("phases").BeginObject();
+    w.Field("train_s", delta_report.train_seconds);
+    w.Field("valid_s", delta_report.valid_seconds);
+    w.Field("snapshot_s", delta_report.snapshot_seconds);
+    w.Field("observe_s", delta_report.observe_seconds);
+    w.EndObject();
+    w.Key("snapshot").BeginObject();
+    w.Field("delta_s", delta_report.snapshot_seconds);
+    w.Field("full_s", full_report.snapshot_seconds);
+    w.Field("speedup", snapshot_speedup);
+    w.EndObject();
+    w.Key("snapshot_ops").BeginObject();
+    w.Field("take_full_ms", 1e3 * take_full_s / reps);
+    w.Field("take_delta_ms", 1e3 * take_delta_s / reps);
+    w.Field("take_speedup", take_speedup);
+    w.Field("restore_full_ms", 1e3 * restore_full_s / reps);
+    w.Field("restore_delta_ms", 1e3 * restore_delta_s / reps);
+    w.Field("restore_speedup", restore_speedup);
+    w.EndObject();
+    // Registry counter deltas over the delta-snapshot run.
+    w.Key("metrics").BeginObject();
+    w.Field("snapshot_delta_takes", counter_delta("snapshot.delta_takes"));
+    w.Field("snapshot_rebases", counter_delta("snapshot.rebases"));
+    w.Field("snapshot_delta_restores",
+            counter_delta("snapshot.delta_restores"));
+    w.Field("snapshot_fallback_restores",
+            counter_delta("snapshot.fallback_restores"));
+    w.Field("sampler_walks", counter_delta("sampler.walks"));
+    w.Field("sampler_walk_steps", counter_delta("sampler.walk_steps"));
+    w.Field("sampler_arena_reuses", counter_delta("sampler.arena_reuses"));
+    w.Field("sampler_arena_grows", counter_delta("sampler.arena_grows"));
+    w.EndObject();
+    w.EndObject();
+    w.EndObject();
+    const std::string json_path = "BENCH_fig5.json";
+    std::string error;
+    if (obs::WriteTextFile(json_path, w.str(), &error)) {
+      std::printf("(wrote %s)\n", json_path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", json_path);
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   error.c_str());
     }
   }
 

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+  report.MaybeWriteJson(JsonOutPath(argc, argv));
 
   // Thread sweep: evaluation scalability on the largest dataset of the
   // sweep. One model is trained once; the same link-prediction workload

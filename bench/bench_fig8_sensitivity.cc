@@ -132,5 +132,6 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+  report.MaybeWriteJson(JsonOutPath(argc, argv));
   return 0;
 }

@@ -8,6 +8,8 @@
 #include "core/inslearn.h"
 #include "core/model.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/simd.h"
 
 namespace supa {
@@ -301,6 +303,74 @@ void BM_RestoreDeltaSnapshot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RestoreDeltaSnapshot);
+
+// ---- Observability overhead ----------------------------------------------
+//
+// BM_TrainEdge above runs with tracing runtime-disabled, so comparing it
+// against the instrumentation-free seed (or an SUPA_OBS_TRACING=OFF build)
+// bounds the disabled-path cost; the acceptance budget is < 2% per edge.
+// The benches below price the primitives themselves.
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter c =
+      obs::MetricsRegistry::Global().GetCounter("bench.obs_counter");
+  for (auto _ : state) {
+    c.Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram h = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.obs_hist", obs::MetricsRegistry::ExponentialBounds(1.0, 4.0, 10));
+  double v = 0.0;
+  for (auto _ : state) {
+    h.Observe(v);
+    v = v < 1e6 ? v * 1.1 + 1.0 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Enable(false);
+  for (auto _ : state) {
+    SUPA_TRACE_SPAN("bench_span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Enable(true);
+  for (auto _ : state) {
+    SUPA_TRACE_SPAN("bench_span");
+    benchmark::ClobberMemory();
+  }
+  obs::TraceRecorder::Global().Enable(false);
+  obs::TraceRecorder::Global().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_TrainEdgeTraced(benchmark::State& state) {
+  // BM_TrainEdge's dim-64 workload with tracing runtime-ENABLED; the gap
+  // to BM_TrainEdge/64 is the full per-edge recording cost (6 spans).
+  const Dataset& data = BenchData();
+  auto model = WarmModel(BenchConfig(64), 5000);
+  obs::TraceRecorder::Global().Enable(true);
+  size_t i = 5000;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    benchmark::DoNotOptimize(model->TrainEdge(e));
+  }
+  obs::TraceRecorder::Global().Enable(false);
+  obs::TraceRecorder::Global().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrainEdgeTraced);
 
 void BM_InsLearnBatch(benchmark::State& state) {
   const Dataset& data = BenchData();

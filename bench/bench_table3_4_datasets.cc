@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
   }
   t4.Print();
   t3.MaybeWriteTsv(OutPath(argc, argv));
+  t3.MaybeWriteJson(JsonOutPath(argc, argv));
   return 0;
 }

@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
   for (auto& row : rows) report.AddRow(std::move(row));
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
+  report.MaybeWriteJson(JsonOutPath(argc, argv));
   return 0;
 }

@@ -89,6 +89,11 @@ struct InsLearnConfig {
   bool use_delta_snapshots = true;
   /// Seed for validation negative sampling.
   uint64_t seed = 7;
+  /// Emit a throughput heartbeat log line (edges/s so far) roughly every
+  /// this many wall-clock seconds while training. 0 disables it. Purely
+  /// observational: the heartbeat never touches model state or RNG streams,
+  /// so training is bit-identical with it on or off.
+  double heartbeat_seconds = 0.0;
   /// Worker threads for the validation-MRR computation. 0 = auto
   /// (std::thread::hardware_concurrency); 1 runs fully serially. The
   /// validation score is bit-identical at every thread count: edges are

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -14,6 +16,63 @@ namespace {
 /// setting (see util/thread_pool.h).
 constexpr size_t kValidationShards = 32;
 
+/// Periodic throughput reporter for the training loop. Tick() is called
+/// once per trained edge but only reads the clock every 256 steps, so the
+/// disabled / between-beats cost is a counter increment and a branch.
+/// Observational only: never touches model state or RNG streams.
+class Heartbeat {
+ public:
+  explicit Heartbeat(double interval_seconds)
+      : interval_(interval_seconds),
+        rate_gauge_(obs::MetricsRegistry::Global().GetGauge(
+            "inslearn.edges_per_sec")) {}
+
+  void Tick() {
+    if (interval_ <= 0.0) return;
+    if ((++steps_ & 255) != 0) return;
+    const double elapsed = timer_.ElapsedSeconds();
+    if (elapsed - last_beat_ < interval_) return;
+    const double rate = static_cast<double>(steps_ - last_steps_) /
+                        std::max(elapsed - last_beat_, 1e-9);
+    rate_gauge_.Set(rate);
+    SUPA_LOG(INFO) << "[inslearn] trained " << steps_ << " edges, "
+                   << static_cast<uint64_t>(rate) << " edges/s";
+    last_beat_ = elapsed;
+    last_steps_ = steps_;
+  }
+
+  /// Publishes the whole-run average rate; called once at run end.
+  void Finish() {
+    if (steps_ == 0) return;
+    const double elapsed = timer_.ElapsedSeconds();
+    rate_gauge_.Set(static_cast<double>(steps_) / std::max(elapsed, 1e-9));
+  }
+
+ private:
+  const double interval_;
+  obs::Gauge rate_gauge_;
+  Timer timer_;
+  uint64_t steps_ = 0;
+  uint64_t last_steps_ = 0;
+  double last_beat_ = 0.0;
+};
+
+/// Copies a finished report into the process-wide metrics registry.
+/// Handles are looked up by name here — this runs once per Train() call,
+/// not in the per-edge hot path.
+void PublishReport(const InsLearnReport& report) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("inslearn.train_steps").Increment(report.train_steps);
+  reg.GetCounter("inslearn.batches").Increment(report.num_batches);
+  reg.GetCounter("inslearn.iterations").Increment(report.iterations);
+  reg.GetCounter("inslearn.phase.train_ns").AddSeconds(report.train_seconds);
+  reg.GetCounter("inslearn.phase.valid_ns").AddSeconds(report.valid_seconds);
+  reg.GetCounter("inslearn.phase.snapshot_ns")
+      .AddSeconds(report.snapshot_seconds);
+  reg.GetCounter("inslearn.phase.observe_ns")
+      .AddSeconds(report.observe_seconds);
+}
+
 }  // namespace
 
 Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
@@ -23,14 +82,18 @@ Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
     return Status::OutOfRange("bad training range");
   }
   if (range.empty()) return InsLearnReport{};
-  if (config_.single_pass) return TrainSinglePass(model, data, range);
-  return TrainFullPass(model, data, range);
+  SUPA_TRACE_SPAN_CAT("inslearn/train", "inslearn");
+  auto result = config_.single_pass ? TrainSinglePass(model, data, range)
+                                    : TrainFullPass(model, data, range);
+  if (result.ok()) PublishReport(result.value());
+  return result;
 }
 
 double InsLearnTrainer::ValidationScore(const SupaModel& model,
                                         const Dataset& data, size_t begin,
                                         size_t end, Rng& rng) const {
   if (end <= begin) return 0.0;
+  SUPA_TRACE_SPAN_CAT("inslearn/validate", "inslearn");
   const auto& types = data.node_types;
   // One draw from the caller's stream keys this invocation, so successive
   // validation rounds see fresh negatives; within the invocation each
@@ -72,6 +135,9 @@ double InsLearnTrainer::ValidationScore(const SupaModel& model,
     sum += shard_sum[shard];
     count += shard_count[shard];
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("inslearn.valid_rounds")
+      .Increment();
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
@@ -80,9 +146,10 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
                                                         EdgeRange range) {
   InsLearnReport report;
   Rng valid_rng(config_.seed);
-  Timer timer;
+  Heartbeat heartbeat(config_.heartbeat_seconds);
 
   for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
+    SUPA_TRACE_SPAN_CAT("inslearn/batch", "inslearn");
     const size_t b1 = std::min(b0 + config_.batch_size, range.end);
     const size_t batch_len = b1 - b0;
     // STEP 2: the last S_valid edges of the batch are the validation set.
@@ -100,15 +167,16 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
     bool first_iteration = true;
     for (int iter = 1; iter <= config_.max_iters; ++iter) {
       for (size_t i = b0; i < train_end; ++i) {
-        timer.Reset();
-        auto stats = model.TrainEdge(data.edges[i]);
-        report.train_seconds += timer.ElapsedSeconds();
-        if (!stats.ok()) return stats.status();
+        {
+          StopwatchGuard guard(&report.train_seconds);
+          auto stats = model.TrainEdge(data.edges[i]);
+          if (!stats.ok()) return stats.status();
+        }
         ++report.train_steps;
+        heartbeat.Tick();
         if (first_iteration) {
-          timer.Reset();
+          StopwatchGuard guard(&report.observe_seconds);
           SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
-          report.observe_seconds += timer.ElapsedSeconds();
         }
       }
       first_iteration = false;
@@ -116,19 +184,22 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
 
       // STEP 3–4: periodic validation with early stopping.
       if (valid_len > 0 && iter % config_.valid_interval == 0) {
-        timer.Reset();
-        const double score =
-            ValidationScore(model, data, train_end, b1, valid_rng);
-        report.valid_seconds += timer.ElapsedSeconds();
+        double score = 0.0;
+        {
+          StopwatchGuard guard(&report.valid_seconds);
+          score = ValidationScore(model, data, train_end, b1, valid_rng);
+        }
         if (score > best_score) {
           best_score = score;
-          timer.Reset();
-          if (config_.use_delta_snapshots) {
-            best_delta = model.TakeDeltaSnapshot();
-          } else {
-            best_full = model.TakeSnapshot();
+          {
+            StopwatchGuard guard(&report.snapshot_seconds);
+            SUPA_TRACE_SPAN_CAT("inslearn/snapshot", "inslearn");
+            if (config_.use_delta_snapshots) {
+              best_delta = model.TakeDeltaSnapshot();
+            } else {
+              best_full = model.TakeSnapshot();
+            }
           }
-          report.snapshot_seconds += timer.ElapsedSeconds();
           have_best = true;
           patience_used = 0;
         } else {
@@ -140,25 +211,27 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
 
     // STEP 5: roll back to the best validated model.
     if (have_best) {
-      timer.Reset();
+      StopwatchGuard guard(&report.snapshot_seconds);
+      SUPA_TRACE_SPAN_CAT("inslearn/rollback", "inslearn");
       if (config_.use_delta_snapshots) {
         model.RestoreDeltaSnapshot(best_delta);
       } else {
         model.RestoreSnapshot(best_full);
       }
-      report.snapshot_seconds += timer.ElapsedSeconds();
     }
     report.batch_scores.push_back(best_score);
 
     // The validation edges are part of the stream; make them visible to
     // subsequent batches (graph only; per Algorithm 1 they are not trained).
-    timer.Reset();
-    for (size_t i = train_end; i < b1; ++i) {
-      SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+    {
+      StopwatchGuard guard(&report.observe_seconds);
+      for (size_t i = train_end; i < b1; ++i) {
+        SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+      }
     }
-    report.observe_seconds += timer.ElapsedSeconds();
     ++report.num_batches;
   }
+  heartbeat.Finish();
   return report;
 }
 
@@ -168,7 +241,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
   InsLearnReport report;
   report.num_batches = 1;
   Rng valid_rng(config_.seed);
-  Timer timer;
+  Heartbeat heartbeat(config_.heartbeat_seconds);
 
   const size_t n = range.size();
   size_t valid_len = std::min(config_.valid_size, n / 5);
@@ -183,34 +256,39 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
   SupaModel::Snapshot best_full;
 
   for (int epoch = 1; epoch <= config_.full_pass_epochs; ++epoch) {
+    SUPA_TRACE_SPAN_CAT("inslearn/epoch", "inslearn");
     for (size_t i = range.begin; i < train_end; ++i) {
-      timer.Reset();
-      auto stats = model.TrainEdge(data.edges[i]);
-      report.train_seconds += timer.ElapsedSeconds();
-      if (!stats.ok()) return stats.status();
+      {
+        StopwatchGuard guard(&report.train_seconds);
+        auto stats = model.TrainEdge(data.edges[i]);
+        if (!stats.ok()) return stats.status();
+      }
       ++report.train_steps;
+      heartbeat.Tick();
       if (epoch == 1) {
-        timer.Reset();
+        StopwatchGuard guard(&report.observe_seconds);
         SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
-        report.observe_seconds += timer.ElapsedSeconds();
       }
     }
     ++report.iterations;
     if (valid_len > 0) {
-      timer.Reset();
-      const double score =
-          ValidationScore(model, data, train_end, range.end, valid_rng);
-      report.valid_seconds += timer.ElapsedSeconds();
+      double score = 0.0;
+      {
+        StopwatchGuard guard(&report.valid_seconds);
+        score = ValidationScore(model, data, train_end, range.end, valid_rng);
+      }
       report.batch_scores.push_back(score);
       if (score > best_score) {
         best_score = score;
-        timer.Reset();
-        if (config_.use_delta_snapshots) {
-          best_delta = model.TakeDeltaSnapshot();
-        } else {
-          best_full = model.TakeSnapshot();
+        {
+          StopwatchGuard guard(&report.snapshot_seconds);
+          SUPA_TRACE_SPAN_CAT("inslearn/snapshot", "inslearn");
+          if (config_.use_delta_snapshots) {
+            best_delta = model.TakeDeltaSnapshot();
+          } else {
+            best_full = model.TakeSnapshot();
+          }
         }
-        report.snapshot_seconds += timer.ElapsedSeconds();
         have_best = true;
         patience_used = 0;
       } else if (++patience_used > config_.patience) {
@@ -219,19 +297,21 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
     }
   }
   if (have_best) {
-    timer.Reset();
+    StopwatchGuard guard(&report.snapshot_seconds);
+    SUPA_TRACE_SPAN_CAT("inslearn/rollback", "inslearn");
     if (config_.use_delta_snapshots) {
       model.RestoreDeltaSnapshot(best_delta);
     } else {
       model.RestoreSnapshot(best_full);
     }
-    report.snapshot_seconds += timer.ElapsedSeconds();
   }
-  timer.Reset();
-  for (size_t i = train_end; i < range.end; ++i) {
-    SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+  {
+    StopwatchGuard guard(&report.observe_seconds);
+    for (size_t i = train_end; i < range.end; ++i) {
+      SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+    }
   }
-  report.observe_seconds += timer.ElapsedSeconds();
+  heartbeat.Finish();
   return report;
 }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_utils.h"
 #include "util/simd.h"
 
@@ -16,6 +18,37 @@ namespace {
 /// fraction of the parameter buffer: beyond it a delta stops being
 /// meaningfully cheaper than a full copy.
 constexpr double kRebaseDirtyFraction = 0.25;
+
+/// Snapshot-path counters, shared by every model in the process (the
+/// registry is process-global). Looked up once; the handles are trivially
+/// copyable and the registry is never destroyed.
+struct SnapshotMetrics {
+  obs::Counter delta_takes;
+  obs::Counter rebases;
+  obs::Counter delta_restores;
+  obs::Counter fallback_restores;
+  obs::Counter full_takes;
+  obs::Counter full_restores;
+  obs::Histogram dirty_rows;
+
+  static SnapshotMetrics& Get() {
+    static SnapshotMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return SnapshotMetrics{
+          reg.GetCounter("snapshot.delta_takes"),
+          reg.GetCounter("snapshot.rebases"),
+          reg.GetCounter("snapshot.delta_restores"),
+          reg.GetCounter("snapshot.fallback_restores"),
+          reg.GetCounter("snapshot.full_takes"),
+          reg.GetCounter("snapshot.full_restores"),
+          reg.GetHistogram(
+              "snapshot.dirty_rows",
+              obs::MetricsRegistry::ExponentialBounds(1.0, 4.0, 12)),
+      };
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -141,10 +174,14 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
   const size_t d = static_cast<size_t>(config_.dim);
   const EdgeTypeId r_ctx = CtxRel(e.type);
   TrainStats stats;
+  SUPA_TRACE_SPAN_CAT("train_edge", "model");
 
   grads_.Clear();
-  RunUpdater(e.src, e.time, &ctx_u_);
-  RunUpdater(e.dst, e.time, &ctx_v_);
+  {
+    SUPA_TRACE_SPAN_CAT("update", "model");
+    RunUpdater(e.src, e.time, &ctx_u_);
+    RunUpdater(e.dst, e.time, &ctx_v_);
+  }
 
   // ---- interaction loss (Eq. 6–7) ----------------------------------------
   if (config_.use_inter_loss && options.use_inter_loss) {
@@ -171,7 +208,11 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
     // The influenced graph is sampled into a model-owned arena reused
     // across edges — no per-walk heap traffic on the hot path.
     size_t u_walks = 0;
-    sampler_->SampleInto(e.src, e.dst, rng_, &walk_arena_, &u_walks);
+    {
+      SUPA_TRACE_SPAN_CAT("sample", "model");
+      sampler_->SampleInto(e.src, e.dst, rng_, &walk_arena_, &u_walks);
+    }
+    SUPA_TRACE_SPAN_CAT("propagate", "model");
     auto propagate = [&](size_t walk_begin, size_t walk_end,
                          UpdateContext& origin) {
       for (size_t w = walk_begin; w < walk_end; ++w) {
@@ -204,6 +245,7 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
 
   // ---- negative sampling loss (Eq. 12) -------------------------------------
   if (config_.use_neg_loss) {
+    SUPA_TRACE_SPAN_CAT("negative", "model");
     if (!neg_table_.built()) {
       SUPA_RETURN_NOT_OK(RebuildNegativeTable());
     }
@@ -224,9 +266,12 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
     add_negatives(ctx_v_);
   }
 
-  BackpropUpdater(ctx_u_);
-  BackpropUpdater(ctx_v_);
-  adam_->Step(grads_, store_->data());
+  {
+    SUPA_TRACE_SPAN_CAT("optimize", "model");
+    BackpropUpdater(ctx_u_);
+    BackpropUpdater(ctx_v_);
+    adam_->Step(grads_, store_->data());
+  }
   return stats;
 }
 
@@ -264,10 +309,14 @@ void SupaModel::FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const {
 }
 
 SupaModel::Snapshot SupaModel::TakeSnapshot() const {
+  SUPA_TRACE_SPAN_CAT("snapshot/full_take", "snapshot");
+  SnapshotMetrics::Get().full_takes.Increment();
   return Snapshot{store_->Snapshot(), adam_->Snapshot()};
 }
 
 void SupaModel::RestoreSnapshot(const Snapshot& snapshot) {
+  SUPA_TRACE_SPAN_CAT("snapshot/full_restore", "snapshot");
+  SnapshotMetrics::Get().full_restores.Increment();
   store_->Restore(snapshot.params);
   adam_->Restore(snapshot.adam);
   // The whole buffer changed; dirty tracking no longer describes the
@@ -281,16 +330,21 @@ void SupaModel::InvalidateDeltaBaseline() {
 }
 
 SupaModel::DeltaSnapshot SupaModel::TakeDeltaSnapshot() {
+  SUPA_TRACE_SPAN_CAT("snapshot/delta_take", "snapshot");
+  SnapshotMetrics& metrics = SnapshotMetrics::Get();
+  metrics.delta_takes.Increment();
   if (delta_baseline_ == nullptr ||
       static_cast<double>(adam_->dirty_rows().num_floats()) >
           kRebaseDirtyFraction * static_cast<double>(store_->size())) {
     // (Re-)establish the baseline: one full copy, after which snapshots
     // and restores are O(dirty) until the dirty set grows too large again.
+    metrics.rebases.Increment();
     delta_baseline_ = std::make_shared<const Snapshot>(TakeSnapshot());
     adam_->ClearDirty();
   }
 
   const DirtyRowSet& dirty = adam_->dirty_rows();
+  metrics.dirty_rows.Observe(static_cast<double>(dirty.num_rows()));
   DeltaSnapshot snap;
   snap.baseline = delta_baseline_;
   snap.adam_step = adam_->step_count();
@@ -319,6 +373,8 @@ SupaModel::DeltaSnapshot SupaModel::TakeDeltaSnapshot() {
 void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
   assert(snapshot.baseline != nullptr &&
          "RestoreDeltaSnapshot needs a snapshot from TakeDeltaSnapshot");
+  SUPA_TRACE_SPAN_CAT("snapshot/delta_restore", "snapshot");
+  SnapshotMetrics& metrics = SnapshotMetrics::Get();
   float* params = store_->data();
   float* m = adam_->m_data();
   float* v = adam_->v_data();
@@ -328,6 +384,7 @@ void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
   if (delta_baseline_ != nullptr && snapshot.baseline == delta_baseline_) {
     // Fast path: revert every row dirty since the shared baseline, then
     // re-apply the snapshot's rows below — O(dirty) total.
+    metrics.delta_restores.Increment();
     const Snapshot& base = *delta_baseline_;
     adam_->dirty_rows().ForEach([&](size_t offset, uint32_t len) {
       std::memcpy(params + offset, base.params.data() + offset,
@@ -341,6 +398,7 @@ void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
     // Full-copy fallback: the model was re-based or fully restored since
     // this snapshot was taken, so its baseline (kept alive by the shared
     // handle) is copied wholesale and adopted as the live baseline.
+    metrics.fallback_restores.Increment();
     const Snapshot& base = *snapshot.baseline;
     std::memcpy(params, base.params.data(),
                 base.params.size() * sizeof(float));

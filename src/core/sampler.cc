@@ -9,7 +9,17 @@ InfluencedGraphSampler::InfluencedGraphSampler(
       graph_(&graph),
       metapaths_(std::move(metapaths)),
       num_walks_(num_walks),
-      walk_len_(walk_len) {
+      walk_len_(walk_len),
+      walks_counter_(
+          obs::MetricsRegistry::Global().GetCounter("sampler.walks")),
+      steps_counter_(
+          obs::MetricsRegistry::Global().GetCounter("sampler.walk_steps")),
+      arena_reuse_counter_(
+          obs::MetricsRegistry::Global().GetCounter("sampler.arena_reuses")),
+      arena_grow_counter_(
+          obs::MetricsRegistry::Global().GetCounter("sampler.arena_grows")),
+      walk_len_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "sampler.walk_len", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0})) {
   by_head_type_.resize(graph.schema().num_node_types());
   for (size_t i = 0; i < metapaths_.size(); ++i) {
     by_head_type_[metapaths_[i].head()].push_back(i);
@@ -51,10 +61,26 @@ void InfluencedGraphSampler::SampleFromInto(NodeId start, Rng& rng,
 void InfluencedGraphSampler::SampleInto(NodeId u, NodeId v, Rng& rng,
                                         WalkBuffer* out,
                                         size_t* u_count) const {
+  const size_t capacity_before = out->steps_capacity();
   out->Clear();
   SampleFromInto(u, rng, out);
   *u_count = out->num_walks();
   SampleFromInto(v, rng, out);
+
+  // Steady-state contract of the arena: capacity stops changing once the
+  // buffer has seen the largest influenced graph, making sampling
+  // allocation-free. arena_grows flat-lining while arena_reuses climbs is
+  // the observable signature of that.
+  if (out->steps_capacity() == capacity_before) {
+    arena_reuse_counter_.Increment();
+  } else {
+    arena_grow_counter_.Increment();
+  }
+  walks_counter_.Increment(out->num_walks());
+  steps_counter_.Increment(out->num_steps());
+  for (size_t w = 0; w < out->num_walks(); ++w) {
+    walk_len_hist_.Observe(static_cast<double>(out->walk(w).size()));
+  }
 }
 
 }  // namespace supa

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/walker.h"
+#include "obs/metrics.h"
 
 namespace supa {
 
@@ -66,6 +67,14 @@ class InfluencedGraphSampler {
   std::vector<std::vector<size_t>> by_head_type_;
   int num_walks_;
   int walk_len_;
+
+  // Handles resolved once at construction (see obs/metrics.h); the hot
+  // path only does relaxed adds on thread-local cells.
+  obs::Counter walks_counter_;
+  obs::Counter steps_counter_;
+  obs::Counter arena_reuse_counter_;
+  obs::Counter arena_grow_counter_;
+  obs::Histogram walk_len_hist_;
 };
 
 }  // namespace supa

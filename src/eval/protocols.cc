@@ -3,6 +3,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -71,9 +73,11 @@ Result<RankingResult> EvaluateLinkPrediction(const Recommender& model,
   // Shard s owns the contiguous case block [s*n/S, (s+1)*n/S), seeds its
   // candidate-sampling Rng from SplitMix64At(seed, s), and accumulates
   // into its own slot; the slots are reduced in shard order below.
+  SUPA_TRACE_SPAN_CAT("eval/rank_cases", "eval");
   const size_t num_shards = std::min(cases.size(), kEvalShards);
   std::vector<MetricAccumulator> shard_acc(num_shards);
   ParallelFor(config.threads, num_shards, [&](size_t shard) {
+    SUPA_TRACE_SPAN_CAT("eval/shard", "eval");
     Rng shard_rng(SplitMix64At(config.seed, shard));
     MetricAccumulator& acc = shard_acc[shard];
     std::vector<NodeId> sampled_candidates;
@@ -121,6 +125,12 @@ Result<RankingResult> EvaluateLinkPrediction(const Recommender& model,
     }
   });
   const MetricAccumulator acc = ReduceShards(shard_acc);
+  {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("eval.link_prediction_runs").Increment();
+    reg.GetCounter("eval.cases_ranked").Increment(acc.count());
+    reg.GetCounter("eval.shards_run").Increment(num_shards);
+  }
 
   RankingResult out;
   out.hit20 = acc.hit20();
@@ -136,9 +146,11 @@ Result<std::vector<DynamicStepResult>> RunDynamicProtocol(
     const EvalConfig& config) {
   SUPA_ASSIGN_OR_RETURN(std::vector<EdgeRange> ranges,
                         SplitKParts(data, parts));
+  SUPA_TRACE_SPAN_CAT("eval/dynamic_protocol", "eval");
   std::vector<DynamicStepResult> out;
   out.reserve(parts - 1);
   for (size_t i = 0; i + 1 < parts; ++i) {
+    SUPA_TRACE_SPAN_CAT("eval/dynamic_step", "eval");
     DynamicStepResult step;
     Timer train_timer;
     if (i == 0 || !model.incremental()) {
@@ -167,6 +179,7 @@ Result<std::vector<RankingResult>> RunDisturbanceProtocol(
     const Dataset& data, const std::vector<size_t>& etas,
     const EvalConfig& config) {
   SUPA_ASSIGN_OR_RETURN(TemporalSplit split, SplitTemporal(data));
+  SUPA_TRACE_SPAN_CAT("eval/disturbance_protocol", "eval");
   // Each η setting trains and evaluates an independent model, so the η
   // sweep itself is the parallel axis (one shard per η); the factory runs
   // serially up front because callers only promise per-instance isolation.

@@ -5,7 +5,10 @@
 namespace supa {
 
 DynamicGraph::DynamicGraph(Schema schema, std::vector<NodeTypeId> node_types)
-    : schema_(std::move(schema)), node_types_(std::move(node_types)) {
+    : schema_(std::move(schema)),
+      node_types_(std::move(node_types)),
+      cap_hit_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "graph.neighbor_cap_hits")) {
   adj_.resize(node_types_.size());
   last_active_.assign(node_types_.size(), kNeverActive);
 }

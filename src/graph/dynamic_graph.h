@@ -14,6 +14,7 @@
 
 #include "graph/schema.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace supa {
@@ -47,6 +48,9 @@ class DynamicGraph {
     if (neighbor_cap_ == 0 || list.size() <= neighbor_cap_) {
       return list;
     }
+    // Counts lookups that actually lost history to η — the precondition
+    // for the Neighborhood Disturbance phenomenon (§IV-F).
+    cap_hit_counter_.Increment();
     return std::span<const Neighbor>(list.data() + list.size() - neighbor_cap_,
                                      neighbor_cap_);
   }
@@ -94,6 +98,9 @@ class DynamicGraph {
   size_t neighbor_cap_ = 0;
   size_t num_edges_ = 0;
   Timestamp latest_time_ = kNeverActive;
+  /// Resolved once in the constructor; Increment is a relaxed add on a
+  /// thread-local cell, so the accessor above stays lock-free.
+  obs::Counter cap_hit_counter_;
 };
 
 }  // namespace supa

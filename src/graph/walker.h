@@ -59,6 +59,9 @@ class WalkBuffer {
 
   size_t num_walks() const { return spans_.size(); }
   size_t num_steps() const { return steps_.size(); }
+  /// Current arena capacity in steps; stable capacity across Clear()/fill
+  /// cycles means the buffer is being reused allocation-free.
+  size_t steps_capacity() const { return steps_.capacity(); }
 
   const Span& walk(size_t i) const { return spans_[i]; }
 

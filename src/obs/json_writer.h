@@ -1,0 +1,84 @@
+// Minimal streaming JSON writer shared by every machine-readable export in
+// the repo: the metrics registry, the trace recorder, and the bench
+// harnesses' --out-style reports. Keys are emitted in the order the caller
+// writes them (stable output for diffs and CI), strings are escaped per
+// RFC 8259, and non-finite doubles are emitted as null so the output always
+// parses.
+//
+// The writer is deliberately dependency-free (no Status, no logging) so it
+// can sit below util/ in the library stack.
+
+#ifndef SUPA_OBS_JSON_WRITER_H_
+#define SUPA_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace supa::obs {
+
+/// Builds one JSON document incrementally. Commas and nesting are managed
+/// automatically; misuse (e.g. a value with no pending key inside an
+/// object) is caught by assertions in debug builds and produces invalid
+/// JSON rather than UB in release builds.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Double(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Shorthand: Key(key) + the typed value.
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& Field(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, uint64_t value) {
+    return Key(key).Uint(value);
+  }
+  JsonWriter& Field(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  /// The document built so far. Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `s` for inclusion inside a JSON string literal (quotes not
+  /// included).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  /// Whether the current container already holds a value (comma needed).
+  std::vector<bool> has_value_;
+  bool key_pending_ = false;
+};
+
+/// Writes `json` to `path`. Returns true on success; on failure fills
+/// `*error` (when non-null) with a description.
+bool WriteTextFile(const std::string& path, std::string_view json,
+                   std::string* error);
+
+}  // namespace supa::obs
+
+#endif  // SUPA_OBS_JSON_WRITER_H_

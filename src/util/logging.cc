@@ -1,19 +1,18 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "obs/metrics.h"
 
 namespace supa {
 namespace {
 
-LogLevel ReadInitialLevel() {
-  const char* env = std::getenv("SUPA_LOG_LEVEL");
-  if (env == nullptr) return LogLevel::kInfo;
-  return ParseLogLevel(env);
-}
-
 LogLevel& ActiveLevel() {
-  static LogLevel level = ReadInitialLevel();
+  static LogLevel level = internal::InitialLevelFromEnv();
   return level;
 }
 
@@ -42,7 +41,10 @@ LogLevel GetLogLevel() { return ActiveLevel(); }
 LogLevel ParseLogLevel(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
-  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
   if (lower == "debug") return LogLevel::kDebug;
   if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
   if (lower == "error") return LogLevel::kError;
@@ -52,13 +54,41 @@ LogLevel ParseLogLevel(const std::string& name) {
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+LogLevel InitialLevelFromEnv() {
+  const char* env = std::getenv("SUPA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  return ParseLogLevel(env);
+}
+
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "[%s %04d-%02d-%02d %02d:%02d:%02d.%03d t%u %s:%d] ",
+                LevelTag(level), tm_buf.tm_year + 1900, tm_buf.tm_mon + 1,
+                tm_buf.tm_mday, tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                millis, obs::CurrentThreadId(), base, line);
+  return buf;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)level_;
+  stream_ << FormatLogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {

@@ -3,6 +3,11 @@
 // Usage: SUPA_LOG(INFO) << "processed " << n << " edges";
 // The active level is controlled with SetLogLevel or the SUPA_LOG_LEVEL
 // environment variable (DEBUG, INFO, WARNING, ERROR, OFF).
+//
+// Each line is prefixed with the severity tag, wall-clock timestamp
+// (millisecond precision, local time), the small sequential thread id
+// shared with the trace recorder (obs::CurrentThreadId), and the source
+// location: "[I 2026-08-07 12:34:56.789 t0 file.cc:42] message".
 
 #ifndef SUPA_UTIL_LOGGING_H_
 #define SUPA_UTIL_LOGGING_H_
@@ -25,6 +30,14 @@ LogLevel GetLogLevel();
 LogLevel ParseLogLevel(const std::string& name);
 
 namespace internal {
+
+/// The level the logger starts with: SUPA_LOG_LEVEL when set, else kInfo.
+/// Exposed for tests; SetLogLevel overrides it at runtime.
+LogLevel InitialLevelFromEnv();
+
+/// Builds the line prefix "[<tag> <timestamp> t<tid> <basename>:<line>] ".
+/// Exposed for tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
 
 /// Accumulates one log line and emits it on destruction.
 class LogMessage {

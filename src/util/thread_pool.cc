@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -9,9 +10,21 @@ namespace {
 
 thread_local bool t_on_worker_thread = false;
 
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : tasks_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "threadpool.tasks_executed")),
+      queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "threadpool.queue_wait_us",
+          obs::MetricsRegistry::ExponentialBounds(1.0, 4.0, 10))) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -29,12 +42,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
+    // Inline execution never waits in a queue; it still counts as a task.
+    tasks_counter_.Increment();
+    queue_wait_hist_.Observe(0.0);
     task();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), MonotonicNowNs()});
   }
   cv_.notify_one();
 }
@@ -42,7 +58,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WorkerLoop() {
   t_on_worker_thread = true;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -50,7 +66,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    tasks_counter_.Increment();
+    queue_wait_hist_.Observe(
+        static_cast<double>(MonotonicNowNs() - task.enqueue_ns) * 1e-3);
+    task.fn();
   }
 }
 

@@ -20,11 +20,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace supa {
 
@@ -57,13 +60,25 @@ class ThreadPool {
   static bool OnWorkerThread();
 
  private:
+  /// A queued task plus its enqueue time, so the worker that eventually
+  /// runs it can report how long it sat in the queue.
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Process-global metrics (all pools feed the same series); resolved once
+  // at construction.
+  obs::Counter tasks_counter_;
+  obs::Histogram queue_wait_hist_;
 };
 
 /// Maps the user-facing thread-count knob to an actual count:

@@ -28,6 +28,27 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// RAII stopwatch: adds the guard's lifetime, in seconds, to `*acc` on
+/// destruction. Replaces the manual Reset()/ElapsedSeconds() bookkeeping
+/// around phase accumulators:
+///
+///   {
+///     StopwatchGuard g(&report.train_seconds);
+///     ... timed work ...
+///   }  // accumulates here, on every exit path
+class StopwatchGuard {
+ public:
+  explicit StopwatchGuard(double* acc) : acc_(acc) {}
+  ~StopwatchGuard() { *acc_ += timer_.ElapsedSeconds(); }
+
+  StopwatchGuard(const StopwatchGuard&) = delete;
+  StopwatchGuard& operator=(const StopwatchGuard&) = delete;
+
+ private:
+  Timer timer_;
+  double* acc_;
+};
+
 }  // namespace supa
 
 #endif  // SUPA_UTIL_TIMER_H_

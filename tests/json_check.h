@@ -1,0 +1,200 @@
+// Minimal strict JSON validator for tests: a recursive-descent checker
+// used to assert that observability exports (metrics snapshots, Chrome
+// traces, bench reports) are well-formed without pulling in a JSON
+// library. Validates grammar only — callers inspect content through the
+// producing API (e.g. TraceRecorder::ExportEvents), not by parsing.
+
+#ifndef SUPA_TESTS_JSON_CHECK_H_
+#define SUPA_TESTS_JSON_CHECK_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace supa::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool Valid(std::string* error) {
+    pos_ = 0;
+    if (!Value(0)) {
+      if (error != nullptr) *error = error_ + " at offset " +
+                                     std::to_string(pos_);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected '\"'");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Digits() {
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("expected digit");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool Number() {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!Digits()) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return Fail("expected ':'");
+          }
+          ++pos_;
+          if (!Value(depth + 1)) return false;
+          SkipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          if (!Value(depth + 1)) return false;
+          SkipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Convenience wrapper for EXPECT_TRUE(JsonParses(doc)).
+inline bool JsonParses(std::string_view text, std::string* error = nullptr) {
+  return JsonChecker(text).Valid(error);
+}
+
+}  // namespace supa::test
+
+#endif  // SUPA_TESTS_JSON_CHECK_H_

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <regex>
+#include <string>
+
 namespace supa {
 namespace {
 
@@ -55,6 +59,47 @@ TEST(LogMacroTest, EnabledLevelEvaluatesAndDoesNotCrash) {
   SUPA_LOG(DEBUG) << "value " << count();
   EXPECT_EQ(evaluations, 1);
   SetLogLevel(before);
+}
+
+TEST(LogPrefixTest, MatchesDocumentedFormat) {
+  const std::string prefix =
+      internal::FormatLogPrefix(LogLevel::kInfo, "src/util/bar.cc", 42);
+  // "[I 2026-08-07 12:34:56.789 t0 bar.cc:42] " — severity tag, local
+  // wall-clock with millisecond precision, sequential thread id, and the
+  // path reduced to its basename.
+  const std::regex re(
+      R"(\[I \d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} t\d+ bar\.cc:42\] )");
+  EXPECT_TRUE(std::regex_match(prefix, re)) << "prefix was: " << prefix;
+}
+
+TEST(LogPrefixTest, SeverityTags) {
+  EXPECT_EQ(internal::FormatLogPrefix(LogLevel::kDebug, "x.cc", 1)[1], 'D');
+  EXPECT_EQ(internal::FormatLogPrefix(LogLevel::kInfo, "x.cc", 1)[1], 'I');
+  EXPECT_EQ(internal::FormatLogPrefix(LogLevel::kWarning, "x.cc", 1)[1], 'W');
+  EXPECT_EQ(internal::FormatLogPrefix(LogLevel::kError, "x.cc", 1)[1], 'E');
+}
+
+TEST(LogPrefixTest, ThreadIdIsStableAcrossCalls) {
+  const std::string a =
+      internal::FormatLogPrefix(LogLevel::kInfo, "x.cc", 1);
+  const std::string b =
+      internal::FormatLogPrefix(LogLevel::kInfo, "x.cc", 1);
+  // Same thread, same tid token (the timestamp may differ).
+  const auto tid_token = [](const std::string& s) {
+    const size_t t = s.rfind(" t");
+    const size_t end = s.find(' ', t + 1);
+    return s.substr(t, end - t);
+  };
+  EXPECT_EQ(tid_token(a), tid_token(b));
+}
+
+TEST(LogEnvTest, InitialLevelHonorsEnvironment) {
+  ASSERT_EQ(setenv("SUPA_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  EXPECT_EQ(internal::InitialLevelFromEnv(), LogLevel::kError);
+  ASSERT_EQ(setenv("SUPA_LOG_LEVEL", "debug", /*overwrite=*/1), 0);
+  EXPECT_EQ(internal::InitialLevelFromEnv(), LogLevel::kDebug);
+  ASSERT_EQ(unsetenv("SUPA_LOG_LEVEL"), 0);
+  EXPECT_EQ(internal::InitialLevelFromEnv(), LogLevel::kInfo);
 }
 
 }  // namespace

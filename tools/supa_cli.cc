@@ -26,6 +26,9 @@
 #include "eval/predictor.h"
 #include "eval/protocols.h"
 #include "graph/metapath_miner.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/tsv.h"
 
 namespace supa {
@@ -109,6 +112,7 @@ int CmdTrain(const Args& args) {
   tc.max_iters = static_cast<int>(args.GetUint("iters", 16));
   tc.valid_interval = 4;
   tc.threads = static_cast<size_t>(args.GetUint("threads", 0));
+  tc.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
   InsLearnTrainer trainer(tc);
   auto report = trainer.Train(model, data.value(), split.train);
   if (!report.ok()) {
@@ -305,21 +309,61 @@ int CmdMine(const Args& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: supa_cli <generate|train|eval|recommend|mine|export> "
-               "[--flag value]...\n");
+               "[--flag value]...\n"
+               "observability (any command):\n"
+               "  --metrics-out <path>  write a metrics-registry JSON "
+               "snapshot on exit (and print the table)\n"
+               "  --trace-out <path>    record trace spans and write Chrome "
+               "trace JSON on exit\n"
+               "  --heartbeat <secs>    train: log a throughput line every "
+               "~<secs> seconds\n");
   return 2;
+}
+
+int Dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "eval") return CmdEval(args);
+  if (cmd == "recommend") return CmdRecommend(args);
+  if (cmd == "mine") return CmdMine(args);
+  if (cmd == "export") return CmdExport(args);
+  return Usage();
 }
 
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) return Usage();
-  const std::string& cmd = args.value().command;
-  if (cmd == "generate") return CmdGenerate(args.value());
-  if (cmd == "train") return CmdTrain(args.value());
-  if (cmd == "eval") return CmdEval(args.value());
-  if (cmd == "recommend") return CmdRecommend(args.value());
-  if (cmd == "mine") return CmdMine(args.value());
-  if (cmd == "export") return CmdExport(args.value());
-  return Usage();
+
+  const std::string metrics_out = args.value().Get("metrics-out", "");
+  const std::string trace_out = args.value().Get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Enable(true);
+
+  const int rc = Dispatch(args.value().command, args.value());
+
+  // Observability exports are written even when the command failed — a
+  // partial run's metrics are exactly what one wants when diagnosing it.
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Global().Enable(false);
+    std::string error;
+    if (!obs::TraceRecorder::Global().WriteJson(trace_out, &error)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", error.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "trace (%zu spans) -> %s\n",
+                 obs::TraceRecorder::Global().recorded_events(),
+                 trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+    std::fputs(snapshot.ToTable().c_str(), stdout);
+    std::string error;
+    if (!obs::WriteTextFile(metrics_out, snapshot.ToJson(), &error)) {
+      std::fprintf(stderr, "failed to write metrics: %s\n", error.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "metrics -> %s\n", metrics_out.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
