@@ -6,12 +6,19 @@
 //   SUPA_BENCH_EFFORT      training effort multiplier (default 1.0)
 //   SUPA_BENCH_TEST_EDGES  test cases per evaluation (default 300)
 //   SUPA_BENCH_SEEDS       repetitions for significance tests (default 3)
+//   SUPA_BENCH_REPEATS     timing repeats per perf metric, emitted as the
+//                          "samples" arrays bench_compare consumes
+//                          (default 3)
 //   SUPA_BENCH_THREADS     eval worker threads (default 0 = all cores;
 //                          results are thread-count invariant)
 //   SUPA_METRICS_OUT       write a metrics-registry JSON snapshot here at
 //                          process exit
 //   SUPA_TRACE_OUT         enable trace spans and write Chrome trace JSON
 //                          here at process exit
+//   SUPA_ADMIN_PORT        serve /metrics /healthz /statusz /tracez on
+//                          127.0.0.1 at this port for the whole run
+//                          (0 = ephemeral; the bound port is printed to
+//                          stderr)
 // Command line:
 //   --out <path>           additionally write the rows as TSV
 //   --json-out <path>      additionally write the rows as JSON
@@ -24,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,12 +52,35 @@ inline size_t EnvSize(const char* name, size_t fallback) {
       EnvDouble(name, static_cast<double>(fallback)));
 }
 
-/// Honors SUPA_METRICS_OUT / SUPA_TRACE_OUT: enables tracing when a trace
-/// path is set and installs one atexit hook that writes the exports when
+/// Honors SUPA_METRICS_OUT / SUPA_TRACE_OUT / SUPA_ADMIN_PORT: enables
+/// tracing when a trace path is set, starts the HTTP admin server when a
+/// port is set, and installs one atexit hook that writes the exports when
 /// the harness ends (normal return or std::exit). Idempotent, so every
 /// BenchEnv construction may call it.
 inline void InitObservabilityFromEnv() {
   static const bool installed = [] {
+    if (const char* port_text = std::getenv("SUPA_ADMIN_PORT")) {
+      auto port = ParseUint(port_text);
+      if (port.ok() && port.value() <= 65535) {
+        obs::AdminServerOptions options;
+        options.port = static_cast<uint16_t>(port.value());
+        // Leaked on purpose: serves until process exit, and everything it
+        // reads (metrics / trace / status registries) is a leaked
+        // singleton too.
+        auto* admin = new obs::AdminServer(options);
+        std::string error;
+        if (admin->Start(&error)) {
+          std::fprintf(stderr,
+                       "admin server listening on http://127.0.0.1:%u\n",
+                       admin->port());
+        } else {
+          std::fprintf(stderr, "admin server failed to start: %s\n",
+                       error.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "bad SUPA_ADMIN_PORT: %s\n", port_text);
+      }
+    }
     const bool want_metrics = std::getenv("SUPA_METRICS_OUT") != nullptr;
     const bool want_trace = std::getenv("SUPA_TRACE_OUT") != nullptr;
     if (want_trace) obs::TraceRecorder::Global().Enable(true);
@@ -90,6 +121,7 @@ struct BenchEnv {
   double effort = EnvDouble("SUPA_BENCH_EFFORT", 1.0);
   size_t test_edges = EnvSize("SUPA_BENCH_TEST_EDGES", 300);
   size_t seeds = EnvSize("SUPA_BENCH_SEEDS", 2);
+  size_t repeats = EnvSize("SUPA_BENCH_REPEATS", 3);
   size_t threads = EnvSize("SUPA_BENCH_THREADS", 0);
 };
 

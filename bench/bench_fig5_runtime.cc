@@ -111,17 +111,43 @@ int main(int argc, char** argv) {
     };
 
     InsLearnReport delta_report, full_report;
-    // Registry deltas across the delta-snapshot run expose the snapshot
-    // machinery's behavior (re-bases, O(dirty) restores vs full-copy
-    // fallbacks) without the trainer having to thread them through its
-    // report.
+    // Registry deltas across the first delta-snapshot run expose the
+    // snapshot machinery's behavior (re-bases, O(dirty) restores vs
+    // full-copy fallbacks) without the trainer having to thread them
+    // through its report.
     const obs::MetricsSnapshot before =
         obs::MetricsRegistry::Global().Snapshot();
     const double delta_wall_s = run_inslearn(true, &delta_report);
     const obs::MetricsSnapshot after =
         obs::MetricsRegistry::Global().Snapshot();
+    if (delta_wall_s < 0.0) return 1;
+
+    // Per-repeat timing samples of the identical delta-snapshot workload.
+    // bench_compare Welch-tests these arrays between two reports, so every
+    // run carries its own noise estimate. Repeat 1 is the run above.
+    const size_t repeats = std::max<size_t>(1, env.repeats);
+    std::vector<double> wall_samples = {delta_wall_s};
+    std::vector<double> eps_samples = {
+        static_cast<double>(data.edges.size()) / delta_wall_s};
+    std::vector<double> sps_samples = {
+        delta_report.train_seconds > 0.0
+            ? static_cast<double>(delta_report.train_steps) /
+                  delta_report.train_seconds
+            : 0.0};
+    for (size_t rep = 1; rep < repeats; ++rep) {
+      InsLearnReport r;
+      const double wall_s = run_inslearn(true, &r);
+      if (wall_s < 0.0) return 1;
+      wall_samples.push_back(wall_s);
+      eps_samples.push_back(static_cast<double>(data.edges.size()) / wall_s);
+      sps_samples.push_back(
+          r.train_seconds > 0.0
+              ? static_cast<double>(r.train_steps) / r.train_seconds
+              : 0.0);
+    }
+
     const double full_wall_s = run_inslearn(false, &full_report);
-    if (delta_wall_s < 0.0 || full_wall_s < 0.0) return 1;
+    if (full_wall_s < 0.0) return 1;
     auto counter_delta = [&](const char* name) {
       return after.CounterValue(name) - before.CounterValue(name);
     };
@@ -217,6 +243,20 @@ int main(int argc, char** argv) {
     w.Field("dataset", "MovieLens");
     w.Field("scale", env.scale);
     w.Field("simd_backend", std::string_view(simd::BackendName()));
+    w.Field("repeats", static_cast<uint64_t>(repeats));
+    // Schema consumed by tools/bench_compare: one array of per-repeat
+    // measurements per perf metric.
+    w.Key("samples").BeginObject();
+    auto sample_array = [&w](const char* name,
+                             const std::vector<double>& xs) {
+      w.Key(name).BeginArray();
+      for (double x : xs) w.Double(x);
+      w.EndArray();
+    };
+    sample_array("edges_per_sec", eps_samples);
+    sample_array("train_steps_per_sec", sps_samples);
+    sample_array("wall_s", wall_samples);
+    w.EndObject();
     w.Key("methods").BeginArray();
     for (const MethodRuntime& m : method_runtimes) {
       w.BeginObject();

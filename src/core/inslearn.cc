@@ -1,8 +1,11 @@
 #include "core/inslearn.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -16,45 +19,116 @@ namespace {
 /// setting (see util/thread_pool.h).
 constexpr size_t kValidationShards = 32;
 
-/// Periodic throughput reporter for the training loop. Tick() is called
-/// once per trained edge but only reads the clock every 256 steps, so the
-/// disabled / between-beats cost is a counter increment and a branch.
-/// Observational only: never touches model state or RNG streams.
+/// Periodic throughput reporter and live-progress publisher for the
+/// training loop. Tick() is called once per trained edge but only reads
+/// the clock every 256 steps, so the between-beats cost is one relaxed
+/// atomic increment and a branch. The constructor registers a /statusz
+/// provider that reads the same atomics from the admin thread; the
+/// destructor unregisters it (StatusScope), so a provider never outlives
+/// its run. Observational only: never touches model state or RNG streams.
 class Heartbeat {
  public:
-  explicit Heartbeat(double interval_seconds)
+  Heartbeat(double interval_seconds, EdgeRange range)
       : interval_(interval_seconds),
+        edges_total_(range.size()),
         rate_gauge_(obs::MetricsRegistry::Global().GetGauge(
-            "inslearn.edges_per_sec")) {}
+            "inslearn.edges_per_sec")),
+        status_scope_("inslearn",
+                      [this] { return StatusItems(); }) {}
 
   void Tick() {
+    const uint64_t steps =
+        steps_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (interval_ <= 0.0) return;
-    if ((++steps_ & 255) != 0) return;
+    if ((steps & 255) != 0) return;
     const double elapsed = timer_.ElapsedSeconds();
     if (elapsed - last_beat_ < interval_) return;
-    const double rate = static_cast<double>(steps_ - last_steps_) /
+    const double rate = static_cast<double>(steps - last_steps_) /
                         std::max(elapsed - last_beat_, 1e-9);
     rate_gauge_.Set(rate);
-    SUPA_LOG(INFO) << "[inslearn] trained " << steps_ << " edges, "
-                   << static_cast<uint64_t>(rate) << " edges/s";
+    SUPA_LOG(INFO) << "[inslearn] trained " << steps << " edges, "
+                   << static_cast<uint64_t>(rate) << " edges/s"
+                   << QuantileSuffix();
     last_beat_ = elapsed;
-    last_steps_ = steps_;
+    last_steps_ = steps;
+  }
+
+  /// Coarse phase label shown on /statusz ("train", "validate", ...).
+  void SetPhase(const char* phase) {
+    phase_.store(phase, std::memory_order_relaxed);
+  }
+
+  /// Records a finished batch and its best validation score.
+  void BatchDone(double best_score) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    best_score_.store(best_score, std::memory_order_relaxed);
   }
 
   /// Publishes the whole-run average rate; called once at run end.
   void Finish() {
-    if (steps_ == 0) return;
+    SetPhase("done");
+    const uint64_t steps = steps_.load(std::memory_order_relaxed);
+    if (steps == 0) return;
     const double elapsed = timer_.ElapsedSeconds();
-    rate_gauge_.Set(static_cast<double>(steps_) / std::max(elapsed, 1e-9));
+    rate_gauge_.Set(static_cast<double>(steps) / std::max(elapsed, 1e-9));
   }
 
  private:
+  /// ", queue_wait_us p50/p95/p99 2/11/52" for each live histogram. One
+  /// registry snapshot per beat — far off the hot path.
+  static std::string QuantileSuffix() {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    struct NamedHist {
+      const char* metric;
+      const char* label;
+    };
+    std::string out;
+    for (const NamedHist h : {NamedHist{"threadpool.queue_wait_us",
+                                        "queue_wait_us"},
+                              NamedHist{"snapshot.dirty_rows",
+                                        "dirty_rows"}}) {
+      const obs::MetricsSnapshot::Entry* e = snapshot.Find(h.metric);
+      if (e == nullptr || e->count == 0) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", %s p50/p95/p99 %.0f/%.0f/%.0f",
+                    h.label, e->Quantile(0.50), e->Quantile(0.95),
+                    e->Quantile(0.99));
+      out += buf;
+    }
+    return out;
+  }
+
+  std::vector<obs::StatusItem> StatusItems() const {
+    char buf[32];
+    std::vector<obs::StatusItem> items;
+    items.push_back({"phase", phase_.load(std::memory_order_relaxed)});
+    items.push_back({"edges_trained",
+                     std::to_string(steps_.load(std::memory_order_relaxed))});
+    items.push_back({"edges_total", std::to_string(edges_total_)});
+    items.push_back(
+        {"batches_done",
+         std::to_string(batches_.load(std::memory_order_relaxed))});
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  best_score_.load(std::memory_order_relaxed));
+    items.push_back({"best_score", buf});
+    std::snprintf(buf, sizeof(buf), "%.0f", rate_gauge_.Value());
+    items.push_back({"edges_per_sec", buf});
+    return items;
+  }
+
   const double interval_;
+  const size_t edges_total_;
   obs::Gauge rate_gauge_;
   Timer timer_;
-  uint64_t steps_ = 0;
-  uint64_t last_steps_ = 0;
-  double last_beat_ = 0.0;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<double> best_score_{0.0};
+  std::atomic<const char*> phase_{"train"};
+  uint64_t last_steps_ = 0;   // training thread only
+  double last_beat_ = 0.0;    // training thread only
+  obs::StatusScope status_scope_;  // last member: registered when the
+                                   // atomics above are already constructed
 };
 
 /// Copies a finished report into the process-wide metrics registry.
@@ -146,7 +220,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
                                                         EdgeRange range) {
   InsLearnReport report;
   Rng valid_rng(config_.seed);
-  Heartbeat heartbeat(config_.heartbeat_seconds);
+  Heartbeat heartbeat(config_.heartbeat_seconds, range);
 
   for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
     SUPA_TRACE_SPAN_CAT("inslearn/batch", "inslearn");
@@ -187,7 +261,9 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
         double score = 0.0;
         {
           StopwatchGuard guard(&report.valid_seconds);
+          heartbeat.SetPhase("validate");
           score = ValidationScore(model, data, train_end, b1, valid_rng);
+          heartbeat.SetPhase("train");
         }
         if (score > best_score) {
           best_score = score;
@@ -220,6 +296,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
       }
     }
     report.batch_scores.push_back(best_score);
+    heartbeat.BatchDone(best_score);
 
     // The validation edges are part of the stream; make them visible to
     // subsequent batches (graph only; per Algorithm 1 they are not trained).
@@ -241,7 +318,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
   InsLearnReport report;
   report.num_batches = 1;
   Rng valid_rng(config_.seed);
-  Heartbeat heartbeat(config_.heartbeat_seconds);
+  Heartbeat heartbeat(config_.heartbeat_seconds, range);
 
   const size_t n = range.size();
   size_t valid_len = std::min(config_.valid_size, n / 5);
@@ -275,9 +352,12 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
       double score = 0.0;
       {
         StopwatchGuard guard(&report.valid_seconds);
+        heartbeat.SetPhase("validate");
         score = ValidationScore(model, data, train_end, range.end, valid_rng);
+        heartbeat.SetPhase("train");
       }
       report.batch_scores.push_back(score);
+      heartbeat.BatchDone(score);
       if (score > best_score) {
         best_score = score;
         {

@@ -1,0 +1,451 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/statusz.h"
+#include "obs/trace.h"
+
+namespace supa::obs {
+namespace {
+
+constexpr char kServerName[] = "supa-admin";
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::string EscapeHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct BuildInfo {
+  const char* compiler = __VERSION__;
+  const char* build_type =
+#ifdef NDEBUG
+      "Release";
+#else
+      "Debug";
+#endif
+  const char* tracing =
+#ifdef SUPA_TRACE_DISABLED
+      "compiled-out";
+#else
+      "available";
+#endif
+};
+
+std::string FormatDouble(double v, int digits = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+bool AdminServer::Start(std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    return fail("admin server already running");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(why);
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string why = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const std::string why = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(why);
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    const std::string why = Errno("pipe2");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(why);
+  }
+
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&AdminServer::Serve, this);
+#if defined(__linux__)
+  pthread_setname_np(thread_.native_handle(), kServerName);
+#endif
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Self-pipe: wake the serve loop whether it is blocked in the accept
+  // poll or mid-request in a connection poll.
+  const char byte = 'q';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  port_.store(0, std::memory_order_release);
+}
+
+void AdminServer::AddReadinessProbe(std::string name,
+                                    std::function<bool()> probe) {
+  std::lock_guard<std::mutex> lock(probes_mu_);
+  probes_.push_back(Probe{std::move(name), std::move(probe)});
+}
+
+double AdminServer::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+void AdminServer::Serve() {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // fatal poll error: stop serving rather than spin
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const bool keep_going = HandleConnection(conn);
+    ::close(conn);
+    if (!keep_going) return;
+  }
+}
+
+bool AdminServer::HandleConnection(int fd) {
+  // Read until the end of the request head, the byte cap, the deadline,
+  // or shutdown — whichever comes first.
+  std::string head;
+  bool have_head = false;
+  while (!have_head && head.size() < options_.max_request_bytes) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, options_.io_timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return true;  // error or deadline: drop the connection
+    if ((fds[1].revents & POLLIN) != 0) return false;  // shutting down
+    char buf[2048];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return true;  // peer closed or reset
+    head.append(buf, static_cast<size_t>(n));
+    have_head = head.find("\r\n\r\n") != std::string::npos;
+  }
+
+  HttpResponse response;
+  if (!have_head) {
+    response = HttpResponse{431, "text/plain; charset=utf-8",
+                            "request head too large\n"};
+  } else {
+    // Request line: METHOD SP request-target SP HTTP-version CRLF.
+    const size_t line_end = head.find("\r\n");
+    const std::string line = head.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+      response = HttpResponse{400, "text/plain; charset=utf-8",
+                              "malformed request line\n"};
+      MetricsRegistry::Global().GetCounter("admin.bad_requests").Increment();
+    } else {
+      HttpRequest request;
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      request.path = target.substr(0, qmark);
+      if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+      response = Route(request);
+    }
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global().GetCounter("admin.requests").Increment();
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+
+  size_t written = 0;
+  while (written < out.size()) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLOUT, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, options_.io_timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return true;
+    if ((fds[1].revents & POLLIN) != 0) return false;
+    const ssize_t n =
+        ::write(fd, out.data() + written, out.size() - written);
+    if (n <= 0) return true;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+AdminServer::HttpResponse AdminServer::Route(const HttpRequest& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    return HttpResponse{405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"};
+  }
+  if (request.path == "/") return HandleIndex();
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/statusz") {
+    return HandleStatusz(request.query.find("format=json") !=
+                         std::string::npos);
+  }
+  if (request.path == "/tracez") return HandleTracez();
+  return HttpResponse{404, "text/plain; charset=utf-8",
+                      "not found; try /metrics /healthz /statusz /tracez\n"};
+}
+
+AdminServer::HttpResponse AdminServer::HandleIndex() const {
+  HttpResponse r;
+  r.content_type = "text/html; charset=utf-8";
+  r.body =
+      "<!doctype html><title>supa admin</title><h1>supa admin</h1><ul>"
+      "<li><a href=\"/metrics\">/metrics</a> — Prometheus exposition</li>"
+      "<li><a href=\"/healthz\">/healthz</a> — liveness + readiness</li>"
+      "<li><a href=\"/statusz\">/statusz</a> — build, uptime, progress "
+      "(<a href=\"/statusz?format=json\">json</a>)</li>"
+      "<li><a href=\"/tracez\">/tracez</a> — Chrome trace dump</li>"
+      "</ul>\n";
+  return r;
+}
+
+AdminServer::HttpResponse AdminServer::HandleMetrics() const {
+  const BuildInfo build;
+  HttpResponse r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = RenderPrometheusText(MetricsRegistry::Global().Snapshot());
+  AppendPrometheusSeries(
+      "supa_build_info", "gauge", "build metadata (value is always 1)",
+      {{"compiler", build.compiler},
+       {"build_type", build.build_type},
+       {"tracing", build.tracing}},
+      1.0, &r.body);
+  AppendPrometheusSeries("supa_admin_uptime_seconds", "gauge",
+                         "seconds since the admin server started (steady "
+                         "clock)",
+                         {}, UptimeSeconds(), &r.body);
+  return r;
+}
+
+AdminServer::HttpResponse AdminServer::HandleHealthz() const {
+  std::vector<std::string> failing;
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    for (const Probe& probe : probes_) {
+      bool healthy = false;
+      try {
+        healthy = probe.fn();
+      } catch (...) {
+        healthy = false;
+      }
+      if (!healthy) failing.push_back(probe.name);
+    }
+  }
+  if (failing.empty()) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  std::string body = "unready:";
+  for (const std::string& name : failing) body += " " + name;
+  body += "\n";
+  return HttpResponse{503, "text/plain; charset=utf-8", std::move(body)};
+}
+
+AdminServer::HttpResponse AdminServer::HandleStatusz(bool as_json) const {
+  const BuildInfo build;
+  const double uptime = UptimeSeconds();
+  const std::vector<StatusSection> sections =
+      StatusRegistry::Global().Collect();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+
+  if (as_json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("server", std::string_view(kServerName));
+    w.Field("uptime_seconds", uptime);
+    w.Key("build").BeginObject();
+    w.Field("compiler", std::string_view(build.compiler));
+    w.Field("build_type", std::string_view(build.build_type));
+    w.Field("tracing", std::string_view(build.tracing));
+    w.EndObject();
+    w.Key("sections").BeginArray();
+    for (const StatusSection& section : sections) {
+      w.BeginObject();
+      w.Field("name", section.name);
+      w.Key("items").BeginObject();
+      for (const StatusItem& item : section.items) {
+        w.Field(item.key, item.value);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("histograms").BeginArray();
+    for (const auto& e : snapshot.entries) {
+      if (e.kind != MetricKind::kHistogram) continue;
+      w.BeginObject();
+      w.Field("name", e.name);
+      w.Field("count", e.count);
+      w.Field("mean", e.count == 0
+                          ? 0.0
+                          : e.sum / static_cast<double>(e.count));
+      w.Field("p50", e.Quantile(0.50));
+      w.Field("p95", e.Quantile(0.95));
+      w.Field("p99", e.Quantile(0.99));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return HttpResponse{200, "application/json; charset=utf-8", w.str()};
+  }
+
+  std::string body =
+      "<!doctype html><title>supa statusz</title><h1>statusz</h1>";
+  body += "<p>uptime " + FormatDouble(uptime, 1) + " s · " +
+          EscapeHtml(build.build_type) + " build · compiler " +
+          EscapeHtml(build.compiler) + " · tracing " +
+          EscapeHtml(build.tracing) + "</p>";
+  for (const StatusSection& section : sections) {
+    body += "<h2>" + EscapeHtml(section.name) + "</h2><table border=1>";
+    for (const StatusItem& item : section.items) {
+      body += "<tr><td>" + EscapeHtml(item.key) + "</td><td>" +
+              EscapeHtml(item.value) + "</td></tr>";
+    }
+    body += "</table>";
+  }
+  body +=
+      "<h2>histogram quantiles</h2><table border=1>"
+      "<tr><th>name</th><th>count</th><th>mean</th><th>p50</th>"
+      "<th>p95</th><th>p99</th></tr>";
+  for (const auto& e : snapshot.entries) {
+    if (e.kind != MetricKind::kHistogram) continue;
+    const double mean =
+        e.count == 0 ? 0.0 : e.sum / static_cast<double>(e.count);
+    body += "<tr><td>" + EscapeHtml(e.name) + "</td><td>" +
+            std::to_string(e.count) + "</td><td>" + FormatDouble(mean) +
+            "</td><td>" + FormatDouble(e.Quantile(0.50)) + "</td><td>" +
+            FormatDouble(e.Quantile(0.95)) + "</td><td>" +
+            FormatDouble(e.Quantile(0.99)) + "</td></tr>";
+  }
+  body += "</table>\n";
+  HttpResponse r;
+  r.content_type = "text/html; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+AdminServer::HttpResponse AdminServer::HandleTracez() const {
+  // ToJson snapshots the rings under the recorder mutex — the run keeps
+  // going; at worst a concurrent writer overwrites the oldest events of
+  // its own ring while we copy.
+  return HttpResponse{200, "application/json; charset=utf-8",
+                      TraceRecorder::Global().ToJson()};
+}
+
+}  // namespace supa::obs

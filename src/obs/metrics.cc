@@ -246,6 +246,29 @@ size_t MetricsRegistry::num_shards() const {
   return shards_.size();
 }
 
+double MetricsSnapshot::Entry::Quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0 || bounds.empty()) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation among `count`, 1-based; q = 0 maps to
+  // the first observation.
+  const double target = std::max(q * static_cast<double>(count), 1.0);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double in_bucket = static_cast<double>(buckets[i]);
+    const double position = (target - static_cast<double>(before)) / in_bucket;
+    return lower + (upper - lower) * std::min(position, 1.0);
+  }
+  return bounds.back();
+}
+
 const MetricsSnapshot::Entry* MetricsSnapshot::Find(
     std::string_view name) const {
   for (const Entry& e : entries) {

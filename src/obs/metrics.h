@@ -132,7 +132,18 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Approximate quantile of a histogram entry (q in [0, 1]), linearly
+    /// interpolated within the containing bucket (the first bucket is
+    /// assumed to start at 0, the Prometheus convention). Observations in
+    /// the overflow bucket are clamped to the largest finite bound.
+    /// Returns 0 for empty histograms and non-histogram entries.
+    double Quantile(double q) const;
   };
+
+  /// Alias for readers coming from the admin-server API: a histogram's
+  /// point-in-time state is one snapshot entry.
+  using HistogramSnapshot = Entry;
   std::vector<Entry> entries;
 
   /// Entry by exact name, or nullptr.

@@ -1,0 +1,57 @@
+// Prometheus text exposition format (v0.0.4) rendering of a metrics
+// snapshot, served by the admin server's GET /metrics.
+//
+// Mapping from the registry's conventions:
+//   * metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* — the
+//     registry's dotted names ("inslearn.train_steps") become underscore
+//     names ("inslearn_train_steps");
+//   * counters gain the conventional `_total` suffix; counters named
+//     `*_ns` (the registry's accumulated-duration convention) are exported
+//     as `*_seconds_total`, divided back to seconds;
+//   * histograms render cumulative `_bucket{le="..."}` series ending in
+//     `le="+Inf"`, plus `_sum` and `_count`.
+//
+// Like everything in obs/, this depends only on the standard library.
+
+#ifndef SUPA_OBS_PROMETHEUS_H_
+#define SUPA_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace supa::obs {
+
+/// One `name="value"` label pair for an exposition series.
+struct PrometheusLabel {
+  std::string name;
+  std::string value;  // raw; escaped at render time
+};
+
+/// Sanitizes a registry metric name into a legal Prometheus metric name:
+/// illegal characters map to '_' and a leading digit gains a '_' prefix.
+std::string SanitizePrometheusName(std::string_view name);
+
+/// Escapes a label value for the text format: backslash, double quote,
+/// and newline become \\, \", and \n.
+std::string EscapePrometheusLabelValue(std::string_view value);
+
+/// Renders `{a="x",b="y"}` (empty string for no labels).
+std::string RenderPrometheusLabels(const std::vector<PrometheusLabel>& labels);
+
+/// Appends one complete series with `# HELP` / `# TYPE` headers. `type`
+/// must be "counter", "gauge", or "untyped".
+void AppendPrometheusSeries(std::string_view name, std::string_view type,
+                            std::string_view help,
+                            const std::vector<PrometheusLabel>& labels,
+                            double value, std::string* out);
+
+/// Renders the whole snapshot in exposition format. Entries appear in
+/// snapshot order (sorted by name), so output is stable for diffs.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace supa::obs
+
+#endif  // SUPA_OBS_PROMETHEUS_H_

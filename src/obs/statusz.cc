@@ -1,0 +1,52 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+
+namespace supa::obs {
+
+StatusRegistry& StatusRegistry::Global() {
+  // Leaked on purpose: scoped registrations (e.g. an InsLearn run inside
+  // a bench) may unregister during static destruction.
+  static StatusRegistry* registry = new StatusRegistry();
+  return *registry;
+}
+
+uint64_t StatusRegistry::Register(std::string section, Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  entries_.push_back(Entry{id, std::move(section), std::move(provider)});
+  return id;
+}
+
+void StatusRegistry::Unregister(uint64_t id) {
+  // Collect() runs providers with mu_ held, so once we hold it here no
+  // provider is mid-call and none will be called again after erase.
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::vector<StatusSection> StatusRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatusSection> sections;
+  sections.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    StatusSection section;
+    section.name = e.section;
+    try {
+      section.items = e.provider();
+    } catch (...) {
+      section.items = {{"<error>", "status provider threw"}};
+    }
+    sections.push_back(std::move(section));
+  }
+  return sections;
+}
+
+size_t StatusRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace supa::obs

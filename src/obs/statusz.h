@@ -1,0 +1,100 @@
+// Registry of lazily-evaluated status providers feeding the admin
+// server's GET /statusz. A provider is a named callback returning
+// key/value rows ("edges_trained" -> "12345"); nothing is computed until
+// a page is actually requested, so an idle registry costs nothing.
+//
+// Providers are invoked from the admin thread with the registry mutex
+// held: they must be fast, must not block, and must be safe to call
+// concurrently with the instrumented code (read atomics, snapshot
+// registries — never take application locks). A provider must not call
+// back into the StatusRegistry.
+//
+// Like everything in obs/, this depends only on the standard library.
+
+#ifndef SUPA_OBS_STATUSZ_H_
+#define SUPA_OBS_STATUSZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace supa::obs {
+
+/// One key/value row of a status section. Values are preformatted
+/// strings; the renderer escapes them for HTML / JSON.
+struct StatusItem {
+  std::string key;
+  std::string value;
+};
+
+/// One provider's output at collection time.
+struct StatusSection {
+  std::string name;
+  std::vector<StatusItem> items;
+};
+
+class StatusRegistry {
+ public:
+  using Provider = std::function<std::vector<StatusItem>()>;
+
+  StatusRegistry() = default;
+  StatusRegistry(const StatusRegistry&) = delete;
+  StatusRegistry& operator=(const StatusRegistry&) = delete;
+
+  /// Process-wide registry served by the admin server. Leaked singleton
+  /// (see MetricsRegistry::Global).
+  static StatusRegistry& Global();
+
+  /// Registers `provider` under `section`; returns an id for Unregister.
+  /// Multiple providers may share a section name (rendered as separate
+  /// blocks, registration order).
+  uint64_t Register(std::string section, Provider provider);
+
+  /// Removes a provider. After Unregister returns the provider is
+  /// guaranteed not to be executing and will never run again — safe point
+  /// to destroy state the callback captured.
+  void Unregister(uint64_t id);
+
+  /// Evaluates every registered provider, in registration order. A
+  /// provider that throws contributes an "<error>" row instead of
+  /// propagating (status pages must not take the process down).
+  std::vector<StatusSection> Collect() const;
+
+  /// Number of registered providers.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    std::string section;
+    Provider provider;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+/// RAII registration: registers on construction, unregisters on
+/// destruction. The provider must stay valid for the scope's lifetime —
+/// the usual pattern is a lambda over atomics that outlive the scope.
+class StatusScope {
+ public:
+  StatusScope(std::string section, StatusRegistry::Provider provider)
+      : id_(StatusRegistry::Global().Register(std::move(section),
+                                              std::move(provider))) {}
+  ~StatusScope() { StatusRegistry::Global().Unregister(id_); }
+
+  StatusScope(const StatusScope&) = delete;
+  StatusScope& operator=(const StatusScope&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+}  // namespace supa::obs
+
+#endif  // SUPA_OBS_STATUSZ_H_

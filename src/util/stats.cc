@@ -1,4 +1,4 @@
-#include "eval/stats.h"
+#include "util/stats.h"
 
 #include <cmath>
 

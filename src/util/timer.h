@@ -25,6 +25,10 @@ class Timer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Elapsed times must survive wall-clock adjustments (NTP steps, DST):
+  // every duration in heartbeats, uptime, and bench reports derives from
+  // this clock.
+  static_assert(Clock::is_steady);
   Clock::time_point start_;
 };
 

@@ -1,0 +1,190 @@
+// Golden-file tests for the perf-regression sentinel: fixture reports for
+// a clear regression, a clear improvement, and resampled noise, checked
+// end to end through JSON parsing, the Welch gate, and the table/JSON
+// renderers.
+
+#include "tools/bench_compare_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json_parse.h"
+#include "util/rng.h"
+
+namespace supa::tools {
+namespace {
+
+std::string ReportJson(const std::vector<double>& edges_per_sec,
+                       const std::vector<double>& wall_s) {
+  std::string out = R"({"dataset": "MovieLens", "samples": {)";
+  auto arr = [](const std::vector<double>& xs) {
+    std::string s = "[";
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(xs[i]);
+    }
+    return s + "]";
+  };
+  out += "\"edges_per_sec\": " + arr(edges_per_sec);
+  out += ", \"wall_s\": " + arr(wall_s);
+  out += "}}";
+  return out;
+}
+
+/// Samples ~N(mean, stddev) via the repo Rng so fixtures are reproducible.
+std::vector<double> Noisy(double mean, double stddev, size_t n,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng.Gaussian(mean, stddev));
+  return out;
+}
+
+CompareReport Compare(const std::string& base_json,
+                      const std::string& cand_json,
+                      const CompareOptions& options = CompareOptions{}) {
+  auto base = ParseJson(base_json);
+  EXPECT_TRUE(base.ok()) << base.status().ToString();
+  auto cand = ParseJson(cand_json);
+  EXPECT_TRUE(cand.ok()) << cand.status().ToString();
+  auto report = CompareBenchReports(base.value(), cand.value(), options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.value();
+}
+
+const MetricComparison* FindMetric(const CompareReport& report,
+                                   const std::string& name) {
+  for (const MetricComparison& m : report.metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+TEST(DirectionForMetricTest, SuffixInference) {
+  EXPECT_EQ(DirectionForMetric("edges_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("train_steps_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("wall_s"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("snapshot_take_ms"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("uptime_seconds"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("mrr"), MetricDirection::kHigherIsBetter);
+}
+
+TEST(BenchCompareTest, TenPercentRegressionGates) {
+  // Injected 10% edges_per_sec regression at ~1% noise: must gate at the
+  // default p < 0.05 (the acceptance fixture).
+  const std::string base =
+      ReportJson(Noisy(1700.0, 17.0, 5, 1), Noisy(12.0, 0.12, 5, 2));
+  const std::string cand =
+      ReportJson(Noisy(1530.0, 17.0, 5, 3), Noisy(13.3, 0.12, 5, 4));
+  const CompareReport report = Compare(base, cand);
+  ASSERT_TRUE(report.has_regression);
+  const MetricComparison* eps = FindMetric(report, "edges_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_TRUE(eps->regression);
+  EXPECT_LT(eps->p_worse, 0.05);
+  EXPECT_LT(eps->rel_delta, -0.05);
+  // wall_s grew 10%: lower-is-better direction flags it too.
+  const MetricComparison* wall = FindMetric(report, "wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->regression);
+  const std::string table = FormatComparisonTable(report);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompareTest, ResampledNoiseDoesNotGate) {
+  // Same distribution, fresh draws: no regression, no improvement.
+  const std::string base =
+      ReportJson(Noisy(1700.0, 17.0, 6, 10), Noisy(12.0, 0.12, 6, 11));
+  const std::string cand =
+      ReportJson(Noisy(1700.0, 17.0, 6, 12), Noisy(12.0, 0.12, 6, 13));
+  const CompareReport report = Compare(base, cand);
+  EXPECT_FALSE(report.has_regression);
+  for (const MetricComparison& m : report.metrics) {
+    EXPECT_FALSE(m.regression) << m.name;
+  }
+}
+
+TEST(BenchCompareTest, ImprovementIsReportedNotGated) {
+  const std::string base = ReportJson(Noisy(1700.0, 17.0, 5, 20),
+                                      Noisy(12.0, 0.12, 5, 21));
+  const std::string cand = ReportJson(Noisy(1870.0, 17.0, 5, 22),
+                                      Noisy(10.8, 0.12, 5, 23));
+  const CompareReport report = Compare(base, cand);
+  EXPECT_FALSE(report.has_regression);
+  const MetricComparison* eps = FindMetric(report, "edges_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_TRUE(eps->improvement);
+  EXPECT_FALSE(eps->regression);
+  EXPECT_NE(FormatComparisonTable(report).find("improvement"),
+            std::string::npos);
+}
+
+TEST(BenchCompareTest, SmallSignificantDriftBelowMinEffectPasses) {
+  // 1% drop, tight noise: statistically significant but below the 2%
+  // min-effect floor, so it must NOT gate.
+  const std::string base =
+      ReportJson(Noisy(1700.0, 2.0, 8, 30), Noisy(12.0, 0.01, 8, 31));
+  const std::string cand =
+      ReportJson(Noisy(1683.0, 2.0, 8, 32), Noisy(12.1, 0.01, 8, 33));
+  const CompareReport report = Compare(base, cand);
+  const MetricComparison* eps = FindMetric(report, "edges_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_LT(eps->p_worse, 0.05);       // significant...
+  EXPECT_FALSE(eps->regression);       // ...but too small to gate
+  EXPECT_FALSE(report.has_regression);
+}
+
+TEST(BenchCompareTest, InsufficientSamplesNeverGate) {
+  const std::string base = R"({"samples": {"edges_per_sec": [1700.0]}})";
+  const std::string cand = R"({"samples": {"edges_per_sec": [1000.0]}})";
+  const CompareReport report = Compare(base, cand);
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_TRUE(report.metrics[0].insufficient);
+  EXPECT_FALSE(report.has_regression);
+  EXPECT_NE(FormatComparisonTable(report).find("insufficient-samples"),
+            std::string::npos);
+}
+
+TEST(BenchCompareTest, SchemaDriftIsReported) {
+  const std::string base =
+      R"({"samples": {"edges_per_sec": [1.0, 2.0], "old_metric": [1.0, 2.0]}})";
+  const std::string cand =
+      R"({"samples": {"edges_per_sec": [1.0, 2.0], "new_metric": [1.0, 2.0]}})";
+  const CompareReport report = Compare(base, cand);
+  ASSERT_EQ(report.unmatched.size(), 2u);
+  EXPECT_EQ(report.metrics.size(), 1u);
+  EXPECT_FALSE(report.has_regression);
+}
+
+TEST(BenchCompareTest, MissingSamplesObjectIsAnError) {
+  auto base = ParseJson(R"({"no_samples": 1})");
+  auto cand = ParseJson(R"({"samples": {}})");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cand.ok());
+  EXPECT_FALSE(
+      CompareBenchReports(base.value(), cand.value(), CompareOptions{}).ok());
+  EXPECT_FALSE(
+      CompareBenchReports(cand.value(), base.value(), CompareOptions{}).ok());
+}
+
+TEST(BenchCompareTest, JsonReportParses) {
+  const std::string base =
+      ReportJson(Noisy(1700.0, 17.0, 5, 40), Noisy(12.0, 0.12, 5, 41));
+  const std::string cand =
+      ReportJson(Noisy(1530.0, 17.0, 5, 42), Noisy(12.0, 0.12, 5, 43));
+  const CompareReport report = Compare(base, cand);
+  const std::string json = ComparisonToJson(report, CompareOptions{});
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Find("has_regression")->bool_value());
+}
+
+}  // namespace
+}  // namespace supa::tools

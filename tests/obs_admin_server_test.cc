@@ -1,0 +1,483 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <regex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "data/synthetic.h"
+#include "json_check.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/statusz.h"
+#include "util/json_parse.h"
+
+namespace supa::obs {
+namespace {
+
+struct HttpResult {
+  bool ok = false;
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Minimal loopback HTTP client: one blocking request/response exchange,
+/// reading until the server closes (it always sends Connection: close).
+HttpResult HttpGet(uint16_t port, const std::string& target,
+                   const std::string& method = "GET") {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request = method + " " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.rfind("HTTP/1.1 ", 0) != 0) {
+    return result;
+  }
+  result.head = raw.substr(0, split);
+  result.body = raw.substr(split + 4);
+  result.status = std::atoi(raw.c_str() + 9);
+  result.ok = true;
+  return result;
+}
+
+class RunningServer {
+ public:
+  explicit RunningServer(AdminServerOptions options = AdminServerOptions{})
+      : server_(std::move(options)) {
+    std::string error;
+    started_ = server_.Start(&error);
+    EXPECT_TRUE(started_) << error;
+  }
+  ~RunningServer() { server_.Stop(); }
+
+  AdminServer& operator*() { return server_; }
+  AdminServer* operator->() { return &server_; }
+  uint16_t port() const { return server_.port(); }
+  bool started() const { return started_; }
+
+ private:
+  AdminServer server_;
+  bool started_ = false;
+};
+
+TEST(PrometheusRenderTest, NameSanitization) {
+  EXPECT_EQ(SanitizePrometheusName("inslearn.train_steps"),
+            "inslearn_train_steps");
+  EXPECT_EQ(SanitizePrometheusName("snapshot.take_ms"), "snapshot_take_ms");
+  EXPECT_EQ(SanitizePrometheusName("weird-name with spaces"),
+            "weird_name_with_spaces");
+  EXPECT_EQ(SanitizePrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizePrometheusName(""), "_");
+  EXPECT_EQ(SanitizePrometheusName("a:b_C9"), "a:b_C9");
+}
+
+TEST(PrometheusRenderTest, LabelValueEscaping) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(RenderPrometheusLabels({{"le", "+Inf"}, {"v", "x\"y"}}),
+            "{le=\"+Inf\",v=\"x\\\"y\"}");
+  EXPECT_EQ(RenderPrometheusLabels({}), "");
+}
+
+TEST(PrometheusRenderTest, ExpositionOfEveryKind) {
+  // A hand-built snapshot keeps the expectation exact — no global-registry
+  // cross-talk from other tests.
+  MetricsSnapshot snapshot;
+  MetricsSnapshot::Entry counter;
+  counter.name = "train.steps";
+  counter.kind = MetricKind::kCounter;
+  counter.counter = 42;
+  MetricsSnapshot::Entry duration;
+  duration.name = "train.time_ns";
+  duration.kind = MetricKind::kCounter;
+  duration.counter = 2'500'000'000;  // 2.5 s
+  MetricsSnapshot::Entry gauge;
+  gauge.name = "queue.depth";
+  gauge.kind = MetricKind::kGauge;
+  gauge.gauge = 7.5;
+  MetricsSnapshot::Entry hist;
+  hist.name = "batch.wait_us";
+  hist.kind = MetricKind::kHistogram;
+  hist.bounds = {1.0, 2.0};
+  hist.buckets = {1, 1, 1};  // one observation per bucket incl. overflow
+  hist.count = 3;
+  hist.sum = 7.0;
+  snapshot.entries = {counter, duration, gauge, hist};
+
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE train_steps_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("train_steps_total 42\n"), std::string::npos);
+  // _ns counters export as seconds in the base unit.
+  EXPECT_NE(text.find("train_time_seconds_total 2.5\n"), std::string::npos);
+  EXPECT_EQ(text.find("train_time_ns"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf.
+  EXPECT_NE(text.find("batch_wait_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_wait_us_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_wait_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_wait_us_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("batch_wait_us_count 3\n"), std::string::npos);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  MetricsSnapshot::Entry e;
+  e.kind = MetricKind::kHistogram;
+  e.bounds = {10.0, 20.0, 40.0};
+  e.buckets = {2, 2, 0, 1};  // overflow last
+  e.count = 5;
+  // p50: rank 2.5 lands in (10, 20] at position 0.25.
+  EXPECT_DOUBLE_EQ(e.Quantile(0.50), 12.5);
+  // p0 maps to the first observation: rank 1 of 2 in [0, 10].
+  EXPECT_DOUBLE_EQ(e.Quantile(0.0), 5.0);
+  // p99 lands in the overflow bucket: clamped to the last finite bound.
+  EXPECT_DOUBLE_EQ(e.Quantile(0.99), 40.0);
+  MetricsSnapshot::Entry empty;
+  empty.kind = MetricKind::kHistogram;
+  empty.bounds = {1.0};
+  empty.buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  MetricsSnapshot::Entry not_hist;
+  not_hist.kind = MetricKind::kCounter;
+  EXPECT_DOUBLE_EQ(not_hist.Quantile(0.5), 0.0);
+}
+
+TEST(AdminServerTest, EphemeralPortBindServeStopRestart) {
+  AdminServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const uint16_t first_port = server.port();
+  EXPECT_NE(first_port, 0);
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.Start(&error));  // double-start refused
+
+  HttpResult index = HttpGet(first_port, "/");
+  ASSERT_TRUE(index.ok);
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // idempotent
+
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_NE(server.port(), 0);
+  HttpResult again = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.status, 200);
+  server.Stop();
+}
+
+TEST(AdminServerTest, MetricsEndpointIsConformant) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("admin_test.events").Increment(3);
+  registry.GetCounter("admin_test.busy_ns").Increment(1'500'000'000);
+  registry.GetGauge("admin_test.temperature").Set(21.5);
+  Histogram hist =
+      registry.GetHistogram("admin_test.latency_us", {10.0, 100.0});
+  hist.Observe(5.0);
+  hist.Observe(50.0);
+  hist.Observe(500.0);
+
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.head.find("text/plain; version=0.0.4"),
+            std::string::npos);
+
+  const std::string& body = metrics.body;
+  EXPECT_NE(body.find("admin_test_events_total 3"), std::string::npos);
+  EXPECT_NE(body.find("admin_test_busy_seconds_total 1.5"),
+            std::string::npos);
+  EXPECT_NE(body.find("admin_test_temperature 21.5"), std::string::npos);
+  EXPECT_NE(body.find("admin_test_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(body.find("admin_test_latency_us_sum"), std::string::npos);
+  EXPECT_NE(body.find("admin_test_latency_us_count 3"), std::string::npos);
+  EXPECT_NE(body.find("supa_build_info{compiler="), std::string::npos);
+  EXPECT_NE(body.find("supa_admin_uptime_seconds"), std::string::npos);
+
+  // promtool-style line check: every line is a comment or
+  // `name{labels} value`.
+  const std::regex sample_line(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$)");
+  size_t samples = 0;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line.rfind("# ", 0) == 0) continue;
+    EXPECT_TRUE(std::regex_match(line, sample_line)) << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 8u);
+}
+
+TEST(AdminServerTest, HealthzFlipsWithReadinessProbes) {
+  std::atomic<bool> ready{false};
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  server->AddReadinessProbe("warmup", [&] { return ready.load(); });
+  server->AddReadinessProbe("always", [] { return true; });
+
+  HttpResult unready = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(unready.ok);
+  EXPECT_EQ(unready.status, 503);
+  EXPECT_NE(unready.body.find("unready: warmup"), std::string::npos);
+  EXPECT_EQ(unready.body.find("always"), std::string::npos);
+
+  ready.store(true);
+  HttpResult ok = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "ok\n");
+}
+
+TEST(AdminServerTest, ThrowingProbeReportsUnready) {
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  server->AddReadinessProbe("explosive",
+                            []() -> bool { throw std::runtime_error("no"); });
+  HttpResult r = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("explosive"), std::string::npos);
+}
+
+TEST(AdminServerTest, StatuszServesHtmlAndJson) {
+  std::atomic<uint64_t> edges{12345};
+  StatusScope scope("inslearn <progress>", [&] {
+    return std::vector<StatusItem>{
+        {"edges_trained", std::to_string(edges.load())},
+        {"phase", "train \"quoted\""}};
+  });
+
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult html = HttpGet(server.port(), "/statusz");
+  ASSERT_TRUE(html.ok);
+  EXPECT_EQ(html.status, 200);
+  EXPECT_NE(html.head.find("text/html"), std::string::npos);
+  // Section names are HTML-escaped, values rendered.
+  EXPECT_NE(html.body.find("inslearn &lt;progress&gt;"), std::string::npos);
+  EXPECT_NE(html.body.find("edges_trained"), std::string::npos);
+  EXPECT_NE(html.body.find("12345"), std::string::npos);
+
+  HttpResult json = HttpGet(server.port(), "/statusz?format=json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.head.find("application/json"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(test::JsonParses(json.body, &error)) << error;
+  auto parsed = ParseJson(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("server")->string_value(), "supa-admin");
+  EXPECT_GE(parsed.value().NumberOr("uptime_seconds", -1.0), 0.0);
+  ASSERT_NE(parsed.value().FindPath("build.build_type"), nullptr);
+  const JsonValue* sections = parsed.value().Find("sections");
+  ASSERT_NE(sections, nullptr);
+  bool found = false;
+  for (const JsonValue& section : sections->array()) {
+    if (section.Find("name")->string_value() != "inslearn <progress>") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(section.FindPath("items.edges_trained")->string_value(),
+              "12345");
+  }
+  EXPECT_TRUE(found);
+  ASSERT_NE(parsed.value().Find("histograms"), nullptr);
+}
+
+TEST(AdminServerTest, TracezReturnsValidChromeTraceJson) {
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult trace = HttpGet(server.port(), "/tracez");
+  ASSERT_TRUE(trace.ok);
+  EXPECT_EQ(trace.status, 200);
+  std::string error;
+  EXPECT_TRUE(test::JsonParses(trace.body, &error)) << error;
+  EXPECT_NE(trace.body.find("traceEvents"), std::string::npos);
+}
+
+TEST(AdminServerTest, RejectsUnknownPathsAndMethods) {
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult missing = HttpGet(server.port(), "/nope");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status, 404);
+  HttpResult post = HttpGet(server.port(), "/metrics", "POST");
+  ASSERT_TRUE(post.ok);
+  EXPECT_EQ(post.status, 405);
+  const uint64_t served = server->requests_served();
+  EXPECT_GE(served, 2u);
+}
+
+TEST(AdminServerTest, OversizedRequestHeadGets431) {
+  AdminServerOptions options;
+  options.max_request_bytes = 128;
+  RunningServer server(options);
+  ASSERT_TRUE(server.started());
+  // A terminator never arrives, so the server must give up at the byte cap
+  // rather than buffer without bound.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string unterminated = "GET /" + std::string(512, 'x');
+  ASSERT_GT(::write(fd, unterminated.data(), unterminated.size()), 0);
+  std::string raw;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 431", 0), 0u) << raw;
+}
+
+TEST(AdminServerTest, StopInterruptsInFlightRequest) {
+  AdminServerOptions options;
+  options.io_timeout_ms = 60'000;  // force Stop() to do the interrupting
+  AdminServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Open a connection and send only a partial request head, so the serve
+  // thread is parked in the connection poll when Stop() fires.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "GET /metr";
+  ASSERT_GT(::write(fd, partial, sizeof(partial) - 1), 0);
+  // Give the serve loop a moment to accept and block on the read poll.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto before = std::chrono::steady_clock::now();
+  server.Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  EXPECT_LT(stop_seconds, 5.0);  // did not wait out the 60 s io timeout
+
+  char buf[16];
+  EXPECT_LE(::read(fd, buf, sizeof(buf)), 0);  // connection was torn down
+  ::close(fd);
+}
+
+TEST(AdminServerTest, ScrapingDuringTrainingIsBitIdentical) {
+  // Train the same tiny workload twice — once plain, once while a client
+  // hammers every endpoint — and require bit-identical parameters. This is
+  // the "observation does not perturb the experiment" guarantee.
+  const auto train_once = [](bool with_scraper) {
+    Dataset data = MakeTaobao(0.15, 41).value();
+    SupaConfig model_config;
+    model_config.dim = 16;
+    model_config.num_walks = 2;
+    model_config.walk_len = 3;
+    model_config.num_neg = 3;
+    model_config.seed = 5;
+    InsLearnConfig train_config;
+    train_config.batch_size = 256;
+    train_config.max_iters = 4;
+    train_config.valid_interval = 2;
+    train_config.valid_size = 50;
+    train_config.patience = 2;
+    train_config.valid_negatives = 30;
+    SupaModel model(data, model_config);
+    InsLearnTrainer trainer(train_config);
+
+    AdminServer server;
+    std::atomic<bool> scraping{with_scraper};
+    std::thread scraper;
+    if (with_scraper) {
+      std::string error;
+      EXPECT_TRUE(server.Start(&error)) << error;
+      scraper = std::thread([&server, &scraping] {
+        const char* targets[] = {"/metrics", "/statusz?format=json",
+                                 "/healthz", "/tracez"};
+        size_t i = 0;
+        while (scraping.load()) {
+          HttpGet(server.port(), targets[i++ % 4]);
+        }
+      });
+    }
+    const size_t n = std::min<size_t>(1024, data.edges.size());
+    auto report = trainer.Train(model, data, EdgeRange{0, n});
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    scraping.store(false);
+    if (scraper.joinable()) scraper.join();
+    server.Stop();
+    return model.TakeSnapshot().params;
+  };
+
+  const std::vector<float> plain = train_once(false);
+  const std::vector<float> scraped = train_once(true);
+  ASSERT_EQ(plain.size(), scraped.size());
+  EXPECT_EQ(plain, scraped);
+}
+
+}  // namespace
+}  // namespace supa::obs

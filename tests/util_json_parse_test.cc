@@ -1,0 +1,108 @@
+#include "util/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace supa {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42").value().number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3").value().number_value(), -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number_value(), 2.0);
+  EXPECT_EQ(a->array()[2].Find("b")->string_value(), "c");
+  EXPECT_TRUE(root.FindPath("d.e")->is_null());
+  EXPECT_EQ(root.FindPath("d.missing"), nullptr);
+  EXPECT_EQ(root.FindPath("a.b"), nullptr);  // array is not an object
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "a\"b\\c\ndA\xC3\xA9");
+}
+
+TEST(JsonParseTest, SurrogatePairs) {
+  // U+1F600 as 😀 -> 4-byte UTF-8.
+  auto v = ParseJson(R"("😀")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(ParseJson(R"("\uD83D")").ok());  // unpaired high surrogate
+  EXPECT_FALSE(ParseJson(R"("\uDE00")").ok());  // unpaired low surrogate
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3", "\"x",
+        "[1] trailing", "{'a': 1}", "nan", "+1"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, NumberOrFallback) {
+  auto v = ParseJson(R"({"x": 3.5, "s": "str"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value().NumberOr("x", -1.0), 3.5);
+  EXPECT_DOUBLE_EQ(v.value().NumberOr("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.value().NumberOr("missing", -1.0), -1.0);
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  // The parser must accept everything our writer emits — the exact
+  // contract bench_compare depends on.
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("title", std::string_view("fig5 \"quoted\" \\ \n"));
+  w.Key("samples").BeginObject();
+  w.Key("edges_per_sec").BeginArray();
+  w.Double(1712.25).Double(1698.0).Double(1723.9);
+  w.EndArray();
+  w.EndObject();
+  w.Field("nan_becomes_null", std::numeric_limits<double>::quiet_NaN());
+  w.EndObject();
+  auto v = ParseJson(w.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value().Find("title")->string_value(), "fig5 \"quoted\" \\ \n");
+  const JsonValue* samples = v.value().FindPath("samples.edges_per_sec");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(samples->array()[0].number_value(), 1712.25);
+  EXPECT_TRUE(v.value().Find("nan_becomes_null")->is_null());
+}
+
+TEST(JsonParseFileTest, ReadsAndReportsErrors) {
+  const std::string path =
+      ::testing::TempDir() + "/json_parse_test_fixture.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"k\": [1, 2]}", f);
+  std::fclose(f);
+  auto v = ParseJsonFile(path);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().FindPath("k")->array().size(), 2u);
+  EXPECT_FALSE(ParseJsonFile(path + ".does-not-exist").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace supa

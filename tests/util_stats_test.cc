@@ -1,4 +1,4 @@
-#include "eval/stats.h"
+#include "util/stats.h"
 
 #include <gtest/gtest.h>
 
@@ -103,6 +103,32 @@ TEST(WelchTTestTest, MatchesReferenceImplementation) {
   EXPECT_NEAR(r.value().t, 3.23877, 0.001);
   EXPECT_NEAR(r.value().df, 5.88235, 0.001);
   EXPECT_NEAR(r.value().p_two_sided, 0.018, 0.004);
+}
+
+TEST(WelchTTestTest, UnequalSizesAndVariancesFixture) {
+  // scipy.stats.ttest_ind(a, b, equal_var=False):
+  // a = [12.1, 14.3, 13.8, 12.9, 15.0, 13.3, 14.1],
+  // b = [10.2, 11.0, 10.7, 10.9] gives t = 7.26732, df = 8.26843,
+  // two-sided p = 7.324e-05.
+  std::vector<double> a = {12.1, 14.3, 13.8, 12.9, 15.0, 13.3, 14.1};
+  std::vector<double> b = {10.2, 11.0, 10.7, 10.9};
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().t, 7.26732, 0.001);
+  EXPECT_NEAR(r.value().df, 8.26843, 0.01);
+  EXPECT_NEAR(r.value().p_two_sided, 7.324e-05, 1e-6);
+  EXPECT_NEAR(r.value().p_greater, 3.662e-05, 1e-6);
+}
+
+TEST(WelchTTestTest, TenPercentRegressionAtSmallNoiseIsSignificant) {
+  // The perf-sentinel shape: per-repeat edges/sec samples with ~1% noise
+  // and a 10% drop must gate at p < 0.05 (bench_compare's default alpha).
+  std::vector<double> baseline = {1000.0, 1010.0, 990.0, 1005.0, 995.0};
+  std::vector<double> regressed = {900.0, 909.0, 891.0, 904.5, 895.5};
+  auto r = WelchTTest(baseline, regressed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().p_greater, 0.05);
+  EXPECT_LT(r.value().p_two_sided, 0.05);
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// bench_compare — perf-regression sentinel over bench JSON reports.
+//
+//   bench_compare baseline.json candidate.json
+//                 [--alpha 0.05] [--min-effect 0.02] [--json-out report.json]
+//
+// Both inputs are BENCH_fig5.json-style reports carrying a "samples"
+// object of per-repeat measurements per metric. Each metric present in
+// both files is Welch-t-tested; a metric regresses when the one-sided
+// p-value in the adverse direction beats --alpha AND the relative mean
+// shift exceeds --min-effect (so significant-but-negligible drift cannot
+// fail a build). Prints the verdict table and exits:
+//
+//   0  no significant regression
+//   1  at least one metric regressed
+//   2  usage / IO / schema error
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "tools/bench_compare_lib.h"
+#include "util/json_parse.h"
+
+namespace supa::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <candidate.json>\n"
+               "       [--alpha p] [--min-effect rel] [--json-out path]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  CompareOptions options;
+  std::string json_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--alpha") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.alpha = std::atof(v);
+    } else if (arg == "--min-effect") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.min_effect = std::atof(v);
+    } else if (arg == "--json-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      json_out = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return Usage();
+
+  auto baseline = ParseJsonFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto candidate = ParseJsonFile(candidate_path);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "%s\n", candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  auto report =
+      CompareBenchReports(baseline.value(), candidate.value(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("== bench_compare: %s (baseline) vs %s (candidate), "
+              "alpha=%g min-effect=%g ==\n",
+              baseline_path.c_str(), candidate_path.c_str(), options.alpha,
+              options.min_effect);
+  std::fputs(FormatComparisonTable(report.value()).c_str(), stdout);
+
+  if (!json_out.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(json_out,
+                            ComparisonToJson(report.value(), options) + "\n",
+                            &error)) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_out.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    std::printf("(wrote %s)\n", json_out.c_str());
+  }
+
+  if (report.value().has_regression) {
+    std::printf("RESULT: significant regression detected\n");
+    return 1;
+  }
+  std::printf("RESULT: no significant regression\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace supa::tools
+
+int main(int argc, char** argv) { return supa::tools::Main(argc, argv); }

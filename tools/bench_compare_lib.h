@@ -1,0 +1,87 @@
+// Decision logic of the perf-regression sentinel (tools/bench_compare):
+// given two bench reports that carry per-repeat samples per metric
+// (BENCH_fig5.json's "samples" object), run a Welch t-test per metric and
+// classify each as regression / improvement / noise. Split from the CLI
+// so the golden-file tests can drive it directly.
+//
+// Report schema consumed ("samples" is the only required part):
+//   { ..., "samples": { "edges_per_sec": [1012.3, 998.7, ...],
+//                       "wall_s":        [12.1, 12.3, ...], ... } }
+
+#ifndef SUPA_TOOLS_BENCH_COMPARE_LIB_H_
+#define SUPA_TOOLS_BENCH_COMPARE_LIB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json_parse.h"
+#include "util/status.h"
+
+namespace supa::tools {
+
+/// Which way "better" points for a metric.
+enum class MetricDirection { kHigherIsBetter, kLowerIsBetter };
+
+/// Infers direction from the metric name: time-like suffixes (_s, _ms,
+/// _us, _ns, _seconds, _wall) are lower-is-better; everything else
+/// (throughputs, scores) is higher-is-better.
+MetricDirection DirectionForMetric(std::string_view name);
+
+struct CompareOptions {
+  /// Significance level for the one-sided Welch test in the adverse
+  /// direction.
+  double alpha = 0.05;
+  /// Minimum relative mean shift (|cand - base| / base) for a significant
+  /// result to gate — keeps statistically-significant-but-tiny drifts
+  /// from failing CI.
+  double min_effect = 0.02;
+};
+
+/// Verdict for one metric present in both reports.
+struct MetricComparison {
+  std::string name;
+  MetricDirection direction = MetricDirection::kHigherIsBetter;
+  size_t base_n = 0;
+  size_t cand_n = 0;
+  double base_mean = 0.0;
+  double cand_mean = 0.0;
+  double base_stddev = 0.0;
+  double cand_stddev = 0.0;
+  /// (cand_mean - base_mean) / base_mean; sign is raw, not
+  /// direction-adjusted.
+  double rel_delta = 0.0;
+  /// One-sided p-value that the candidate is *worse* than baseline.
+  double p_worse = 1.0;
+  /// One-sided p-value that the candidate is *better* than baseline.
+  double p_better = 1.0;
+  /// Too few samples (< 2 per side) to test; never gates.
+  bool insufficient = false;
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareReport {
+  std::vector<MetricComparison> metrics;  // name-sorted
+  /// Metric names present in only one report (schema drift — reported,
+  /// never gated on).
+  std::vector<std::string> unmatched;
+  bool has_regression = false;
+};
+
+/// Compares every metric that has a sample array in both parsed reports.
+/// Fails when either report lacks a "samples" object entirely.
+Result<CompareReport> CompareBenchReports(const JsonValue& baseline,
+                                          const JsonValue& candidate,
+                                          const CompareOptions& options);
+
+/// Aligned text table of the verdicts, one metric per row.
+std::string FormatComparisonTable(const CompareReport& report);
+
+/// JSON form of the verdicts (for the CI artifact).
+std::string ComparisonToJson(const CompareReport& report,
+                             const CompareOptions& options);
+
+}  // namespace supa::tools
+
+#endif  // SUPA_TOOLS_BENCH_COMPARE_LIB_H_

@@ -15,8 +15,10 @@
 // the default); results are bit-identical at every setting.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/recommender.h"
@@ -26,6 +28,7 @@
 #include "eval/predictor.h"
 #include "eval/protocols.h"
 #include "graph/metapath_miner.h"
+#include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -316,7 +319,10 @@ int Usage() {
                "  --trace-out <path>    record trace spans and write Chrome "
                "trace JSON on exit\n"
                "  --heartbeat <secs>    train: log a throughput line every "
-               "~<secs> seconds\n");
+               "~<secs> seconds\n"
+               "  --admin-port <port>   serve /metrics /healthz /statusz "
+               "/tracez on 127.0.0.1 while the command runs (0 = ephemeral "
+               "port; env: SUPA_ADMIN_PORT)\n");
   return 2;
 }
 
@@ -338,7 +344,35 @@ int Main(int argc, char** argv) {
   const std::string trace_out = args.value().Get("trace-out", "");
   if (!trace_out.empty()) obs::TraceRecorder::Global().Enable(true);
 
+  // --admin-port (or SUPA_ADMIN_PORT) serves the live telemetry endpoints
+  // for the lifetime of the command. The bound port goes to stderr so
+  // scripts can parse it when asking for an ephemeral port (0).
+  std::unique_ptr<obs::AdminServer> admin;
+  std::string admin_port = args.value().Get("admin-port", "");
+  if (admin_port.empty()) {
+    if (const char* env = std::getenv("SUPA_ADMIN_PORT")) admin_port = env;
+  }
+  if (!admin_port.empty()) {
+    auto port = ParseUint(admin_port);
+    if (!port.ok() || port.value() > 65535) {
+      std::fprintf(stderr, "bad admin port: %s\n", admin_port.c_str());
+      return 2;
+    }
+    obs::AdminServerOptions options;
+    options.port = static_cast<uint16_t>(port.value());
+    admin = std::make_unique<obs::AdminServer>(options);
+    std::string error;
+    if (!admin->Start(&error)) {
+      std::fprintf(stderr, "admin server failed to start: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "admin server listening on http://127.0.0.1:%u\n",
+                 admin->port());
+  }
+
   const int rc = Dispatch(args.value().command, args.value());
+  if (admin != nullptr) admin->Stop();
 
   // Observability exports are written even when the command failed — a
   // partial run's metrics are exactly what one wants when diagnosing it.
