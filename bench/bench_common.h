@@ -11,6 +11,10 @@
 //                          (default 3)
 //   SUPA_BENCH_THREADS     eval worker threads (default 0 = all cores;
 //                          results are thread-count invariant)
+//   SUPA_SHARDS            storage-engine shard count (default 1), read by
+//                          the library itself; placement only — metrics,
+//                          bench tables, and checkpoint bytes are
+//                          bit-identical at every value
 //   SUPA_METRICS_OUT       write a metrics-registry JSON snapshot here at
 //                          process exit
 //   SUPA_TRACE_OUT         enable trace spans and write Chrome trace JSON
@@ -135,6 +139,10 @@ class Report {
   }
 
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Prints the table to stdout.
   void Print() const {

@@ -10,6 +10,7 @@
 #include "baselines/recommender.h"
 #include "data/synthetic.h"
 #include "eval/protocols.h"
+#include "store/graph_store.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -71,7 +72,6 @@ int main(int argc, char** argv) {
 
   report.Print();
   report.MaybeWriteTsv(OutPath(argc, argv));
-  report.MaybeWriteJson(JsonOutPath(argc, argv));
 
   // Thread sweep: evaluation scalability on the largest dataset of the
   // sweep. One model is trained once; the same link-prediction workload
@@ -129,6 +129,160 @@ int main(int argc, char** argv) {
                      << "s";
     }
     sweep.Print();
+  }
+
+  // Shard sweep: the storage engine's shard count is a placement knob,
+  // not a modelling one — training, evaluation, and checkpoint bytes are
+  // bit-identical at every value (DESIGN.md §11). The sweep times Fit at
+  // each count (one sample per SUPA_BENCH_REPEATS repeat, refitting from
+  // scratch so every repeat is the identical workload), hard-asserts the
+  // bit-identity contract against shards=1, and reports the per-shard
+  // memory split the store.shard_bytes gauges expose.
+  struct ShardPoint {
+    size_t shards = 1;
+    std::vector<double> fit_samples;  // per-repeat Fit wall seconds
+    double edges_per_s = 0.0;         // from the last repeat
+    std::vector<uint64_t> shard_bytes;
+    RankingResult metrics;
+  };
+  std::vector<ShardPoint> shard_points;
+  Report shard_report("Figure 7c — storage shard sweep (bit-identical)");
+  shard_report.SetHeader({"shards", "fit_s", "edges_per_s", "max_shard_MB",
+                          "total_MB", "H@50", "MRR"});
+  const size_t shard_repeats = std::max<size_t>(1, env.repeats);
+  for (size_t shards : {1, 2, 4, 8}) {
+    ShardPoint point;
+    point.shards = shards;
+    for (size_t rep = 0; rep < shard_repeats; ++rep) {
+      SupaConfig model_config;
+      model_config.dim = 64;
+      model_config.shards = shards;
+      InsLearnConfig train_config;
+      train_config.batch_size = 4096;
+      train_config.max_iters = std::max(1, static_cast<int>(8 * env.effort));
+      train_config.valid_interval = 4;
+      SupaRecommender model(model_config, train_config);
+      Timer timer;
+      Status st = model.Fit(data, split.train);
+      const double fit_s = timer.ElapsedSeconds();
+      if (!st.ok()) {
+        std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      point.fit_samples.push_back(fit_s);
+      if (rep + 1 < shard_repeats) continue;
+
+      point.edges_per_s =
+          static_cast<double>(split.train.size()) / fit_s;
+      const store::GraphStore& store = model.model()->graph_store();
+      for (size_t s = 0; s < store.num_shards(); ++s) {
+        point.shard_bytes.push_back(store.ShardBytesEstimate(s));
+      }
+      EvalConfig eval;
+      eval.max_test_edges = env.test_edges;
+      eval.threads = env.threads;
+      auto result = EvaluateLinkPrediction(
+          model, data, split.test, EdgeRange{0, split.valid.end}, eval);
+      if (!result.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      point.metrics = result.value();
+    }
+    if (!shard_points.empty()) {
+      const RankingResult& base = shard_points.front().metrics;
+      if (point.metrics.mrr != base.mrr ||
+          point.metrics.hit20 != base.hit20 ||
+          point.metrics.hit50 != base.hit50 ||
+          point.metrics.ndcg10 != base.ndcg10) {
+        std::fprintf(stderr,
+                     "determinism violation: shards=%zu diverged from "
+                     "shards=1\n",
+                     shards);
+        return 1;
+      }
+    }
+    uint64_t max_bytes = 0;
+    uint64_t total_bytes = 0;
+    for (uint64_t b : point.shard_bytes) {
+      max_bytes = std::max(max_bytes, b);
+      total_bytes += b;
+    }
+    const double mb = 1.0 / (1024.0 * 1024.0);
+    shard_report.AddRow(
+        {std::to_string(shards), Fmt(point.fit_samples.back(), 4),
+         Fmt(point.edges_per_s, 0),
+         Fmt(static_cast<double>(max_bytes) * mb, 2),
+         Fmt(static_cast<double>(total_bytes) * mb, 2),
+         Fmt(point.metrics.hit50), Fmt(point.metrics.mrr)});
+    SUPA_LOG(INFO) << "fig7c: shards=" << shards << " fit "
+                   << point.fit_samples.back() << "s, max shard "
+                   << max_bytes << " bytes";
+    shard_points.push_back(std::move(point));
+  }
+  shard_report.Print();
+
+  // --json-out: the S_batch table (Report schema), the shard sweep with
+  // the raw per-shard byte split, and a top-level "samples" object so
+  // tools/bench_compare can Welch-test the per-shard-count Fit timings
+  // (memory entries are single-sample: reported, never gated).
+  const std::string json_path = JsonOutPath(argc, argv);
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("title", report.title());
+    w.Key("header").BeginArray();
+    for (const auto& cell : report.header()) w.String(cell);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : report.rows()) {
+      w.BeginArray();
+      for (const auto& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("shard_sweep").BeginObject();
+    w.Key("header").BeginArray();
+    for (const auto& cell : shard_report.header()) w.String(cell);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : shard_report.rows()) {
+      w.BeginArray();
+      for (const auto& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("per_shard_bytes").BeginObject();
+    for (const ShardPoint& point : shard_points) {
+      w.Key(std::to_string(point.shards)).BeginArray();
+      for (uint64_t b : point.shard_bytes) {
+        w.Uint(b);
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+    w.EndObject();
+    w.Key("samples").BeginObject();
+    for (const ShardPoint& point : shard_points) {
+      const std::string prefix = "shards" + std::to_string(point.shards);
+      w.Key(prefix + "_fit_wall_s").BeginArray();
+      for (double s : point.fit_samples) w.Double(s);
+      w.EndArray();
+      uint64_t max_bytes = 0;
+      for (uint64_t b : point.shard_bytes) max_bytes = std::max(max_bytes, b);
+      w.Key(prefix + "_max_shard_bytes").BeginArray();
+      w.Double(static_cast<double>(max_bytes));
+      w.EndArray();
+    }
+    w.EndObject();
+    w.EndObject();
+    std::string error;
+    if (!obs::WriteTextFile(json_path, w.str(), &error)) {
+      SUPA_LOG(ERROR) << "failed to write " << json_path << ": " << error;
+    } else {
+      std::printf("(wrote %s)\n", json_path.c_str());
+    }
   }
   return 0;
 }

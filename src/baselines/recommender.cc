@@ -17,6 +17,7 @@ Status SupaRecommender::Fit(const Dataset& data, EdgeRange range) {
   }
   InsLearnTrainer trainer(effective);
   SUPA_ASSIGN_OR_RETURN(last_report_, trainer.Train(*model_, data, range));
+  snapshot_ = model_->AcquireSnapshot();
   return Status::OK();
 }
 
@@ -24,12 +25,13 @@ Status SupaRecommender::FitIncremental(const Dataset& data, EdgeRange range) {
   if (model_ == nullptr) return Fit(data, range);
   InsLearnTrainer trainer(train_config_);
   SUPA_ASSIGN_OR_RETURN(last_report_, trainer.Train(*model_, data, range));
+  snapshot_ = model_->AcquireSnapshot();
   return Status::OK();
 }
 
 double SupaRecommender::Score(NodeId u, NodeId v, EdgeTypeId r) const {
   if (model_ == nullptr) return 0.0;
-  return model_->Score(u, v, r);
+  return model_->ScoreOn(*snapshot_, u, v, r);
 }
 
 Result<std::vector<float>> SupaRecommender::Embedding(NodeId v,
@@ -38,7 +40,7 @@ Result<std::vector<float>> SupaRecommender::Embedding(NodeId v,
     return Status::FailedPrecondition("SUPA not fitted yet");
   }
   std::vector<float> out(static_cast<size_t>(model_->config().dim));
-  model_->FinalEmbedding(v, r, out.data());
+  model_->FinalEmbeddingOn(*snapshot_, v, r, out.data());
   return out;
 }
 

@@ -39,11 +39,21 @@ class SupaRecommender : public Recommender {
   SupaModel* model() { return model_.get(); }
   const InsLearnReport& last_report() const { return last_report_; }
 
+  /// The epoch snapshot Score/Embedding read from (refreshed after every
+  /// Fit/FitIncremental).
+  std::shared_ptr<const store::StoreSnapshot> snapshot() const {
+    return snapshot_;
+  }
+
  private:
   SupaConfig model_config_;
   InsLearnConfig train_config_;
   std::string display_name_;
   std::unique_ptr<SupaModel> model_;
+  /// Eval reads go exclusively through this immutable view, so protocol
+  /// worker threads never race a store that keeps ingesting. Published
+  /// once per fit — scores are frozen until the next training call.
+  std::shared_ptr<const store::StoreSnapshot> snapshot_;
   InsLearnReport last_report_;
 };
 

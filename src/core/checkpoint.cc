@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <vector>
 
 namespace supa {
 namespace {
@@ -51,10 +52,17 @@ Status SaveCheckpoint(const SupaModel& model, const std::string& path) {
   header.param_count = snap.params.size();
   header.adam_step = snap.adam.step;
 
+  // The on-disk format is the canonical *logical* layout, not the live
+  // shard-major one: a checkpoint written at any SUPA_SHARDS value is
+  // byte-identical and loads into a model with any other shard count.
+  std::vector<float> logical(snap.params.size());
   SUPA_RETURN_NOT_OK(WriteBlob(out, &header, 1));
-  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.params.data(), snap.params.size()));
-  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.adam.m.data(), snap.adam.m.size()));
-  SUPA_RETURN_NOT_OK(WriteBlob(out, snap.adam.v.data(), snap.adam.v.size()));
+  store.GatherLogical(snap.params.data(), logical.data());
+  SUPA_RETURN_NOT_OK(WriteBlob(out, logical.data(), logical.size()));
+  store.GatherLogical(snap.adam.m.data(), logical.data());
+  SUPA_RETURN_NOT_OK(WriteBlob(out, logical.data(), logical.size()));
+  store.GatherLogical(snap.adam.v.data(), logical.data());
+  SUPA_RETURN_NOT_OK(WriteBlob(out, logical.data(), logical.size()));
   return Status::OK();
 }
 
@@ -82,9 +90,15 @@ Status LoadCheckpoint(const std::string& path, SupaModel* model) {
   snap.adam.m.resize(header.param_count);
   snap.adam.v.resize(header.param_count);
   snap.adam.step = header.adam_step;
-  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.params.data(), snap.params.size()));
-  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.adam.m.data(), snap.adam.m.size()));
-  SUPA_RETURN_NOT_OK(ReadBlob(in, snap.adam.v.data(), snap.adam.v.size()));
+  // Stored logically (see SaveCheckpoint); scatter into this model's
+  // physical shard layout.
+  std::vector<float> logical(header.param_count);
+  SUPA_RETURN_NOT_OK(ReadBlob(in, logical.data(), logical.size()));
+  store.ScatterLogical(logical.data(), snap.params.data());
+  SUPA_RETURN_NOT_OK(ReadBlob(in, logical.data(), logical.size()));
+  store.ScatterLogical(logical.data(), snap.adam.m.data());
+  SUPA_RETURN_NOT_OK(ReadBlob(in, logical.data(), logical.size()));
+  store.ScatterLogical(logical.data(), snap.adam.v.data());
   model->RestoreSnapshot(snap);
   return Status::OK();
 }

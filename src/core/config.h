@@ -35,6 +35,10 @@ struct SupaConfig {
   size_t neg_table_refresh = 2048;
   /// RNG seed for initialization and sampling.
   uint64_t seed = 42;
+  /// Storage-engine shard count for the model's graph + embedding banks.
+  /// 0 defers to SUPA_SHARDS (then 1). Placement only — results are
+  /// bit-identical at any value (DESIGN.md §11).
+  size_t shards = 0;
 
   // ---- Table VII: loss ablations -----------------------------------------
   bool use_inter_loss = true;

@@ -1,24 +1,34 @@
 #include "core/embedding_store.h"
 
+#include <utility>
+
+#include "store/shard_map.h"
+#include "store/store_options.h"
+
 namespace supa {
 
 EmbeddingStore::EmbeddingStore(size_t num_nodes, size_t num_relations,
                                size_t num_node_types, int dim,
-                               double init_scale, Rng& rng)
-    : num_nodes_(num_nodes),
-      num_relations_(num_relations),
-      num_node_types_(num_node_types),
-      dim_(dim) {
-  const size_t nd = num_nodes_ * static_cast<size_t>(dim_);
-  short_off_ = nd;
-  ctx_off_ = 2 * nd;
-  alpha_off_ = ctx_off_ + nd * num_relations_;
-  params_.resize(alpha_off_ + num_node_types_);
-  for (size_t i = 0; i < alpha_off_; ++i) {
-    params_[i] = static_cast<float>(rng.Gaussian(0.0, init_scale));
+                               double init_scale, Rng& rng) {
+  auto map = std::make_shared<const store::NodeShardMap>(
+      num_nodes, store::ResolveNumShards(0));
+  auto layout = std::make_shared<const store::EmbeddingLayout>(
+      std::move(map), num_relations, num_node_types, dim);
+  bank_ = std::make_shared<store::EmbeddingBank>(std::move(layout),
+                                                 init_scale, rng);
+}
+
+EmbeddingStore::EmbeddingStore(std::shared_ptr<store::EmbeddingBank> bank)
+    : bank_(std::move(bank)) {}
+
+EmbeddingStore::EmbeddingStore(const EmbeddingStore& other)
+    : bank_(std::make_shared<store::EmbeddingBank>(*other.bank_)) {}
+
+EmbeddingStore& EmbeddingStore::operator=(const EmbeddingStore& other) {
+  if (this != &other) {
+    bank_ = std::make_shared<store::EmbeddingBank>(*other.bank_);
   }
-  // α_o = 0 => drift coefficient σ(α) starts at 0.5.
-  for (size_t i = alpha_off_; i < params_.size(); ++i) params_[i] = 0.0f;
+  return *this;
 }
 
 }  // namespace supa

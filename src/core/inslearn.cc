@@ -307,6 +307,9 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
       }
     }
     ++report.num_batches;
+    // Batch boundary: re-export the store.shard_* gauges so Prometheus
+    // scrapes track shard balance without forcing a snapshot publish.
+    model.graph_store().RefreshShardMetrics();
   }
   heartbeat.Finish();
   return report;
@@ -375,6 +378,7 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
         break;
       }
     }
+    model.graph_store().RefreshShardMetrics();
   }
   if (have_best) {
     StopwatchGuard guard(&report.snapshot_seconds);

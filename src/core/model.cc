@@ -54,12 +54,24 @@ struct SnapshotMetrics {
 
 SupaModel::SupaModel(const Dataset& data, SupaConfig config)
     : config_(config), rng_(config.seed) {
-  graph_ = std::make_unique<DynamicGraph>(data.schema, data.node_types);
-  store_ = std::make_unique<EmbeddingStore>(
-      data.num_nodes(), data.schema.num_edge_types(),
-      data.schema.num_node_types(), config_.dim, config_.init_scale, rng_);
+  // The model owns one storage engine holding graph AND embeddings, so a
+  // node's adjacency and its h^L/h^S/c^r rows colocate on the same shard.
+  // This is the instrumented store: per-shard gauges and the /statusz
+  // shard-balance table describe the trainer's state.
+  store::StoreOptions store_options;
+  store_options.num_shards = config_.shards;
+  store_options.publish_metrics = true;
+  graph_store_ = std::make_shared<store::GraphStore>(
+      data.schema.num_edge_types(), data.node_types, store_options);
+  graph_store_->AttachEmbeddings(data.schema.num_edge_types(),
+                                 data.schema.num_node_types(), config_.dim,
+                                 config_.init_scale, rng_);
+  graph_ = std::make_unique<DynamicGraph>(graph_store_, data.schema);
+  store_ =
+      std::make_unique<EmbeddingStore>(graph_store_->shared_embeddings());
   sampler_ = std::make_unique<InfluencedGraphSampler>(
-      *graph_, data.metapaths, config_.num_walks, config_.walk_len);
+      *graph_store_, data.schema.num_node_types(), data.metapaths,
+      config_.num_walks, config_.walk_len);
   adam_ = std::make_unique<SparseAdam>(store_->size(), config_.lr,
                                        config_.weight_decay);
   degrees_.assign(data.num_nodes(), 0.0);
@@ -175,6 +187,12 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
   const EdgeTypeId r_ctx = CtxRel(e.type);
   TrainStats stats;
   SUPA_TRACE_SPAN_CAT("train_edge", "model");
+
+  // One training step scatters embedding writes (updater, optimizer)
+  // across arbitrary rows, so it holds the whole-store write lease;
+  // concurrent snapshot publishes wait for the step boundary. ~one
+  // uncontended mutex per shard per edge — noise next to the step itself.
+  store::ShardWriteLease lease = graph_store_->LeaseAll();
 
   grads_.Clear();
   {
@@ -308,6 +326,31 @@ void SupaModel::FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const {
                     store_->Context(v, rr), short_w, out, d);
 }
 
+std::shared_ptr<const store::StoreSnapshot> SupaModel::AcquireSnapshot()
+    const {
+  return graph_store_->AcquireSnapshot();
+}
+
+double SupaModel::ScoreOn(const store::StoreSnapshot& snapshot, NodeId u,
+                          NodeId v, EdgeTypeId r) const {
+  const size_t d = static_cast<size_t>(config_.dim);
+  const EdgeTypeId rr = CtxRel(r);
+  const double short_w = config_.use_short_term ? 1.0 : 0.0;
+  return simd::ScoreDot(snapshot.LongMem(u), snapshot.ShortMem(u),
+                        snapshot.Context(u, rr), snapshot.LongMem(v),
+                        snapshot.ShortMem(v), snapshot.Context(v, rr),
+                        short_w, d);
+}
+
+void SupaModel::FinalEmbeddingOn(const store::StoreSnapshot& snapshot,
+                                 NodeId v, EdgeTypeId r, float* out) const {
+  const size_t d = static_cast<size_t>(config_.dim);
+  const EdgeTypeId rr = CtxRel(r);
+  const double short_w = config_.use_short_term ? 1.0 : 0.0;
+  simd::CombineHalf(snapshot.LongMem(v), snapshot.ShortMem(v),
+                    snapshot.Context(v, rr), short_w, out, d);
+}
+
 SupaModel::Snapshot SupaModel::TakeSnapshot() const {
   SUPA_TRACE_SPAN_CAT("snapshot/full_take", "snapshot");
   SnapshotMetrics::Get().full_takes.Increment();
@@ -317,6 +360,7 @@ SupaModel::Snapshot SupaModel::TakeSnapshot() const {
 void SupaModel::RestoreSnapshot(const Snapshot& snapshot) {
   SUPA_TRACE_SPAN_CAT("snapshot/full_restore", "snapshot");
   SnapshotMetrics::Get().full_restores.Increment();
+  store::ShardWriteLease lease = graph_store_->LeaseAll();
   store_->Restore(snapshot.params);
   adam_->Restore(snapshot.adam);
   // The whole buffer changed; dirty tracking no longer describes the
@@ -375,6 +419,7 @@ void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
          "RestoreDeltaSnapshot needs a snapshot from TakeDeltaSnapshot");
   SUPA_TRACE_SPAN_CAT("snapshot/delta_restore", "snapshot");
   SnapshotMetrics& metrics = SnapshotMetrics::Get();
+  store::ShardWriteLease lease = graph_store_->LeaseAll();
   float* params = store_->data();
   float* m = adam_->m_data();
   float* v = adam_->v_data();

@@ -15,6 +15,8 @@
 #include "core/embedding_store.h"
 #include "core/sampler.h"
 #include "data/dataset.h"
+#include "store/graph_store.h"
+#include "store/snapshot.h"
 #include "util/alias_table.h"
 
 namespace supa {
@@ -69,11 +71,28 @@ class SupaModel {
   Result<TrainStats> DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
                                 Timestamp t);
 
-  /// Recommendation score γ(u, v, r) = h^r_u · h^r_v (Eq. 14–15).
+  /// Recommendation score γ(u, v, r) = h^r_u · h^r_v (Eq. 14–15). Reads
+  /// the *live* store — training-internal use (validation runs while the
+  /// trainer is parked between batches). Concurrent readers must score on
+  /// a snapshot instead.
   double Score(NodeId u, NodeId v, EdgeTypeId r) const;
 
-  /// Writes h^r_v = ½(h^L + h^S + c^r) into `out` (dim floats).
+  /// Writes h^r_v = ½(h^L + h^S + c^r) into `out` (dim floats). Live-store
+  /// read; same contract as Score.
   void FinalEmbedding(NodeId v, EdgeTypeId r, float* out) const;
+
+  /// Publishes (or reuses) the storage engine's current epoch. The view
+  /// is immutable and never blocks subsequent training.
+  std::shared_ptr<const store::StoreSnapshot> AcquireSnapshot() const;
+
+  /// Score / final embedding evaluated against an epoch snapshot rather
+  /// than the live store — the read path for eval, serving, and scrapes.
+  /// Bit-identical to Score/FinalEmbedding on a snapshot of the same
+  /// state.
+  double ScoreOn(const store::StoreSnapshot& snapshot, NodeId u, NodeId v,
+                 EdgeTypeId r) const;
+  void FinalEmbeddingOn(const store::StoreSnapshot& snapshot, NodeId v,
+                        EdgeTypeId r, float* out) const;
 
   /// Rebuilds the degree^{3/4} negative-sampling distribution from current
   /// degrees (uniform before any edge is observed).
@@ -132,6 +151,10 @@ class SupaModel {
   EmbeddingStore& store() { return *store_; }
   const EmbeddingStore& store() const { return *store_; }
 
+  /// The storage engine holding this model's graph and embedding shards.
+  store::GraphStore& graph_store() { return *graph_store_; }
+  const store::GraphStore& graph_store() const { return *graph_store_; }
+
  private:
   /// Per-interactive-node updater scratch (Eq. 5).
   struct UpdateContext {
@@ -165,6 +188,8 @@ class SupaModel {
   void InvalidateDeltaBaseline();
 
   SupaConfig config_;
+  /// The engine; graph_ and store_ are facades sharing its state.
+  std::shared_ptr<store::GraphStore> graph_store_;
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<EmbeddingStore> store_;
   std::unique_ptr<InfluencedGraphSampler> sampler_;

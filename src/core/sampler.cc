@@ -5,8 +5,15 @@ namespace supa {
 InfluencedGraphSampler::InfluencedGraphSampler(
     const DynamicGraph& graph, std::vector<MetapathSchema> metapaths,
     int num_walks, int walk_len)
-    : walker_(graph),
-      graph_(&graph),
+    : InfluencedGraphSampler(graph.store(),
+                             graph.schema().num_node_types(),
+                             std::move(metapaths), num_walks, walk_len) {}
+
+InfluencedGraphSampler::InfluencedGraphSampler(
+    const store::GraphStore& store, size_t num_node_types,
+    std::vector<MetapathSchema> metapaths, int num_walks, int walk_len)
+    : walker_(store),
+      store_(&store),
       metapaths_(std::move(metapaths)),
       num_walks_(num_walks),
       walk_len_(walk_len),
@@ -20,7 +27,7 @@ InfluencedGraphSampler::InfluencedGraphSampler(
           obs::MetricsRegistry::Global().GetCounter("sampler.arena_grows")),
       walk_len_hist_(obs::MetricsRegistry::Global().GetHistogram(
           "sampler.walk_len", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0})) {
-  by_head_type_.resize(graph.schema().num_node_types());
+  by_head_type_.resize(num_node_types);
   for (size_t i = 0; i < metapaths_.size(); ++i) {
     by_head_type_[metapaths_[i].head()].push_back(i);
   }
@@ -28,7 +35,7 @@ InfluencedGraphSampler::InfluencedGraphSampler(
 
 void InfluencedGraphSampler::SampleFrom(NodeId start, Rng& rng,
                                         std::vector<Walk>* out) const {
-  const auto& candidates = by_head_type_[graph_->NodeType(start)];
+  const auto& candidates = by_head_type_[store_->NodeType(start)];
   if (candidates.empty()) return;
   for (int w = 0; w < num_walks_; ++w) {
     const size_t mp = candidates[rng.Index(candidates.size())];
@@ -49,7 +56,7 @@ InfluencedGraph InfluencedGraphSampler::Sample(NodeId u, NodeId v,
 
 void InfluencedGraphSampler::SampleFromInto(NodeId start, Rng& rng,
                                             WalkBuffer* out) const {
-  const auto& candidates = by_head_type_[graph_->NodeType(start)];
+  const auto& candidates = by_head_type_[store_->NodeType(start)];
   if (candidates.empty()) return;
   for (int w = 0; w < num_walks_; ++w) {
     const size_t mp = candidates[rng.Index(candidates.size())];

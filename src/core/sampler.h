@@ -30,10 +30,19 @@ struct InfluencedGraph {
   }
 };
 
-/// Samples influenced graphs against a fixed metapath schema set.
+/// Samples influenced graphs against a fixed metapath schema set. Reads
+/// go through the storage engine (node types + capped neighborhoods);
+/// `num_node_types` bounds the head-type dispatch table, which the store
+/// does not track (it belongs to the Schema layer above).
 class InfluencedGraphSampler {
  public:
   /// `metapaths` must already be symmetric (Dataset stores them so).
+  InfluencedGraphSampler(const store::GraphStore& store,
+                         size_t num_node_types,
+                         std::vector<MetapathSchema> metapaths,
+                         int num_walks, int walk_len);
+
+  /// Facade convenience: unwraps the graph's store and schema.
   InfluencedGraphSampler(const DynamicGraph& graph,
                          std::vector<MetapathSchema> metapaths,
                          int num_walks, int walk_len);
@@ -61,7 +70,7 @@ class InfluencedGraphSampler {
 
  private:
   Walker walker_;
-  const DynamicGraph* graph_;
+  const store::GraphStore* store_;
   std::vector<MetapathSchema> metapaths_;
   /// metapath indices grouped by head node type.
   std::vector<std::vector<size_t>> by_head_type_;

@@ -1,72 +1,45 @@
 #include "graph/dynamic_graph.h"
 
-#include <string>
+#include <utility>
 
 namespace supa {
+namespace {
+
+store::StoreOptions FacadeOptions(const store::StoreOptions* options) {
+  if (options != nullptr) return *options;
+  store::StoreOptions defaults;
+  defaults.publish_metrics = false;
+  return defaults;
+}
+
+}  // namespace
 
 DynamicGraph::DynamicGraph(Schema schema, std::vector<NodeTypeId> node_types)
     : schema_(std::move(schema)),
-      node_types_(std::move(node_types)),
-      cap_hit_counter_(obs::MetricsRegistry::Global().GetCounter(
-          "graph.neighbor_cap_hits")) {
-  adj_.resize(node_types_.size());
-  last_active_.assign(node_types_.size(), kNeverActive);
-}
+      store_(std::make_shared<store::GraphStore>(schema_.num_edge_types(),
+                                                 std::move(node_types),
+                                                 FacadeOptions(nullptr))) {}
 
-Status DynamicGraph::AddEdge(NodeId u, NodeId v, EdgeTypeId r, Timestamp t) {
-  if (u >= num_nodes() || v >= num_nodes()) {
-    return Status::OutOfRange("edge endpoint out of range: " +
-                              std::to_string(u) + "," + std::to_string(v));
-  }
-  if (u == v) {
-    return Status::InvalidArgument("self loops are not allowed");
-  }
-  if (r >= schema_.num_edge_types()) {
-    return Status::OutOfRange("edge type out of range: " + std::to_string(r));
-  }
-  if (t < latest_time_) {
-    return Status::FailedPrecondition(
-        "edges must arrive in non-decreasing time order");
-  }
-  adj_[u].push_back(Neighbor{v, r, t});
-  adj_[v].push_back(Neighbor{u, r, t});
-  last_active_[u] = t;
-  last_active_[v] = t;
-  latest_time_ = t;
-  ++num_edges_;
-  return Status::OK();
-}
+DynamicGraph::DynamicGraph(Schema schema, std::vector<NodeTypeId> node_types,
+                           const store::StoreOptions& options)
+    : schema_(std::move(schema)),
+      store_(std::make_shared<store::GraphStore>(schema_.num_edge_types(),
+                                                 std::move(node_types),
+                                                 options)) {}
 
-Status DynamicGraph::RemoveEdge(NodeId u, NodeId v, EdgeTypeId r) {
-  if (u >= num_nodes() || v >= num_nodes()) {
-    return Status::OutOfRange("edge endpoint out of range");
-  }
-  auto erase_latest = [](std::vector<Neighbor>& list, NodeId to,
-                         EdgeTypeId type) {
-    for (size_t i = list.size(); i-- > 0;) {
-      if (list[i].node == to && list[i].edge_type == type) {
-        list.erase(list.begin() + static_cast<ptrdiff_t>(i));
-        return true;
-      }
-    }
-    return false;
-  };
-  if (!erase_latest(adj_[u], v, r)) {
-    return Status::NotFound("no such edge to remove");
-  }
-  if (!erase_latest(adj_[v], u, r)) {
-    return Status::Internal("asymmetric adjacency state");
-  }
-  --num_edges_;
-  return Status::OK();
-}
+DynamicGraph::DynamicGraph(std::shared_ptr<store::GraphStore> store,
+                           Schema schema)
+    : schema_(std::move(schema)), store_(std::move(store)) {}
 
-std::vector<NodeId> DynamicGraph::NodesOfType(NodeTypeId t) const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    if (node_types_[v] == t) out.push_back(v);
+DynamicGraph::DynamicGraph(const DynamicGraph& other)
+    : schema_(other.schema_), store_(other.store_->Clone()) {}
+
+DynamicGraph& DynamicGraph::operator=(const DynamicGraph& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    store_ = other.store_->Clone();
   }
-  return out;
+  return *this;
 }
 
 }  // namespace supa

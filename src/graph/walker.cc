@@ -9,11 +9,11 @@ bool Walker::SampleAdmissible(NodeId v, EdgeTypeMask mask,
                               Neighbor* out) const {
   // Reservoir sampling over the capped window keeps this one pass and
   // allocation-free.
-  auto window = graph_->Neighbors(v);
+  auto window = store_->Neighbors(v);
   size_t seen = 0;
   for (const Neighbor& nb : window) {
     if (!MaskContains(mask, nb.edge_type)) continue;
-    if (graph_->NodeType(nb.node) != dst_type) continue;
+    if (store_->NodeType(nb.node) != dst_type) continue;
     ++seen;
     if (rng.Index(seen) == 0) *out = nb;
   }
@@ -53,7 +53,7 @@ Walk Walker::SampleUniformWalk(NodeId start, size_t walk_len,
   walk.steps.reserve(walk_len > 0 ? walk_len - 1 : 0);
   NodeId cur = start;
   for (size_t hop = 0; hop + 1 < walk_len; ++hop) {
-    auto window = graph_->Neighbors(cur);
+    auto window = store_->Neighbors(cur);
     if (window.empty()) break;
     const Neighbor& nb = window[rng.Index(window.size())];
     walk.steps.push_back(WalkStep{nb.node, nb.edge_type, nb.time});
@@ -73,7 +73,7 @@ Walk Walker::SampleNode2vecWalk(NodeId start, size_t walk_len, double p,
   NodeId cur = start;
   std::vector<double> weights;
   for (size_t hop = 0; hop + 1 < walk_len; ++hop) {
-    auto window = graph_->Neighbors(cur);
+    auto window = store_->Neighbors(cur);
     if (window.empty()) break;
     Neighbor chosen;
     if (prev == kInvalidNode) {
@@ -82,7 +82,7 @@ Walk Walker::SampleNode2vecWalk(NodeId start, size_t walk_len, double p,
       // Second-order bias: 1/p to return, 1 for common neighbors of prev,
       // 1/q otherwise. Membership test is a linear scan of prev's window,
       // which is bounded by the neighbor cap in capped settings.
-      auto prev_window = graph_->Neighbors(prev);
+      auto prev_window = store_->Neighbors(prev);
       weights.clear();
       weights.reserve(window.size());
       for (const Neighbor& nb : window) {

@@ -108,10 +108,13 @@ class WalkBuffer {
   bool open_ = false;
 };
 
-/// Samples walks honoring the graph's neighbor cap.
+/// Samples walks honoring the graph's neighbor cap. Reads go through the
+/// storage engine directly; the DynamicGraph overload is a convenience
+/// that unwraps the facade.
 class Walker {
  public:
-  explicit Walker(const DynamicGraph& graph) : graph_(&graph) {}
+  explicit Walker(const store::GraphStore& store) : store_(&store) {}
+  explicit Walker(const DynamicGraph& graph) : store_(&graph.store()) {}
 
   /// Samples one walk from `start` constrained by `schema` (Eq. 2–3): node
   /// position i must have type o_{P, f(i)} and hop j must use an edge type
@@ -144,7 +147,7 @@ class Walker {
   size_t WalkMetapath(NodeId start, const MetapathSchema& schema,
                       size_t walk_len, Rng& rng, Sink&& sink) const {
     if (walk_len <= 1) return 0;
-    if (graph_->NodeType(start) != schema.head()) return 0;
+    if (store_->NodeType(start) != schema.head()) return 0;
     size_t hops = 0;
     NodeId cur = start;
     for (size_t hop = 0; hop + 1 < walk_len; ++hop) {
@@ -166,7 +169,7 @@ class Walker {
   bool SampleAdmissible(NodeId v, EdgeTypeMask mask, NodeTypeId dst_type,
                         Rng& rng, Neighbor* out) const;
 
-  const DynamicGraph* graph_;
+  const store::GraphStore* store_;
 };
 
 }  // namespace supa

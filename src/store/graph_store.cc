@@ -1,0 +1,287 @@
+#include "store/graph_store.h"
+
+#include <string>
+#include <utility>
+
+namespace supa::store {
+
+namespace {
+
+uint64_t ShardBit(uint32_t s) { return uint64_t{1} << s; }
+
+uint64_t AllShardsMask(size_t n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
+ShardWriteLease::ShardWriteLease(GraphStore* store, uint64_t mask)
+    : store_(store), mask_(mask) {
+  // Ascending acquisition order keeps concurrent leases deadlock-free;
+  // the snapshot publisher holds at most one shard mutex at a time, so it
+  // can never participate in a cycle either.
+  for (size_t s = 0; s < store_->shards_.size(); ++s) {
+    if (mask_ & ShardBit(static_cast<uint32_t>(s))) {
+      store_->shards_[s]->mu.lock();
+    }
+  }
+}
+
+void ShardWriteLease::Release() {
+  if (store_ == nullptr) return;
+  for (size_t s = 0; s < store_->shards_.size(); ++s) {
+    if (mask_ & ShardBit(static_cast<uint32_t>(s))) {
+      // Bump before unlock: the next publisher that locks this shard is
+      // guaranteed to observe a version ≠ the one it last captured.
+      store_->shards_[s]->version.fetch_add(1, std::memory_order_release);
+      store_->shards_[s]->mu.unlock();
+    }
+  }
+  store_ = nullptr;
+  mask_ = 0;
+}
+
+GraphStore::GraphStore(size_t num_edge_types,
+                       std::vector<NodeTypeId> node_types,
+                       StoreOptions options)
+    : num_edge_types_(num_edge_types),
+      node_types_(std::make_shared<const std::vector<NodeTypeId>>(
+          std::move(node_types))),
+      options_(options),
+      cap_hit_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "graph.neighbor_cap_hits")) {
+  const size_t num_shards = ResolveNumShards(options_.num_shards);
+  options_.num_shards = num_shards;
+  map_ = std::make_shared<const NodeShardMap>(node_types_->size(),
+                                              num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->adj.resize(map_->shard_size(s));
+    shard->last_active.assign(map_->shard_size(s), kNeverActive);
+    shards_.push_back(std::move(shard));
+  }
+  published_.resize(num_shards);
+  published_version_.assign(num_shards, 0);
+  if (options_.publish_metrics) {
+    auto& registry = obs::MetricsRegistry::Global();
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::string suffix = "." + std::to_string(s);
+      shard_edges_gauges_.push_back(
+          registry.GetGauge("store.shard_edges" + suffix));
+      shard_nodes_gauges_.push_back(
+          registry.GetGauge("store.shard_nodes" + suffix));
+      shard_bytes_gauges_.push_back(
+          registry.GetGauge("store.shard_bytes" + suffix));
+    }
+    RefreshShardMetrics();
+    // The provider reads only relaxed atomics and construction-time
+    // immutables, per the StatusRegistry contract (no app locks).
+    status_scope_.emplace("store/shards", [this] {
+      std::vector<obs::StatusItem> items;
+      items.push_back({"shards", std::to_string(this->num_shards())});
+      items.push_back({"epoch", std::to_string(this->epoch())});
+      items.push_back({"edges", std::to_string(this->num_edges())});
+      for (size_t s = 0; s < this->num_shards(); ++s) {
+        items.push_back(
+            {"shard." + std::to_string(s),
+             "nodes=" + std::to_string(this->ShardNodes(s)) +
+                 " edge_slots=" + std::to_string(this->ShardEdgeSlots(s)) +
+                 " bytes=" + std::to_string(this->ShardBytesEstimate(s))});
+      }
+      return items;
+    });
+  }
+}
+
+GraphStore::~GraphStore() = default;
+
+std::unique_ptr<GraphStore> GraphStore::Clone() const {
+  StoreOptions options = options_;
+  // Clones back value-semantic copies (eval protocols churn through
+  // them); re-exporting gauges from every copy would thrash the registry.
+  options.publish_metrics = false;
+  auto clone =
+      std::make_unique<GraphStore>(num_edge_types_, *node_types_, options);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& src = *shards_[s];
+    Shard& dst = *clone->shards_[s];
+    std::lock_guard<std::mutex> lock(src.mu);
+    dst.adj = src.adj;
+    dst.last_active = src.last_active;
+    dst.edge_slots.store(src.edge_slots.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  if (bank_ != nullptr) {
+    clone->bank_ = std::make_shared<EmbeddingBank>(*bank_);
+  }
+  clone->num_edges_.store(num_edges(), std::memory_order_relaxed);
+  clone->latest_time_.store(latest_time(), std::memory_order_relaxed);
+  clone->neighbor_cap_.store(neighbor_cap(), std::memory_order_relaxed);
+  return clone;
+}
+
+void GraphStore::AttachEmbeddings(size_t num_relations, size_t num_node_types,
+                                  int dim, double init_scale, Rng& rng) {
+  auto layout = std::make_shared<const EmbeddingLayout>(
+      map_, num_relations, num_node_types, dim);
+  bank_ = std::make_shared<EmbeddingBank>(std::move(layout), init_scale, rng);
+}
+
+void GraphStore::AppendHalfEdge(NodeId from, const Neighbor& n) {
+  Shard& sh = *shards_[map_->shard_of(from)];
+  sh.adj[map_->local_of(from)].push_back(n);
+  sh.edge_slots.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool GraphStore::EraseLatestHalfEdge(NodeId from, NodeId to, EdgeTypeId r) {
+  Shard& sh = *shards_[map_->shard_of(from)];
+  std::vector<Neighbor>& list = sh.adj[map_->local_of(from)];
+  for (size_t i = list.size(); i-- > 0;) {
+    if (list[i].node == to && list[i].edge_type == r) {
+      list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+      sh.edge_slots.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status GraphStore::AddEdge(NodeId u, NodeId v, EdgeTypeId r, Timestamp t) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range: " +
+                              std::to_string(u) + "," + std::to_string(v));
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self loops are not allowed");
+  }
+  if (r >= num_edge_types_) {
+    return Status::OutOfRange("edge type out of range: " + std::to_string(r));
+  }
+  if (t < latest_time()) {
+    return Status::FailedPrecondition(
+        "edges must arrive in non-decreasing time order");
+  }
+  ShardWriteLease lease = LeaseNodes(u, v);
+  AppendHalfEdge(u, Neighbor{v, r, t});
+  AppendHalfEdge(v, Neighbor{u, r, t});
+  SetLastActive(u, t);
+  SetLastActive(v, t);
+  // Monotonic max under concurrent ingest (a plain store could move the
+  // clock backwards when two writers race).
+  Timestamp prev = latest_time_.load(std::memory_order_relaxed);
+  while (prev < t &&
+         !latest_time_.compare_exchange_weak(prev, t,
+                                             std::memory_order_relaxed)) {
+  }
+  num_edges_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status GraphStore::RemoveEdge(NodeId u, NodeId v, EdgeTypeId r) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  ShardWriteLease lease = LeaseNodes(u, v);
+  if (!EraseLatestHalfEdge(u, v, r)) {
+    return Status::NotFound("no such edge to remove");
+  }
+  if (!EraseLatestHalfEdge(v, u, r)) {
+    return Status::Internal("asymmetric adjacency state");
+  }
+  num_edges_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ShardWriteLease GraphStore::LeaseAll() {
+  return ShardWriteLease(this, AllShardsMask(shards_.size()));
+}
+
+ShardWriteLease GraphStore::LeaseNodes(NodeId u, NodeId v) {
+  return ShardWriteLease(this, ShardBit(map_->shard_of(u)) |
+                                   ShardBit(map_->shard_of(v)));
+}
+
+std::vector<NodeId> GraphStore::NodesOfType(NodeTypeId t) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if ((*node_types_)[v] == t) out.push_back(v);
+  }
+  return out;
+}
+
+std::shared_ptr<const StoreSnapshot> GraphStore::AcquireSnapshot() {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  bool changed = last_snapshot_ == nullptr;
+  std::shared_ptr<const std::vector<float>> alpha =
+      last_snapshot_ != nullptr ? last_snapshot_->alpha_ : nullptr;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    if (published_[s] != nullptr &&
+        published_version_[s] == sh.version.load(std::memory_order_acquire)) {
+      continue;  // Clean since last publish: share the previous copy.
+    }
+    auto shot = std::make_shared<ShardSnapshot>();
+    {
+      std::lock_guard<std::mutex> shard_lock(sh.mu);
+      shot->version = sh.version.load(std::memory_order_relaxed);
+      shot->adj = sh.adj;
+      shot->last_active = sh.last_active;
+      if (bank_ != nullptr) {
+        const EmbeddingLayout& layout = bank_->layout();
+        shot->emb.assign(bank_->data() + layout.shard_begin(s),
+                         bank_->data() + layout.shard_end(s));
+        if (s == 0) {
+          // α rides with shard 0: its only writers hold LeaseAll, which
+          // covers shard 0's mutex and bumps shard 0's version.
+          alpha = std::make_shared<const std::vector<float>>(
+              bank_->data() + layout.alpha_begin(),
+              bank_->data() + layout.size());
+        }
+      }
+    }
+    published_version_[s] = shot->version;
+    published_[s] = std::move(shot);
+    changed = true;
+  }
+  if (changed) {
+    auto snap = std::shared_ptr<StoreSnapshot>(new StoreSnapshot());
+    snap->map_ = map_;
+    snap->layout_ = bank_ != nullptr ? bank_->shared_layout() : nullptr;
+    snap->node_types_ = node_types_;
+    snap->shards_ = published_;
+    snap->alpha_ = alpha != nullptr
+                       ? std::move(alpha)
+                       : std::make_shared<const std::vector<float>>();
+    snap->epoch_ =
+        epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    snap->num_edges_ = num_edges();
+    snap->latest_time_ = latest_time();
+    snap->neighbor_cap_ = neighbor_cap();
+    last_snapshot_ = std::move(snap);
+  }
+  RefreshShardMetrics();
+  return last_snapshot_;
+}
+
+size_t GraphStore::ShardBytesEstimate(size_t s) const {
+  size_t bytes = ShardEdgeSlots(s) * sizeof(Neighbor) +
+                 map_->shard_size(s) *
+                     (sizeof(Timestamp) + sizeof(std::vector<Neighbor>));
+  if (bank_ != nullptr) {
+    const EmbeddingLayout& layout = bank_->layout();
+    bytes += (layout.shard_end(s) - layout.shard_begin(s)) * sizeof(float);
+  }
+  return bytes;
+}
+
+void GraphStore::RefreshShardMetrics() {
+  if (!options_.publish_metrics) return;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_edges_gauges_[s].Set(static_cast<double>(ShardEdgeSlots(s)));
+    shard_nodes_gauges_[s].Set(static_cast<double>(ShardNodes(s)));
+    shard_bytes_gauges_[s].Set(static_cast<double>(ShardBytesEstimate(s)));
+  }
+}
+
+}  // namespace supa::store

@@ -1,0 +1,255 @@
+// The sharded storage engine: per-shard adjacency + embedding banks
+// behind write leases and epoch-snapshot reads.
+//
+// Ownership story (DESIGN.md §11):
+//   - Nodes are placed on shards by NodeShardMap (stable hash of id).
+//   - Each shard owns its nodes' adjacency lists, last-active timestamps,
+//     and — when a bank is attached — their h^L/h^S/c^r embedding rows.
+//   - Mutations happen under *write leases* (per-shard mutexes, always
+//     acquired in ascending shard order). AddEdge / RemoveEdge lease their
+//     two endpoint shards internally; a trainer that scatters embedding
+//     writes across the whole parameter buffer takes LeaseAll() around
+//     each training step.
+//   - Concurrent readers never touch the live structures: they call
+//     AcquireSnapshot(), which publishes a copy-on-write epoch (dirty
+//     shards copied under their mutex, clean shards shared with the
+//     previous epoch) and hand back an immutable StoreSnapshot.
+//   - Live (unlocked) read accessors remain for the single-writer hot
+//     path: the thread holding the write story may read its own state
+//     freely. Any *other* thread must read through a snapshot.
+//
+// Determinism contract: the shard count decides only memory placement.
+// Hash placement, lease scope, and snapshot publication never reorder
+// computation or consume randomness, so results are bit-identical at any
+// SUPA_SHARDS value.
+
+#ifndef SUPA_STORE_GRAPH_STORE_H_
+#define SUPA_STORE_GRAPH_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "store/embedding_bank.h"
+#include "store/shard_map.h"
+#include "store/snapshot.h"
+#include "store/store_options.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace supa::store {
+
+class GraphStore;
+
+/// RAII exclusive write access to a set of shards. Locks are taken in
+/// ascending shard order (deadlock-free against other leases and against
+/// the snapshot publisher, which holds at most one shard at a time) and
+/// each covered shard's version is bumped on release so the next publish
+/// knows to re-copy it.
+class ShardWriteLease {
+ public:
+  ShardWriteLease() = default;
+  ShardWriteLease(ShardWriteLease&& other) noexcept
+      : store_(other.store_), mask_(other.mask_) {
+    other.store_ = nullptr;
+    other.mask_ = 0;
+  }
+  ShardWriteLease& operator=(ShardWriteLease&& other) noexcept {
+    if (this != &other) {
+      Release();
+      store_ = other.store_;
+      mask_ = other.mask_;
+      other.store_ = nullptr;
+      other.mask_ = 0;
+    }
+    return *this;
+  }
+  ShardWriteLease(const ShardWriteLease&) = delete;
+  ShardWriteLease& operator=(const ShardWriteLease&) = delete;
+  ~ShardWriteLease() { Release(); }
+
+  /// Unlocks early (idempotent).
+  void Release();
+
+ private:
+  friend class GraphStore;
+  ShardWriteLease(GraphStore* store, uint64_t mask);
+
+  GraphStore* store_ = nullptr;
+  uint64_t mask_ = 0;
+};
+
+/// The engine. Owns the shard map, the per-shard adjacency, and (once
+/// AttachEmbeddings is called) the embedding bank.
+class GraphStore {
+ public:
+  /// Creates a store over `node_types.size()` nodes. `num_edge_types` is
+  /// the |R| bound AddEdge validates against.
+  GraphStore(size_t num_edge_types, std::vector<NodeTypeId> node_types,
+             StoreOptions options = {});
+  ~GraphStore();
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Deep copy (fresh mutexes/epochs, same placement and contents). Used
+  /// by the DynamicGraph facade's value semantics.
+  std::unique_ptr<GraphStore> Clone() const;
+
+  /// Allocates the embedding bank over this store's shard map. Rows are
+  /// initialized in logical order from `rng` (see EmbeddingBank).
+  void AttachEmbeddings(size_t num_relations, size_t num_node_types, int dim,
+                        double init_scale, Rng& rng);
+  bool has_embeddings() const { return bank_ != nullptr; }
+  EmbeddingBank& embeddings() { return *bank_; }
+  const EmbeddingBank& embeddings() const { return *bank_; }
+  const std::shared_ptr<EmbeddingBank>& shared_embeddings() const {
+    return bank_;
+  }
+
+  // -- Mutations (lease internally) --
+
+  /// Appends a temporal edge to both endpoint shards. Timestamps must be
+  /// non-decreasing across calls; node ids must be in range and distinct.
+  Status AddEdge(NodeId u, NodeId v, EdgeTypeId r, Timestamp t);
+
+  /// Removes the most recent (u, v, r) edge from both adjacency lists.
+  /// O(degree). Last-active timestamps are left untouched. Returns
+  /// NotFound when no such edge exists.
+  Status RemoveEdge(NodeId u, NodeId v, EdgeTypeId r);
+
+  /// Overrides a node's last-active timestamp. Unlike the edge ops this
+  /// does NOT lease: it is called from the trainer's hot loop, which
+  /// already holds LeaseAll() (or is the sole thread touching the store).
+  void SetLastActive(NodeId v, Timestamp t) {
+    Shard& sh = *shards_[map_->shard_of(v)];
+    sh.last_active[map_->local_of(v)] = t;
+  }
+
+  // -- Write leases --
+  ShardWriteLease LeaseAll();
+  ShardWriteLease LeaseNodes(NodeId u, NodeId v);
+
+  // -- Live reads (single-writer contract; see file comment) --
+  std::span<const Neighbor> AllNeighbors(NodeId v) const {
+    return shards_[map_->shard_of(v)]->adj[map_->local_of(v)];
+  }
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    std::span<const Neighbor> list = AllNeighbors(v);
+    const size_t cap = neighbor_cap_.load(std::memory_order_relaxed);
+    if (cap == 0 || list.size() <= cap) return list;
+    // Counts lookups that actually lost history to η — the precondition
+    // for the Neighborhood Disturbance phenomenon (§IV-F).
+    cap_hit_counter_.Increment();
+    return list.subspan(list.size() - cap, cap);
+  }
+  size_t Degree(NodeId v) const { return AllNeighbors(v).size(); }
+  Timestamp LastActive(NodeId v) const {
+    return shards_[map_->shard_of(v)]->last_active[map_->local_of(v)];
+  }
+  NodeTypeId NodeType(NodeId v) const { return (*node_types_)[v]; }
+  std::vector<NodeId> NodesOfType(NodeTypeId t) const;
+
+  void set_neighbor_cap(size_t eta) {
+    neighbor_cap_.store(eta, std::memory_order_relaxed);
+  }
+  size_t neighbor_cap() const {
+    return neighbor_cap_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_nodes() const { return node_types_->size(); }
+  size_t num_edges() const {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
+  Timestamp latest_time() const {
+    return latest_time_.load(std::memory_order_relaxed);
+  }
+  size_t num_edge_types() const { return num_edge_types_; }
+  size_t num_shards() const { return map_->num_shards(); }
+  const NodeShardMap& shard_map() const { return *map_; }
+  const std::shared_ptr<const std::vector<NodeTypeId>>& shared_node_types()
+      const {
+    return node_types_;
+  }
+
+  // -- Epoch snapshots --
+
+  /// Publishes (or reuses) the current epoch and returns its read view.
+  /// Thread-safe; concurrent with ingest. Cost is proportional to the
+  /// state of *dirty* shards only.
+  std::shared_ptr<const StoreSnapshot> AcquireSnapshot();
+
+  /// Epoch of the most recent publish (0 = never published).
+  uint64_t epoch() const {
+    return epoch_counter_.load(std::memory_order_relaxed);
+  }
+
+  // -- Observability --
+
+  /// Adjacency entries currently held by shard `s` (each edge contributes
+  /// one entry to each endpoint's shard).
+  size_t ShardEdgeSlots(size_t s) const {
+    return shards_[s]->edge_slots.load(std::memory_order_relaxed);
+  }
+  /// Nodes placed on shard `s` (static once constructed).
+  size_t ShardNodes(size_t s) const { return map_->shard_size(s); }
+  /// Estimated resident bytes of shard `s`: adjacency entries +
+  /// last-active array + owned embedding rows.
+  size_t ShardBytesEstimate(size_t s) const;
+
+  /// Re-exports the store.shard_* gauges from the current counters.
+  /// Cheap (relaxed atomic reads + gauge stores); the trainer calls this
+  /// at batch boundaries so Prometheus scrapes stay fresh without
+  /// forcing a snapshot publish.
+  void RefreshShardMetrics();
+
+ private:
+  friend class ShardWriteLease;
+
+  struct Shard {
+    std::vector<std::vector<Neighbor>> adj;  // by local id
+    std::vector<Timestamp> last_active;      // by local id
+    mutable std::mutex mu;
+    std::atomic<uint64_t> version{0};
+    std::atomic<size_t> edge_slots{0};
+  };
+
+  void AppendHalfEdge(NodeId from, const Neighbor& n);
+  bool EraseLatestHalfEdge(NodeId from, NodeId to, EdgeTypeId r);
+
+  size_t num_edge_types_;
+  std::shared_ptr<const std::vector<NodeTypeId>> node_types_;
+  std::shared_ptr<const NodeShardMap> map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<EmbeddingBank> bank_;
+  StoreOptions options_;
+
+  std::atomic<size_t> num_edges_{0};
+  std::atomic<Timestamp> latest_time_{kNeverActive};
+  std::atomic<size_t> neighbor_cap_{0};
+  obs::Counter cap_hit_counter_;
+
+  // Publish state: previous epoch's per-shard views and the versions they
+  // captured, so clean shards are reused instead of re-copied.
+  mutable std::mutex publish_mu_;
+  std::vector<std::shared_ptr<const ShardSnapshot>> published_;
+  std::vector<uint64_t> published_version_;
+  std::shared_ptr<const StoreSnapshot> last_snapshot_;
+  std::atomic<uint64_t> epoch_counter_{0};  // written under publish_mu_
+
+  std::vector<obs::Gauge> shard_edges_gauges_;
+  std::vector<obs::Gauge> shard_nodes_gauges_;
+  std::vector<obs::Gauge> shard_bytes_gauges_;
+  std::optional<obs::StatusScope> status_scope_;
+};
+
+}  // namespace supa::store
+
+#endif  // SUPA_STORE_GRAPH_STORE_H_

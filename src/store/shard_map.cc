@@ -1,0 +1,31 @@
+#include "store/shard_map.h"
+
+#include "util/rng.h"
+
+namespace supa::store {
+namespace {
+
+/// Fixed placement seed. Changing it reshuffles every node's home shard,
+/// which is a layout-compatibility break — treat like a file-format magic.
+constexpr uint64_t kPlacementSeed = 0x53555041'53544f52ull;  // "SUPASTOR"
+
+}  // namespace
+
+NodeShardMap::NodeShardMap(size_t num_nodes, size_t num_shards) {
+  shard_of_.resize(num_nodes);
+  local_of_.resize(num_nodes);
+  shard_sizes_.assign(num_shards, 0);
+  shard_nodes_.resize(num_shards);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const uint32_t s =
+        num_shards == 1
+            ? 0
+            : static_cast<uint32_t>(SplitMix64At(kPlacementSeed, v) %
+                                    num_shards);
+    shard_of_[v] = s;
+    local_of_[v] = static_cast<uint32_t>(shard_sizes_[s]++);
+    shard_nodes_[s].push_back(v);
+  }
+}
+
+}  // namespace supa::store

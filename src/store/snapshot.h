@@ -1,0 +1,116 @@
+// Epoch-based immutable read view over the sharded store.
+//
+// A StoreSnapshot is a consistent point-in-time copy of every shard's
+// adjacency, last-active timestamps, and embedding rows. Snapshots are
+// published copy-on-write at shard granularity: shards untouched since the
+// previous publish are shared (by shared_ptr) with it, so a quiescent
+// store publishes for free and an active one pays only for its dirty
+// shards. Readers (scrapes, evaluation, serving) hold a
+// shared_ptr<const StoreSnapshot> and never contend with ingest;
+// reclamation is reference counting — when the last reader of an old
+// epoch drops its pointer, the shards only that epoch referenced are
+// freed.
+
+#ifndef SUPA_STORE_SNAPSHOT_H_
+#define SUPA_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "store/embedding_bank.h"
+#include "store/shard_map.h"
+
+namespace supa::store {
+
+/// One shard's frozen state, indexed by local id. Immutable once
+/// published; shared across consecutive StoreSnapshots while the shard
+/// stays clean.
+struct ShardSnapshot {
+  uint64_t version = 0;
+  std::vector<std::vector<Neighbor>> adj;
+  std::vector<Timestamp> last_active;
+  /// Copy of the bank region [shard_begin, shard_end); empty when the
+  /// store has no embeddings attached.
+  std::vector<float> emb;
+};
+
+/// The cross-shard consistent view. Mirrors the live read API of
+/// GraphStore / EmbeddingBank, but every accessor resolves into frozen
+/// per-shard copies. Thread-safe by immutability.
+class StoreSnapshot {
+ public:
+  // -- Graph reads --
+  std::span<const Neighbor> AllNeighbors(NodeId v) const {
+    return shards_[map_->shard_of(v)]->adj[map_->local_of(v)];
+  }
+
+  /// Most recent neighbors honoring the neighbor cap η captured at
+  /// publish time (0 = unlimited). Unlike the live accessor this does not
+  /// bump the cap-hit counter: snapshot reads are observational and must
+  /// not perturb training telemetry.
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    std::span<const Neighbor> list = AllNeighbors(v);
+    if (neighbor_cap_ == 0 || list.size() <= neighbor_cap_) return list;
+    return list.subspan(list.size() - neighbor_cap_, neighbor_cap_);
+  }
+
+  size_t Degree(NodeId v) const { return AllNeighbors(v).size(); }
+  Timestamp LastActive(NodeId v) const {
+    return shards_[map_->shard_of(v)]->last_active[map_->local_of(v)];
+  }
+  NodeTypeId NodeType(NodeId v) const { return (*node_types_)[v]; }
+
+  // -- Embedding reads (valid only when has_embeddings()) --
+  const float* LongMem(NodeId v) const {
+    const uint32_t s = map_->shard_of(v);
+    return shards_[s]->emb.data() +
+           (layout_->LongMemOffset(v) - layout_->shard_begin(s));
+  }
+  const float* ShortMem(NodeId v) const {
+    const uint32_t s = map_->shard_of(v);
+    return shards_[s]->emb.data() +
+           (layout_->ShortMemOffset(v) - layout_->shard_begin(s));
+  }
+  const float* Context(NodeId v, EdgeTypeId r) const {
+    const uint32_t s = map_->shard_of(v);
+    return shards_[s]->emb.data() +
+           (layout_->ContextOffset(v, r) - layout_->shard_begin(s));
+  }
+  const float* Alpha(NodeTypeId o) const { return alpha_->data() + o; }
+
+  bool has_embeddings() const { return layout_ != nullptr; }
+  int dim() const { return layout_->dim(); }
+  size_t num_relations() const { return layout_->num_relations(); }
+  size_t num_node_types() const { return layout_->num_node_types(); }
+
+  // -- Metadata frozen at publish --
+  uint64_t epoch() const { return epoch_; }
+  size_t num_nodes() const { return map_->num_nodes(); }
+  size_t num_shards() const { return map_->num_shards(); }
+  size_t num_edges() const { return num_edges_; }
+  Timestamp latest_time() const { return latest_time_; }
+  size_t neighbor_cap() const { return neighbor_cap_; }
+  const NodeShardMap& shard_map() const { return *map_; }
+  const ShardSnapshot& shard(size_t s) const { return *shards_[s]; }
+
+ private:
+  friend class GraphStore;
+  StoreSnapshot() = default;
+
+  std::shared_ptr<const NodeShardMap> map_;
+  std::shared_ptr<const EmbeddingLayout> layout_;  // null without a bank
+  std::shared_ptr<const std::vector<NodeTypeId>> node_types_;
+  std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+  std::shared_ptr<const std::vector<float>> alpha_;
+  uint64_t epoch_ = 0;
+  size_t num_edges_ = 0;
+  Timestamp latest_time_ = kNeverActive;
+  size_t neighbor_cap_ = 0;
+};
+
+}  // namespace supa::store
+
+#endif  // SUPA_STORE_SNAPSHOT_H_

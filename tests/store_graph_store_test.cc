@@ -1,0 +1,310 @@
+#include "store/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "store/embedding_bank.h"
+#include "store/shard_map.h"
+#include "store/store_options.h"
+#include "util/rng.h"
+
+namespace supa::store {
+namespace {
+
+StoreOptions Opts(size_t shards) {
+  StoreOptions o;
+  o.num_shards = shards;
+  o.publish_metrics = false;
+  return o;
+}
+
+GraphStore MakeStore(size_t num_nodes, size_t shards,
+                     size_t num_edge_types = 2) {
+  return GraphStore(num_edge_types, std::vector<NodeTypeId>(num_nodes, 0),
+                    Opts(shards));
+}
+
+/// Finds a node pair placed on two different shards (exists whenever the
+/// map actually uses more than one shard).
+bool FindCrossShardPair(const NodeShardMap& map, NodeId* u, NodeId* v) {
+  for (NodeId a = 0; a < map.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < map.num_nodes(); ++b) {
+      if (map.shard_of(a) != map.shard_of(b)) {
+        *u = a;
+        *v = b;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(NodeShardMapTest, PartitionsEveryNodeWithDenseLocals) {
+  for (size_t shards : {1u, 3u, 8u, 64u}) {
+    NodeShardMap map(100, shards);
+    ASSERT_EQ(map.num_shards(), shards);
+    size_t total = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      total += map.shard_size(s);
+      const auto& nodes = map.shard_nodes(s);
+      ASSERT_EQ(nodes.size(), map.shard_size(s));
+      ASSERT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(map.shard_of(nodes[i]), s);
+        EXPECT_EQ(map.local_of(nodes[i]), i);  // dense, ascending id order
+      }
+    }
+    EXPECT_EQ(total, 100u);
+  }
+}
+
+TEST(NodeShardMapTest, SingleShardIsIdentity) {
+  NodeShardMap map(50, 1);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(map.shard_of(v), 0u);
+    EXPECT_EQ(map.local_of(v), v);
+  }
+}
+
+TEST(NodeShardMapTest, PlacementIsStableAcrossInstances) {
+  // Placement is a pure function of (node id, shard count): two maps over
+  // the same universe must agree — the property checkpoints rely on.
+  NodeShardMap a(200, 8);
+  NodeShardMap b(200, 8);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_EQ(a.shard_of(v), b.shard_of(v));
+    EXPECT_EQ(a.local_of(v), b.local_of(v));
+  }
+}
+
+TEST(StoreOptionsTest, ResolveNumShardsPriorityAndClamp) {
+  unsetenv("SUPA_SHARDS");
+  EXPECT_EQ(ResolveNumShards(0), 1u);
+  EXPECT_EQ(ResolveNumShards(5), 5u);
+  EXPECT_EQ(ResolveNumShards(1000), kMaxShards);
+  setenv("SUPA_SHARDS", "7", 1);
+  EXPECT_EQ(ResolveNumShards(0), 7u);
+  EXPECT_EQ(ResolveNumShards(3), 3u);  // explicit request wins
+  setenv("SUPA_SHARDS", "not-a-number", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1u);
+  unsetenv("SUPA_SHARDS");
+}
+
+TEST(EmbeddingLayoutTest, OffsetsAreDisjointAndCoverTheBuffer) {
+  const size_t kNodes = 23;
+  const size_t kRelations = 3;
+  const int kDim = 4;
+  for (size_t shards : {1u, 3u, 8u}) {
+    auto map = std::make_shared<const NodeShardMap>(kNodes, shards);
+    EmbeddingLayout layout(map, kRelations, 2, kDim);
+    std::vector<size_t> starts;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      starts.push_back(layout.LongMemOffset(v));
+      starts.push_back(layout.ShortMemOffset(v));
+      for (EdgeTypeId r = 0; r < kRelations; ++r) {
+        starts.push_back(layout.ContextOffset(v, r));
+      }
+    }
+    std::sort(starts.begin(), starts.end());
+    for (size_t i = 0; i < starts.size(); ++i) {
+      // Rows are disjoint, d apart, and tile [0, alpha_begin).
+      EXPECT_EQ(starts[i], i * static_cast<size_t>(kDim));
+    }
+    EXPECT_EQ(layout.alpha_begin(), starts.size() * kDim);
+    EXPECT_EQ(layout.size(), layout.alpha_begin() + 2);  // + α per node type
+    // Per-shard regions tile the row area in order.
+    size_t begin = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(layout.shard_begin(s), begin);
+      begin = layout.shard_end(s);
+    }
+    EXPECT_EQ(begin, layout.alpha_begin());
+  }
+}
+
+TEST(EmbeddingBankTest, GatherScatterLogicalRoundTrip) {
+  auto map = std::make_shared<const NodeShardMap>(31, 5);
+  auto layout = std::make_shared<const EmbeddingLayout>(map, 2, 2, 4);
+  Rng rng(11);
+  EmbeddingBank bank(layout, 0.1, rng);
+
+  std::vector<float> logical(bank.size());
+  std::vector<float> back(bank.size());
+  bank.GatherLogical(bank.data(), logical.data());
+  bank.ScatterLogical(logical.data(), back.data());
+  EXPECT_EQ(std::vector<float>(bank.data(), bank.data() + bank.size()), back);
+}
+
+TEST(EmbeddingBankTest, InitAndGatherMatchTheMonolithLayout) {
+  // Same seed at S=1 and S=5: the physical S=1 buffer IS the logical
+  // layout, and the S=5 bank gathered to logical must equal it bit for
+  // bit — the invariant that makes checkpoints shard-count portable.
+  auto map1 = std::make_shared<const NodeShardMap>(31, 1);
+  auto map5 = std::make_shared<const NodeShardMap>(31, 5);
+  auto layout1 = std::make_shared<const EmbeddingLayout>(map1, 2, 2, 4);
+  auto layout5 = std::make_shared<const EmbeddingLayout>(map5, 2, 2, 4);
+  Rng rng1(7);
+  Rng rng5(7);
+  EmbeddingBank bank1(layout1, 0.1, rng1);
+  EmbeddingBank bank5(layout5, 0.1, rng5);
+  ASSERT_EQ(bank1.size(), bank5.size());
+
+  std::vector<float> logical1(bank1.size());
+  std::vector<float> logical5(bank5.size());
+  bank1.GatherLogical(bank1.data(), logical1.data());
+  bank5.GatherLogical(bank5.data(), logical5.data());
+  EXPECT_EQ(std::vector<float>(bank1.data(), bank1.data() + bank1.size()),
+            logical1);  // S=1 gather is the identity
+  EXPECT_EQ(logical1, logical5);
+}
+
+TEST(GraphStoreTest, CrossShardInsertDeleteRoundTrip) {
+  GraphStore store = MakeStore(64, 8);
+  NodeId u = 0;
+  NodeId v = 0;
+  ASSERT_TRUE(FindCrossShardPair(store.shard_map(), &u, &v));
+
+  ASSERT_TRUE(store.AddEdge(u, v, 0, 1.0).ok());
+  ASSERT_TRUE(store.AddEdge(u, v, 1, 2.0).ok());
+  EXPECT_EQ(store.num_edges(), 2u);
+  ASSERT_EQ(store.Degree(u), 2u);
+  ASSERT_EQ(store.Degree(v), 2u);
+  EXPECT_EQ(store.AllNeighbors(u)[0].node, v);
+  EXPECT_EQ(store.AllNeighbors(v)[0].node, u);
+  EXPECT_EQ(store.LastActive(u), 2.0);
+  EXPECT_EQ(store.LastActive(v), 2.0);
+
+  // Each edge holds one adjacency slot on each endpoint's shard.
+  size_t slots = 0;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    slots += store.ShardEdgeSlots(s);
+  }
+  EXPECT_EQ(slots, 4u);
+
+  ASSERT_TRUE(store.RemoveEdge(u, v, 1).ok());
+  EXPECT_EQ(store.num_edges(), 1u);
+  EXPECT_EQ(store.Degree(u), 1u);
+  EXPECT_EQ(store.Degree(v), 1u);
+  EXPECT_EQ(store.AllNeighbors(u)[0].edge_type, 0);
+  EXPECT_EQ(store.RemoveEdge(u, v, 1).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.RemoveEdge(u, v, 0).ok());
+  EXPECT_EQ(store.num_edges(), 0u);
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    EXPECT_EQ(store.ShardEdgeSlots(s), 0u);
+  }
+}
+
+TEST(GraphStoreTest, ValidatesEdgesBeforeLeasing) {
+  GraphStore store = MakeStore(8, 4);
+  EXPECT_EQ(store.AddEdge(0, 99, 0, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.AddEdge(3, 3, 0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.AddEdge(0, 1, 9, 1.0).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(store.AddEdge(0, 1, 0, 5.0).ok());
+  EXPECT_EQ(store.AddEdge(0, 2, 0, 4.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.RemoveEdge(0, 99, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphStoreTest, CloneIsADeepCopy) {
+  GraphStore store = MakeStore(16, 4);
+  Rng rng(3);
+  store.AttachEmbeddings(2, 1, 4, 0.1, rng);
+  ASSERT_TRUE(store.AddEdge(0, 1, 0, 1.0).ok());
+
+  std::unique_ptr<GraphStore> clone = store.Clone();
+  ASSERT_TRUE(clone->AddEdge(2, 3, 0, 2.0).ok());
+  clone->embeddings().LongMem(0)[0] = 99.0f;
+
+  EXPECT_EQ(store.num_edges(), 1u);
+  EXPECT_EQ(clone->num_edges(), 2u);
+  EXPECT_EQ(store.Degree(2), 0u);
+  EXPECT_NE(store.embeddings().LongMem(0)[0], 99.0f);
+}
+
+TEST(GraphStoreTest, SnapshotReusesCleanShardsAndEpochs) {
+  GraphStore store = MakeStore(64, 8);
+  NodeId u = 0;
+  NodeId v = 0;
+  ASSERT_TRUE(FindCrossShardPair(store.shard_map(), &u, &v));
+
+  auto snap1 = store.AcquireSnapshot();
+  const uint64_t epoch1 = snap1->epoch();
+  // Quiescent store: re-publishing returns the same epoch (same object).
+  auto snap2 = store.AcquireSnapshot();
+  EXPECT_EQ(snap2.get(), snap1.get());
+  EXPECT_EQ(store.epoch(), epoch1);
+
+  ASSERT_TRUE(store.AddEdge(u, v, 0, 1.0).ok());
+  auto snap3 = store.AcquireSnapshot();
+  EXPECT_GT(snap3->epoch(), epoch1);
+  EXPECT_EQ(snap3->num_edges(), 1u);
+  EXPECT_EQ(snap1->num_edges(), 0u);  // old epoch is frozen
+  EXPECT_TRUE(snap1->AllNeighbors(u).empty());
+  EXPECT_EQ(snap3->AllNeighbors(u)[0].node, v);
+
+  // Only the two endpoint shards were dirty; every other shard's frozen
+  // copy is shared (same object) between the epochs.
+  const uint32_t su = store.shard_map().shard_of(u);
+  const uint32_t sv = store.shard_map().shard_of(v);
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    if (s == su || s == sv) {
+      EXPECT_NE(&snap3->shard(s), &snap1->shard(s)) << "shard " << s;
+    } else {
+      EXPECT_EQ(&snap3->shard(s), &snap1->shard(s)) << "shard " << s;
+    }
+  }
+}
+
+TEST(GraphStoreTest, ShardBytesEstimateCountsAdjacencyAndEmbeddings) {
+  GraphStore store = MakeStore(32, 4);
+  std::vector<size_t> before(store.num_shards());
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    before[s] = store.ShardBytesEstimate(s);
+  }
+  Rng rng(5);
+  store.AttachEmbeddings(2, 1, 8, 0.1, rng);
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    const size_t row_floats = store.embeddings().layout().shard_end(s) -
+                              store.embeddings().layout().shard_begin(s);
+    EXPECT_EQ(store.ShardBytesEstimate(s),
+              before[s] + row_floats * sizeof(float));
+  }
+  ASSERT_TRUE(store.AddEdge(0, 1, 0, 1.0).ok());
+  const uint32_t s0 = store.shard_map().shard_of(0);
+  EXPECT_GT(store.ShardBytesEstimate(s0),
+            before[s0] + (store.embeddings().layout().shard_end(s0) -
+                          store.embeddings().layout().shard_begin(s0)) *
+                             sizeof(float));
+}
+
+TEST(GraphStoreTest, SnapshotServesEmbeddingRows) {
+  GraphStore store = MakeStore(16, 4);
+  Rng rng(9);
+  store.AttachEmbeddings(2, 2, 4, 0.1, rng);
+  auto snap = store.AcquireSnapshot();
+  ASSERT_TRUE(snap->has_embeddings());
+  for (NodeId v = 0; v < 16; ++v) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(snap->LongMem(v)[k], store.embeddings().LongMem(v)[k]);
+      EXPECT_EQ(snap->ShortMem(v)[k], store.embeddings().ShortMem(v)[k]);
+      EXPECT_EQ(snap->Context(v, 1)[k], store.embeddings().Context(v, 1)[k]);
+    }
+  }
+  EXPECT_EQ(*snap->Alpha(0), *store.embeddings().Alpha(0));
+
+  // A leased write lands in the next epoch, not in the frozen one.
+  const float old_value = snap->LongMem(3)[0];
+  {
+    ShardWriteLease lease = store.LeaseAll();
+    store.embeddings().LongMem(3)[0] = old_value + 1.0f;
+  }
+  auto snap2 = store.AcquireSnapshot();
+  EXPECT_EQ(snap->LongMem(3)[0], old_value);
+  EXPECT_EQ(snap2->LongMem(3)[0], old_value + 1.0f);
+}
+
+}  // namespace
+}  // namespace supa::store

@@ -83,6 +83,9 @@ SupaConfig ModelConfig(const Args& args) {
   SupaConfig c;
   c.dim = static_cast<int>(args.GetUint("dim", 64));
   c.seed = args.GetUint("model-seed", 42);
+  // 0 defers to SUPA_SHARDS, then 1. Placement only — results are
+  // bit-identical at every shard count.
+  c.shards = static_cast<size_t>(args.GetUint("shards", 0));
   return c;
 }
 
@@ -159,18 +162,20 @@ int CmdEval(const Args& args) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  // Wrap for the protocol.
+  // Wrap for the protocol. Scoring goes through an epoch snapshot so the
+  // protocol's worker threads never touch the live store.
   class Wrapper : public Recommender {
    public:
-    explicit Wrapper(SupaModel* m) : m_(m) {}
+    explicit Wrapper(SupaModel* m) : m_(m), snap_(m->AcquireSnapshot()) {}
     std::string name() const override { return "SUPA"; }
     Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
     double Score(NodeId u, NodeId v, EdgeTypeId r) const override {
-      return m_->Score(u, v, r);
+      return m_->ScoreOn(*snap_, u, v, r);
     }
 
    private:
     SupaModel* m_;
+    std::shared_ptr<const store::StoreSnapshot> snap_;
   } wrapper(model.value().get());
 
   EvalConfig eval;
@@ -208,15 +213,16 @@ int CmdRecommend(const Args& args) {
 
   class Wrapper : public Recommender {
    public:
-    explicit Wrapper(SupaModel* m) : m_(m) {}
+    explicit Wrapper(SupaModel* m) : m_(m), snap_(m->AcquireSnapshot()) {}
     std::string name() const override { return "SUPA"; }
     Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
     double Score(NodeId u, NodeId v, EdgeTypeId r) const override {
-      return m_->Score(u, v, r);
+      return m_->ScoreOn(*snap_, u, v, r);
     }
 
    private:
     SupaModel* m_;
+    std::shared_ptr<const store::StoreSnapshot> snap_;
   } wrapper(model.value().get());
 
   TopKOptions options;
@@ -249,22 +255,24 @@ int CmdExport(const Args& args) {
   }
   class Wrapper : public Recommender {
    public:
-    explicit Wrapper(SupaModel* m, int dim) : m_(m), dim_(dim) {}
+    explicit Wrapper(SupaModel* m, int dim)
+        : m_(m), dim_(dim), snap_(m->AcquireSnapshot()) {}
     std::string name() const override { return "SUPA"; }
     Status Fit(const Dataset&, EdgeRange) override { return Status::OK(); }
     double Score(NodeId u, NodeId v, EdgeTypeId r) const override {
-      return m_->Score(u, v, r);
+      return m_->ScoreOn(*snap_, u, v, r);
     }
     Result<std::vector<float>> Embedding(NodeId v,
                                          EdgeTypeId r) const override {
       std::vector<float> out(static_cast<size_t>(dim_));
-      m_->FinalEmbedding(v, r, out.data());
+      m_->FinalEmbeddingOn(*snap_, v, r, out.data());
       return out;
     }
 
    private:
     SupaModel* m_;
     int dim_;
+    std::shared_ptr<const store::StoreSnapshot> snap_;
   } wrapper(model.value().get(),
             static_cast<int>(args.GetUint("dim", 64)));
 
@@ -313,6 +321,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: supa_cli <generate|train|eval|recommend|mine|export> "
                "[--flag value]...\n"
+               "storage (train/eval/recommend/export):\n"
+               "  --shards <n>          shard the storage engine across n "
+               "banks (0 = SUPA_SHARDS env, then 1; results and checkpoint "
+               "bytes are bit-identical at every value)\n"
                "observability (any command):\n"
                "  --metrics-out <path>  write a metrics-registry JSON "
                "snapshot on exit (and print the table)\n"
