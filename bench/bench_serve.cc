@@ -1,0 +1,201 @@
+// Train-while-serve benchmark: tail latency of the serving engine while
+// InsLearn training mutates the store underneath it.
+//
+// Each repeat trains one model from scratch while closed-loop client
+// threads drive ServeEngine::Recommend for the whole training window.
+// Reported per repeat: p50/p95/p99/max service latency, sustained QPS,
+// the worst snapshot-staleness a client observed, and the training wall
+// time under load. Repeat 0 additionally re-runs the identical training
+// with no serving load and asserts the final parameters are bit-identical
+// — the non-perturbation contract, checked in the same process that
+// measured the load.
+//
+// Output: aligned table (stdout), optional --out TSV / --json-out
+// BENCH_serve_inproc.json whose "samples" arrays (p50_us/p95_us/p99_us/
+// qps, lower/higher-is-better by suffix) feed tools/bench_compare.
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/inslearn.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "serve/engine.h"
+#include "serve/latency_recorder.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace supa::bench {
+namespace {
+
+struct LoadedRun {
+  serve::RepeatSummary summary;
+  uint64_t max_staleness = 0;
+  double train_wall_s = 0.0;
+  SupaModel::Snapshot params;
+};
+
+/// Trains one fresh model while `clients` closed-loop threads drive the
+/// serve engine; with clients == 0 this is the unloaded reference run.
+LoadedRun RunOnce(const Dataset& data, const EdgeRange& train_range,
+                  size_t repeat, size_t clients, size_t threads) {
+  SupaConfig config;
+  config.seed = 42;
+  SupaModel model(data, config);
+
+  serve::ServeOptions serve_options;
+  serve_options.workers = 2;
+  serve::ServeEngine engine(&model, &data, serve_options);
+
+  std::vector<serve::LatencyRecorder> latencies(clients);
+  std::vector<uint64_t> errors(clients, 0);
+  std::atomic<uint64_t> max_staleness{0};
+  std::atomic<bool> training_done{false};
+  std::vector<std::thread> client_threads;
+
+  // Function scope: the client threads reference this past the spawn block.
+  std::vector<NodeId> users;
+  for (NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.node_types[v] == data.query_type) users.push_back(v);
+  }
+
+  const auto serve_start = std::chrono::steady_clock::now();
+  if (clients > 0) {
+    engine.Start();
+    for (size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        Rng rng(SplitMix64At(1, repeat * 1000003 + c));
+        const FastZipf zipf(users.size(), 0.99);
+        serve::RecommendRequest req;
+        req.relation = data.target_relations[0];
+        req.k = 10;
+        serve::RecommendResponse resp;
+        while (!training_done.load(std::memory_order_acquire)) {
+          req.user = users[zipf.Sample(rng)];
+          if (engine.Recommend(req, &resp).ok()) {
+            latencies[c].Record(resp.latency_us);
+            uint64_t seen = max_staleness.load(std::memory_order_relaxed);
+            while (resp.staleness_edges > seen &&
+                   !max_staleness.compare_exchange_weak(
+                       seen, resp.staleness_edges,
+                       std::memory_order_relaxed)) {
+            }
+          } else {
+            ++errors[c];
+          }
+        }
+      });
+    }
+  }
+
+  InsLearnConfig tc;
+  tc.max_iters = static_cast<int>(8 * EnvDouble("SUPA_BENCH_EFFORT", 1.0));
+  tc.valid_interval = 4;
+  tc.threads = threads;
+  InsLearnTrainer trainer(tc);
+  const auto train_start = std::chrono::steady_clock::now();
+  auto report = trainer.Train(model, data, train_range);
+  const double train_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    train_start)
+          .count();
+  if (!report.ok()) {
+    std::fprintf(stderr, "train failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  training_done.store(true, std::memory_order_release);
+  for (std::thread& t : client_threads) t.join();
+  const double serve_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
+  engine.Stop();
+
+  LoadedRun out;
+  serve::LatencyRecorder merged;
+  uint64_t total_errors = 0;
+  for (size_t c = 0; c < clients; ++c) {
+    merged.Merge(std::move(latencies[c]));
+    total_errors += errors[c];
+  }
+  out.summary = serve::SummarizeRepeat(&merged, serve_wall_s, total_errors);
+  out.max_staleness = max_staleness.load(std::memory_order_relaxed);
+  out.train_wall_s = train_wall_s;
+  out.params = model.TakeSnapshot();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchEnv env;
+  auto data = MakePaperDataset("taobao", 0.3 * env.scale, 7).value();
+  const auto split = SplitTemporal(data).value();
+  const size_t clients = 4;
+
+  Report table("Serving under training load (closed loop, 4 clients)");
+  table.SetHeader({"repeat", "requests", "errors", "qps", "p50_us", "p95_us",
+                   "p99_us", "max_us", "max_stale", "train_s"});
+
+  serve::ServeReport json_report("serve_train_while_serve", "closed");
+  json_report.AddConfig("dataset", data.name);
+  json_report.AddConfig("transport", "inproc");
+  json_report.AddConfig("concurrency", static_cast<double>(clients));
+  json_report.AddConfig("theta", 0.99);
+  json_report.AddConfig("k", 10.0);
+
+  for (size_t r = 0; r < env.repeats; ++r) {
+    LoadedRun loaded =
+        RunOnce(data, split.train, r, clients, env.threads);
+    json_report.AddRepeat(loaded.summary);
+    table.AddRow({std::to_string(r), std::to_string(loaded.summary.requests),
+                  std::to_string(loaded.summary.errors),
+                  Fmt(loaded.summary.qps, 1), Fmt(loaded.summary.p50_us, 1),
+                  Fmt(loaded.summary.p95_us, 1),
+                  Fmt(loaded.summary.p99_us, 1),
+                  Fmt(loaded.summary.max_us, 1),
+                  std::to_string(loaded.max_staleness),
+                  Fmt(loaded.train_wall_s, 2)});
+
+    if (r == 0) {
+      // Non-perturbation check: the identical training with zero serving
+      // load must land on bit-identical parameters.
+      LoadedRun unloaded =
+          RunOnce(data, split.train, r, /*clients=*/0, env.threads);
+      const bool identical =
+          loaded.params.params.size() == unloaded.params.params.size() &&
+          std::memcmp(loaded.params.params.data(),
+                      unloaded.params.params.data(),
+                      loaded.params.params.size() * sizeof(float)) == 0;
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FAILED: serving load perturbed training parameters\n");
+        return 1;
+      }
+      std::printf("bit-identity: loaded vs unloaded params identical "
+                  "(%zu floats)\n",
+                  loaded.params.params.size());
+    }
+  }
+
+  table.Print();
+  table.MaybeWriteTsv(OutPath(argc, argv));
+  const std::string json_out = JsonOutPath(argc, argv);
+  if (!json_out.empty()) {
+    if (Status st = json_report.WriteFile(json_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("(wrote %s)\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace supa::bench
+
+int main(int argc, char** argv) { return supa::bench::Main(argc, argv); }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Wait for a server that prints "... http://127.0.0.1:PORT" to its logfile
+# (the admin server's startup line) and echo the port to stdout.
+#
+#   usage: ci/wait_for_port.sh LOGFILE [PID] [TIMEOUT_S]
+#
+# When PID is given, a server that dies before publishing a port fails
+# fast (with its log tail on stderr) instead of burning the whole timeout.
+# Exit codes: 0 = port printed, 1 = process died or timed out, 2 = usage.
+set -u
+
+log="${1:-}"
+pid="${2:-}"
+timeout_s="${3:-20}"
+if [ -z "$log" ]; then
+  echo "usage: wait_for_port.sh LOGFILE [PID] [TIMEOUT_S]" >&2
+  exit 2
+fi
+
+tries=$((timeout_s * 5))
+for _ in $(seq 1 "$tries"); do
+  port=$(grep -o 'http://127\.0\.0\.1:[0-9]*' "$log" 2>/dev/null |
+    head -n 1 | grep -o '[0-9]*$' || true)
+  if [ -n "$port" ]; then
+    echo "$port"
+    exit 0
+  fi
+  if [ -n "$pid" ] && ! kill -0 "$pid" 2>/dev/null; then
+    echo "wait_for_port: pid $pid exited before publishing a port" >&2
+    [ -f "$log" ] && tail -n 20 "$log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+echo "wait_for_port: no port found in $log after ${timeout_s}s" >&2
+[ -f "$log" ] && tail -n 20 "$log" >&2
+exit 1

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__linux__)
@@ -37,6 +38,8 @@ const char* ReasonPhrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
     case 431:
       return "Request Header Fields Too Large";
     case 503:
@@ -94,6 +97,25 @@ std::string FormatDouble(double v, int digits = 3) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
+}
+
+/// Case-insensitive Content-Length lookup in a raw request head. Returns
+/// -1 when absent or malformed.
+long ContentLengthOf(const std::string& head) {
+  std::string lower;
+  lower.reserve(head.size());
+  for (char c : head) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  const size_t pos = lower.find("\r\ncontent-length:");
+  if (pos == std::string::npos) return -1;
+  const char* p = head.c_str() + pos + sizeof("\r\ncontent-length:") - 1;
+  while (*p == ' ' || *p == '\t') ++p;
+  char* end = nullptr;
+  const long n = std::strtol(p, &end, 10);
+  if (end == p || n < 0) return -1;
+  return n;
 }
 
 }  // namespace
@@ -186,6 +208,13 @@ void AdminServer::AddReadinessProbe(std::string name,
   probes_.push_back(Probe{std::move(name), std::move(probe)});
 }
 
+void AdminServer::AddRoute(std::string method, std::string path,
+                           RouteHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_.push_back(RouteEntry{std::move(method), std::move(path),
+                               std::move(handler)});
+}
+
 double AdminServer::UptimeSeconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_time_)
@@ -216,10 +245,12 @@ void AdminServer::Serve() {
 
 bool AdminServer::HandleConnection(int fd) {
   // Read until the end of the request head, the byte cap, the deadline,
-  // or shutdown — whichever comes first.
-  std::string head;
-  bool have_head = false;
-  while (!have_head && head.size() < options_.max_request_bytes) {
+  // or shutdown — whichever comes first. Bytes past the head terminator
+  // (the start of a request body) stay in `raw`.
+  std::string raw;
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos &&
+         raw.size() < options_.max_request_bytes) {
     pollfd fds[2];
     fds[0] = {fd, POLLIN, 0};
     fds[1] = {wake_pipe_[0], POLLIN, 0};
@@ -230,15 +261,17 @@ bool AdminServer::HandleConnection(int fd) {
     char buf[2048];
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) return true;  // peer closed or reset
-    head.append(buf, static_cast<size_t>(n));
-    have_head = head.find("\r\n\r\n") != std::string::npos;
+    raw.append(buf, static_cast<size_t>(n));
+    head_end = raw.find("\r\n\r\n");
   }
 
   HttpResponse response;
-  if (!have_head) {
+  bool body_too_large = false;
+  if (head_end == std::string::npos) {
     response = HttpResponse{431, "text/plain; charset=utf-8",
                             "request head too large\n"};
   } else {
+    const std::string head = raw.substr(0, head_end + 4);
     // Request line: METHOD SP request-target SP HTTP-version CRLF.
     const size_t line_end = head.find("\r\n");
     const std::string line = head.substr(0, line_end);
@@ -255,7 +288,35 @@ bool AdminServer::HandleConnection(int fd) {
       const size_t qmark = target.find('?');
       request.path = target.substr(0, qmark);
       if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
-      response = Route(request);
+
+      // Read the declared body (what wasn't already buffered past the
+      // head), bounded by max_body_bytes.
+      const long declared = ContentLengthOf(head);
+      if (declared > 0) {
+        if (static_cast<size_t>(declared) > options_.max_body_bytes) {
+          body_too_large = true;
+        } else {
+          request.body = raw.substr(head_end + 4);
+          while (request.body.size() < static_cast<size_t>(declared)) {
+            pollfd fds[2];
+            fds[0] = {fd, POLLIN, 0};
+            fds[1] = {wake_pipe_[0], POLLIN, 0};
+            const int rc = ::poll(fds, 2, options_.io_timeout_ms);
+            if (rc < 0 && errno == EINTR) continue;
+            if (rc <= 0) return true;
+            if ((fds[1].revents & POLLIN) != 0) return false;
+            char buf[2048];
+            const ssize_t n = ::read(fd, buf, sizeof(buf));
+            if (n <= 0) return true;
+            request.body.append(buf, static_cast<size_t>(n));
+          }
+          request.body.resize(static_cast<size_t>(declared));
+        }
+      }
+      response = body_too_large
+                     ? HttpResponse{413, "text/plain; charset=utf-8",
+                                    "request body too large\n"}
+                     : Route(request);
     }
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
@@ -285,7 +346,32 @@ bool AdminServer::HandleConnection(int fd) {
   return true;
 }
 
-AdminServer::HttpResponse AdminServer::Route(const HttpRequest& request) {
+HttpResponse AdminServer::Route(const HttpRequest& request) {
+  // Registered application routes first (last matching registration
+  // wins); any method is allowed here.
+  {
+    RouteHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+        if (it->method == request.method && it->path == request.path) {
+          handler = it->handler;
+          break;
+        }
+      }
+    }
+    // Invoked outside routes_mu_ so a slow handler never blocks
+    // AddRoute; a handler that throws maps to 500 (status pages and
+    // serving must not take the process down).
+    if (handler) {
+      try {
+        return handler(request);
+      } catch (...) {
+        return HttpResponse{500, "text/plain; charset=utf-8",
+                            "handler error\n"};
+      }
+    }
+  }
   if (request.method != "GET" && request.method != "HEAD") {
     return HttpResponse{405, "text/plain; charset=utf-8",
                         "only GET is supported\n"};
@@ -302,7 +388,7 @@ AdminServer::HttpResponse AdminServer::Route(const HttpRequest& request) {
                       "not found; try /metrics /healthz /statusz /tracez\n"};
 }
 
-AdminServer::HttpResponse AdminServer::HandleIndex() const {
+HttpResponse AdminServer::HandleIndex() const {
   HttpResponse r;
   r.content_type = "text/html; charset=utf-8";
   r.body =
@@ -316,7 +402,7 @@ AdminServer::HttpResponse AdminServer::HandleIndex() const {
   return r;
 }
 
-AdminServer::HttpResponse AdminServer::HandleMetrics() const {
+HttpResponse AdminServer::HandleMetrics() const {
   const BuildInfo build;
   HttpResponse r;
   r.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -334,7 +420,7 @@ AdminServer::HttpResponse AdminServer::HandleMetrics() const {
   return r;
 }
 
-AdminServer::HttpResponse AdminServer::HandleHealthz() const {
+HttpResponse AdminServer::HandleHealthz() const {
   std::vector<std::string> failing;
   {
     std::lock_guard<std::mutex> lock(probes_mu_);
@@ -357,7 +443,7 @@ AdminServer::HttpResponse AdminServer::HandleHealthz() const {
   return HttpResponse{503, "text/plain; charset=utf-8", std::move(body)};
 }
 
-AdminServer::HttpResponse AdminServer::HandleStatusz(bool as_json) const {
+HttpResponse AdminServer::HandleStatusz(bool as_json) const {
   const BuildInfo build;
   const double uptime = UptimeSeconds();
   const std::vector<StatusSection> sections =
@@ -440,7 +526,7 @@ AdminServer::HttpResponse AdminServer::HandleStatusz(bool as_json) const {
   return r;
 }
 
-AdminServer::HttpResponse AdminServer::HandleTracez() const {
+HttpResponse AdminServer::HandleTracez() const {
   // ToJson snapshots the rings under the recorder mutex — the run keeps
   // going; at worst a concurrent writer overwrites the oldest events of
   // its own ring while we copy.

@@ -13,6 +13,14 @@
 //   GET /tracez     on-demand flight-recorder dump of the trace rings as
 //                   Chrome trace JSON, without stopping the run
 //
+// Beyond the built-ins, AddRoute registers application handlers for an
+// exact (method, path) pair — this is how the serving layer exposes
+// POST /recommend without obs/ depending on it. Registered routes may use
+// any method (the serve loop reads a Content-Length body for them);
+// built-ins stay GET/HEAD-only. Handlers run on the admin thread,
+// sequentially per connection, and must honor the same non-perturbation
+// contract as the built-ins: snapshot reads only, no application locks.
+//
 // Shutdown uses the self-pipe trick: Stop() writes one byte to a pipe the
 // serve loop polls alongside its sockets, so both an idle accept and an
 // in-flight request wake immediately and Stop() joins cleanly.
@@ -53,8 +61,24 @@ struct AdminServerOptions {
   int backlog = 16;
   /// Largest accepted request head; longer requests get 431.
   size_t max_request_bytes = 8192;
+  /// Largest accepted request body (Content-Length above this gets 413).
+  size_t max_body_bytes = 65536;
   /// Per-connection read/write deadline.
   int io_timeout_ms = 5000;
+};
+
+/// One parsed request as seen by AddRoute handlers.
+struct HttpRequest {
+  std::string method;
+  std::string path;   // without query string
+  std::string query;  // after '?', possibly empty
+  std::string body;   // Content-Length bytes (registered routes only)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
 };
 
 class AdminServer {
@@ -86,23 +110,20 @@ class AdminServer {
   /// load). May be called before or after Start().
   void AddReadinessProbe(std::string name, std::function<bool()> probe);
 
+  /// Registers `handler` for requests matching (method, path) exactly.
+  /// Routes take precedence over the built-in endpoints; later
+  /// registrations of the same pair win. The handler runs on the admin
+  /// thread and must stay valid until Stop() has returned (or the server
+  /// is destroyed). May be called before or after Start().
+  using RouteHandler = std::function<HttpResponse(const HttpRequest&)>;
+  void AddRoute(std::string method, std::string path, RouteHandler handler);
+
   /// Requests served since construction (any status code).
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct HttpRequest {
-    std::string method;
-    std::string path;   // without query string
-    std::string query;  // after '?', possibly empty
-  };
-  struct HttpResponse {
-    int status = 200;
-    std::string content_type = "text/plain; charset=utf-8";
-    std::string body;
-  };
-
   void Serve();
   /// Returns false when the self-pipe fired (shutdown) mid-connection.
   bool HandleConnection(int fd);
@@ -131,6 +152,14 @@ class AdminServer {
     std::function<bool()> fn;
   };
   std::vector<Probe> probes_;
+
+  mutable std::mutex routes_mu_;
+  struct RouteEntry {
+    std::string method;
+    std::string path;
+    RouteHandler handler;
+  };
+  std::vector<RouteEntry> routes_;
 };
 
 }  // namespace supa::obs

@@ -1,0 +1,198 @@
+// Online top-K recommendation serving over epoch snapshots.
+//
+// The engine is the request path promised by the storage engine's
+// epoch-snapshot design (DESIGN.md §11/§12): worker threads score
+// RecommendRequests against an immutable StoreSnapshot while the trainer
+// keeps ingesting edges on its own thread — serving never takes a write
+// lease, never touches the model's RNG streams, and therefore never
+// perturbs training (checkpoint bytes are bit-identical with serving load
+// on or off; pinned by serve_concurrent_test and the CI serving-smoke
+// job).
+//
+// Request flow:
+//
+//   client -> Recommend() ---.                 .--> worker 0 (arena) --.
+//   client -> Recommend() ----+-> bounded FIFO +--> worker 1 (arena) --+-> resp
+//   client -> Recommend() ---'                 '--> worker W (arena) --'
+//
+//   * Admission is bounded (`max_queue`); an overloaded engine rejects
+//     with ResourceExhausted instead of buffering unboundedly, so closed-
+//     loop latency measurements stay meaningful.
+//   * Each worker drains up to `max_batch` requests per wakeup and scores
+//     the whole batch on one snapshot acquisition — request batching
+//     amortizes both the queue mutex and the snapshot shared_ptr hop.
+//   * Scoring is the fused SIMD kernel (util/simd.h ScoreDot) per
+//     candidate: bit-identical to SupaModel::ScoreOn on the same
+//     snapshot, which is what lets serve_topk_test demand *exact* rank
+//     agreement with a brute-force reference.
+//   * Each worker owns a ScoringArena (candidate buffers, seen-set, top-K
+//     heap) that is allocated once and reused forever — the WalkBuffer
+//     idiom; steady-state serving does not allocate on the scoring path.
+//
+// Snapshot freshness: workers re-acquire the store epoch at most every
+// `snapshot_refresh_batches` batches (default 1: every batch serves the
+// newest published epoch; AcquireSnapshot of a clean store is a shared_ptr
+// copy, so "fresh" is cheap). Staleness is exported as the edge-count gap
+// between the live store and the snapshot being served.
+
+#ifndef SUPA_SERVE_ENGINE_H_
+#define SUPA_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "eval/predictor.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "util/status.h"
+
+namespace supa::serve {
+
+struct ServeOptions {
+  /// Scoring worker threads.
+  size_t workers = 2;
+  /// Max requests drained per worker wakeup (batch upper bound).
+  size_t max_batch = 8;
+  /// Admission bound; a full queue rejects with ResourceExhausted.
+  size_t max_queue = 1024;
+  /// K when a request leaves `k` as 0.
+  size_t default_k = 10;
+  /// Re-acquire the store epoch every N batches (1 = every batch).
+  size_t snapshot_refresh_batches = 1;
+  /// Remove items the user already interacted with under the query
+  /// relation (read from the snapshot's adjacency).
+  bool exclude_seen = true;
+};
+
+struct RecommendRequest {
+  NodeId user = kInvalidNode;
+  EdgeTypeId relation = 0;
+  /// 0 = ServeOptions::default_k. Clipped to the candidate count.
+  size_t k = 0;
+};
+
+struct RecommendResponse {
+  /// Descending by score, ties broken by smaller node id (same pinned
+  /// order as eval/predictor RecommendTopK).
+  std::vector<ScoredItem> items;
+  /// Store epoch of the snapshot that served this request.
+  uint64_t snapshot_epoch = 0;
+  /// Edges the live store had ingested beyond the serving snapshot at
+  /// scoring time (freshness gap).
+  uint64_t staleness_edges = 0;
+  /// Wall time from admission to completion, microseconds.
+  double latency_us = 0.0;
+};
+
+/// Per-worker reusable scoring scratch. Buffers grow to their high-water
+/// mark on first use and are never shrunk — steady-state scoring performs
+/// no allocation (mirrors core/sampler.h's WalkBuffer).
+struct ScoringArena {
+  /// Batch drained from the queue (slot pointers, see engine internals).
+  std::vector<void*> batch;
+  /// Item ids the user already interacted with (sorted for binary search).
+  std::vector<NodeId> seen;
+  /// Fixed-capacity top-K min-heap.
+  std::vector<ScoredItem> heap;
+  /// Draining-order scratch for emitting the heap in rank order.
+  std::vector<ScoredItem> ranked;
+};
+
+/// Concurrent top-K engine over one model's snapshots. The model and
+/// dataset must outlive the engine; the model may be trained concurrently
+/// (snapshot reads only — the engine never blocks or perturbs ingest).
+class ServeEngine {
+ public:
+  ServeEngine(const SupaModel* model, const Dataset* data,
+              ServeOptions options = ServeOptions{});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Spawns the worker pool. Must be called before Recommend.
+  void Start();
+
+  /// Drains the queue (in-flight requests complete; queued requests are
+  /// rejected with Unavailable) and joins the workers. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Scores one request, blocking until a worker completes it. Thread-safe
+  /// from any number of client threads. `resp->items` is reused across
+  /// calls by clients that keep their response object alive.
+  Status Recommend(const RecommendRequest& request, RecommendResponse* resp);
+
+  /// Requests completed successfully since construction.
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// Requests rejected at admission (queue full / not running).
+  uint64_t requests_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Store epoch currently being served (0 before the first batch).
+  uint64_t serving_epoch() const {
+    return serving_epoch_.load(std::memory_order_relaxed);
+  }
+
+  const ServeOptions& options() const { return options_; }
+  /// The fixed candidate set (target-type nodes of the dataset).
+  const std::vector<NodeId>& candidates() const { return candidates_; }
+
+ private:
+  struct Slot;
+
+  void WorkerLoop(size_t worker_index);
+  /// Scores one admitted request on `snapshot` into its slot. Allocation-
+  /// free after arena warmup.
+  void ScoreRequest(const store::StoreSnapshot& snapshot, Slot* slot,
+                    ScoringArena* arena);
+
+  const SupaModel* model_;
+  const Dataset* data_;
+  ServeOptions options_;
+  std::vector<NodeId> candidates_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> serving_epoch_{0};
+  std::atomic<uint64_t> staleness_edges_{0};
+
+  // FIFO of admitted-but-unscored slots, bounded by options_.max_queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;      // workers wait here
+  std::condition_variable done_cv_;       // clients wait here
+  std::vector<Slot*> queue_;              // ring buffer
+  size_t queue_head_ = 0;
+  size_t queue_size_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<ScoringArena>> arenas_;
+
+  // Metrics (registered once; hot path is lock-free increments).
+  obs::Counter requests_counter_;
+  obs::Counter rejected_counter_;
+  obs::Counter batches_counter_;
+  obs::Counter scored_candidates_counter_;
+  obs::Histogram latency_hist_;
+  obs::Histogram batch_size_hist_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge staleness_gauge_;
+  obs::Gauge epoch_gauge_;
+  std::optional<obs::StatusScope> status_scope_;
+};
+
+}  // namespace supa::serve
+
+#endif  // SUPA_SERVE_ENGINE_H_

@@ -1,0 +1,214 @@
+#include "serve/http.h"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "obs/json_writer.h"
+#include "util/json_parse.h"
+
+namespace supa::serve {
+namespace {
+
+/// Resolves a relation given either a numeric id or a schema edge-type
+/// name. Returns false (with *error set) when the value resolves to
+/// nothing.
+bool ResolveRelation(const Dataset& data, const std::string& text,
+                     EdgeTypeId* out, std::string* error) {
+  if (!text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos) {
+    const unsigned long id = std::strtoul(text.c_str(), nullptr, 10);
+    if (id >= data.schema.num_edge_types()) {
+      *error = "relation id out of range: " + text;
+      return false;
+    }
+    *out = static_cast<EdgeTypeId>(id);
+    return true;
+  }
+  for (EdgeTypeId r = 0; r < data.schema.num_edge_types(); ++r) {
+    if (data.schema.EdgeTypeName(r) == text) {
+      *out = r;
+      return true;
+    }
+  }
+  *error = "unknown relation: " + text;
+  return false;
+}
+
+/// %XX-decodes one query-string value (plus stays literal; /recommend
+/// parameters are numeric ids and schema names, which never contain '+').
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const char hex[3] = {in[i + 1], in[i + 2], '\0'};
+      char* end = nullptr;
+      const long v = std::strtol(hex, &end, 16);
+      if (end == hex + 2) {
+        out.push_back(static_cast<char>(v));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i]);
+  }
+  return out;
+}
+
+/// Pulls `key` out of an application/x-www-form-urlencoded query string.
+bool QueryParam(std::string_view query, std::string_view key,
+                std::string* out) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      *out = UrlDecode(eq == std::string_view::npos ? std::string_view{}
+                                                    : pair.substr(eq + 1));
+      return true;
+    }
+    pos = amp + 1;
+  }
+  return false;
+}
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::JsonWriter json;
+  json.BeginObject().Key("error").String(message).EndObject();
+  obs::HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = json.str();
+  return resp;
+}
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kFailedPrecondition:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+/// Runs one parsed request through the engine and renders the response.
+obs::HttpResponse Serve(ServeEngine* engine, const RecommendRequest& req) {
+  RecommendResponse result;
+  const Status status = engine->Recommend(req, &result);
+  if (!status.ok()) {
+    return JsonError(HttpStatusFor(status), status.message());
+  }
+  obs::JsonWriter json;
+  json.BeginObject()
+      .Key("user")
+      .Uint(req.user)
+      .Key("relation")
+      .Uint(req.relation)
+      .Key("k")
+      .Uint(result.items.size())
+      .Key("items")
+      .BeginArray();
+  for (const ScoredItem& item : result.items) {
+    json.BeginObject()
+        .Key("item")
+        .Uint(item.item)
+        .Key("score")
+        .Double(item.score)
+        .EndObject();
+  }
+  json.EndArray()
+      .Key("snapshot_epoch")
+      .Uint(result.snapshot_epoch)
+      .Key("staleness_edges")
+      .Uint(result.staleness_edges)
+      .Key("latency_us")
+      .Double(result.latency_us)
+      .EndObject();
+  obs::HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = json.str();
+  return resp;
+}
+
+obs::HttpResponse HandlePost(ServeEngine* engine, const Dataset* data,
+                             const obs::HttpRequest& http) {
+  Result<JsonValue> parsed = ParseJson(http.body);
+  if (!parsed.ok()) {
+    return JsonError(400, "bad request body: " + parsed.status().message());
+  }
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return JsonError(400, "request body must be a JSON object");
+  }
+  const JsonValue* user = doc.Find("user");
+  if (user == nullptr || !user->is_number()) {
+    return JsonError(400, "missing numeric field: user");
+  }
+  RecommendRequest req;
+  req.user = static_cast<NodeId>(user->number_value());
+  if (const JsonValue* relation = doc.Find("relation")) {
+    if (relation->is_number()) {
+      req.relation = static_cast<EdgeTypeId>(relation->number_value());
+    } else if (relation->is_string()) {
+      std::string error;
+      if (!ResolveRelation(*data, relation->string_value(), &req.relation,
+                           &error)) {
+        return JsonError(400, error);
+      }
+    } else {
+      return JsonError(400, "relation must be a number or a name");
+    }
+  }
+  if (const JsonValue* k = doc.Find("k")) {
+    if (!k->is_number() || k->number_value() < 0) {
+      return JsonError(400, "k must be a non-negative number");
+    }
+    req.k = static_cast<size_t>(k->number_value());
+  }
+  return Serve(engine, req);
+}
+
+obs::HttpResponse HandleGet(ServeEngine* engine, const Dataset* data,
+                            const obs::HttpRequest& http) {
+  std::string value;
+  if (!QueryParam(http.query, "user", &value) || value.empty()) {
+    return JsonError(400, "missing query parameter: user");
+  }
+  RecommendRequest req;
+  req.user = static_cast<NodeId>(std::strtoull(value.c_str(), nullptr, 10));
+  if (QueryParam(http.query, "relation", &value)) {
+    std::string error;
+    if (!ResolveRelation(*data, value, &req.relation, &error)) {
+      return JsonError(400, error);
+    }
+  }
+  if (QueryParam(http.query, "k", &value)) {
+    req.k = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  }
+  return Serve(engine, req);
+}
+
+}  // namespace
+
+void RegisterRecommendRoutes(obs::AdminServer* server, ServeEngine* engine,
+                             const Dataset* data) {
+  server->AddRoute("POST", "/recommend",
+                   [engine, data](const obs::HttpRequest& http) {
+                     return HandlePost(engine, data, http);
+                   });
+  server->AddRoute("GET", "/recommend",
+                   [engine, data](const obs::HttpRequest& http) {
+                     return HandleGet(engine, data, http);
+                   });
+}
+
+}  // namespace supa::serve

@@ -1,0 +1,151 @@
+#include "serve/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_writer.h"
+
+namespace supa::serve {
+
+void LatencyRecorder::Merge(LatencyRecorder&& other) {
+  if (samples_.empty()) {
+    samples_ = std::move(other.samples_);
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_ = false;
+  other.Clear();
+}
+
+double LatencyRecorder::Quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank: the smallest sample with at least a q fraction at or
+  // below it.
+  const double n = static_cast<double>(samples_.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Max() const {
+  double max = 0.0;
+  for (double s : samples_) max = std::max(max, s);
+  return max;
+}
+
+RepeatSummary SummarizeRepeat(LatencyRecorder* recorder, double duration_s,
+                              uint64_t errors) {
+  RepeatSummary out;
+  out.requests = recorder->count();
+  out.errors = errors;
+  out.duration_s = duration_s;
+  out.qps = duration_s > 0.0
+                ? static_cast<double>(recorder->count()) / duration_s
+                : 0.0;
+  out.p50_us = recorder->Quantile(0.50);
+  out.p95_us = recorder->Quantile(0.95);
+  out.p99_us = recorder->Quantile(0.99);
+  out.mean_us = recorder->Mean();
+  out.max_us = recorder->Max();
+  return out;
+}
+
+void ServeReport::AddConfig(std::string key, std::string value) {
+  ConfigField field;
+  field.key = std::move(key);
+  field.text = std::move(value);
+  config_.push_back(std::move(field));
+}
+
+void ServeReport::AddConfig(std::string key, double value) {
+  ConfigField field;
+  field.key = std::move(key);
+  field.number = value;
+  field.is_number = true;
+  config_.push_back(std::move(field));
+}
+
+std::string ServeReport::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("benchmark", std::string_view(benchmark_));
+  w.Field("mode", std::string_view(mode_));
+  w.Field("repeats", static_cast<uint64_t>(repeats_.size()));
+
+  w.Key("config").BeginObject();
+  for (const ConfigField& field : config_) {
+    if (field.is_number) {
+      w.Field(field.key, field.number);
+    } else {
+      w.Field(field.key, std::string_view(field.text));
+    }
+  }
+  w.EndObject();
+
+  uint64_t total_requests = 0;
+  uint64_t total_errors = 0;
+  for (const RepeatSummary& r : repeats_) {
+    total_requests += r.requests;
+    total_errors += r.errors;
+  }
+  w.Key("totals").BeginObject();
+  w.Field("requests", total_requests);
+  w.Field("errors", total_errors);
+  w.EndObject();
+
+  // Per-repeat sample arrays: the part tools/bench_compare consumes.
+  const auto sample_array = [&w, this](std::string_view name,
+                                       double RepeatSummary::*member) {
+    w.Key(name).BeginArray();
+    for (const RepeatSummary& r : repeats_) w.Double(r.*member);
+    w.EndArray();
+  };
+  w.Key("samples").BeginObject();
+  sample_array("p50_us", &RepeatSummary::p50_us);
+  sample_array("p95_us", &RepeatSummary::p95_us);
+  sample_array("p99_us", &RepeatSummary::p99_us);
+  sample_array("qps", &RepeatSummary::qps);
+  w.EndObject();
+
+  w.Key("repeats_detail").BeginArray();
+  for (const RepeatSummary& r : repeats_) {
+    w.BeginObject();
+    w.Field("requests", r.requests);
+    w.Field("errors", r.errors);
+    w.Field("duration_s", r.duration_s);
+    w.Field("qps", r.qps);
+    w.Field("p50_us", r.p50_us);
+    w.Field("p95_us", r.p95_us);
+    w.Field("p99_us", r.p99_us);
+    w.Field("mean_us", r.mean_us);
+    w.Field("max_us", r.max_us);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+Status ServeReport::WriteFile(const std::string& path) const {
+  std::string error;
+  if (!obs::WriteTextFile(path, ToJson(), &error)) {
+    return Status::IOError("writing " + path + ": " + error);
+  }
+  return Status::OK();
+}
+
+}  // namespace supa::serve

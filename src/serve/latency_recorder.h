@@ -1,0 +1,116 @@
+// Latency accounting shared by the load harness (tools/load_gen) and the
+// in-process serving benchmark (bench/bench_serve): per-repeat latency
+// collection, exact order-statistic quantiles, and the BENCH_serve.json
+// report whose "samples" object feeds tools/bench_compare.
+//
+// The report schema follows the BENCH_fig5.json convention — per-repeat
+// sample arrays under "samples" keyed by metric name — so the existing
+// Welch-gated sentinel consumes it unchanged. Metric names are chosen for
+// DirectionForMetric's suffix rules: p50_us/p95_us/p99_us gate
+// lower-is-better, qps gates higher-is-better.
+
+#ifndef SUPA_SERVE_LATENCY_RECORDER_H_
+#define SUPA_SERVE_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace supa::serve {
+
+/// Accumulates one worker's latency observations. Not thread-safe: give
+/// each load worker its own recorder and Merge() after the repeat — that
+/// keeps the record path to a push_back (amortized O(1), no locks in the
+/// measured region).
+class LatencyRecorder {
+ public:
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  void Record(double latency_us) {
+    samples_.push_back(latency_us);
+    sorted_ = false;
+  }
+
+  /// Steals `other`'s samples into this recorder.
+  void Merge(LatencyRecorder&& other);
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = true;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Exact nearest-rank quantile (q in (0, 1]); 0 when empty. Sorts the
+  /// samples on first use after recording.
+  double Quantile(double q);
+
+  double Mean() const;
+  double Max() const;
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// One load repeat, summarized.
+struct RepeatSummary {
+  uint64_t requests = 0;  ///< completed successfully
+  uint64_t errors = 0;    ///< rejected or failed
+  double duration_s = 0.0;
+  double qps = 0.0;  ///< requests / duration_s
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Computes the summary of one repeat from its merged recorder.
+RepeatSummary SummarizeRepeat(LatencyRecorder* recorder, double duration_s,
+                              uint64_t errors);
+
+/// Accumulates repeat summaries and renders the BENCH_serve.json document.
+class ServeReport {
+ public:
+  ServeReport(std::string benchmark, std::string mode)
+      : benchmark_(std::move(benchmark)), mode_(std::move(mode)) {}
+
+  void AddRepeat(const RepeatSummary& summary) {
+    repeats_.push_back(summary);
+  }
+
+  /// Free-form config fields echoed under "config" (emission order =
+  /// insertion order).
+  void AddConfig(std::string key, std::string value);
+  void AddConfig(std::string key, double value);
+
+  size_t num_repeats() const { return repeats_.size(); }
+  const std::vector<RepeatSummary>& repeats() const { return repeats_; }
+
+  /// The full report document.
+  std::string ToJson() const;
+
+  /// ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct ConfigField {
+    std::string key;
+    std::string text;  // empty when numeric
+    double number = 0.0;
+    bool is_number = false;
+  };
+
+  std::string benchmark_;
+  std::string mode_;
+  std::vector<ConfigField> config_;
+  std::vector<RepeatSummary> repeats_;
+};
+
+}  // namespace supa::serve
+
+#endif  // SUPA_SERVE_LATENCY_RECORDER_H_

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kIOError:
       return "IOError";
     case StatusCode::kInternal:

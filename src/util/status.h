@@ -21,6 +21,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
   kIOError,
   kInternal,
 };
@@ -56,6 +57,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));

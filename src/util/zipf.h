@@ -1,0 +1,86 @@
+// Constant-time Zipf(θ) sampling for skewed-popularity workloads.
+//
+// FastZipf is the Gray et al. ("Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD '94) rejection-free sampler: after an O(n)
+// construction that evaluates the generalized harmonic number ζ(n, θ),
+// every draw is O(1) — two comparisons and one pow — so a load generator
+// can sample hot keys at millions of draws per second without the O(log n)
+// CDF binary search of the table-based approach. Rank 0 is the hottest
+// key; P(rank = i) ∝ 1 / (i + 1)^θ.
+//
+// θ = 0 degenerates to uniform; θ → 1 concentrates traffic on the head
+// (θ must be < 1 for this sampler; the classic YCSB constant is 0.99 but
+// anything in [0, 1) works). Draws consume exactly one value from the
+// caller's Rng, so a load harness seeded per-worker with SplitMix64At is
+// reproducible bit-for-bit regardless of worker count.
+
+#ifndef SUPA_UTIL_ZIPF_H_
+#define SUPA_UTIL_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace supa {
+
+class FastZipf {
+ public:
+  /// Prepares a sampler over ranks [0, n). Requires n > 0 and
+  /// 0 <= theta < 1. O(n) construction (one ζ evaluation), O(1) draws.
+  FastZipf(size_t n, double theta)
+      : n_(n),
+        theta_(theta),
+        alpha_(1.0 / (1.0 - theta)),
+        zetan_(Zeta(n, theta)),
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - Zeta(2, theta) / zetan_)),
+        threshold_(1.0 + std::pow(0.5, theta)) {
+    assert(n > 0);
+    assert(theta >= 0.0);
+    assert(theta < 1.0);  // θ = 1 needs a different sampler.
+  }
+
+  /// One rank in [0, n), hottest first. Consumes exactly one Rng value.
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < threshold_) return 1;
+    const size_t rank = static_cast<size_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    // The continuous approximation can land exactly on n for u → 1.
+    return rank < n_ ? rank : n_ - 1;
+  }
+
+  /// Analytic probability of rank i under the exact (discrete) Zipf law
+  /// this sampler approximates: (i+1)^{-θ} / ζ(n, θ). Reference for tests.
+  double Pmf(size_t i) const {
+    return std::pow(1.0 / static_cast<double>(i + 1), theta_) / zetan_;
+  }
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Generalized harmonic number ζ(n, θ) = Σ_{i=1..n} i^{-θ}.
+  static double Zeta(size_t n, double theta) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += std::pow(1.0 / static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+ private:
+  size_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold_;
+};
+
+}  // namespace supa
+
+#endif  // SUPA_UTIL_ZIPF_H_

@@ -1,0 +1,217 @@
+// Concurrency contract of the serving engine: many client threads against
+// a model being trained at the same time, with no torn reads (every
+// response well-formed and internally consistent) and no perturbation of
+// training (final parameters bit-identical with serving load on or off).
+// This target runs under TSan in CI alongside store_concurrent_test.
+
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace supa::serve {
+namespace {
+
+std::vector<NodeId> QueryUsers(const Dataset& data) {
+  std::vector<NodeId> users;
+  for (NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.node_types[v] == data.query_type) users.push_back(v);
+  }
+  return users;
+}
+
+/// Trains one fresh model over `data`; when `clients` > 0, that many
+/// threads hammer the serve engine for the whole training window.
+/// Returns the final parameters and the number of successful requests.
+struct RunResult {
+  SupaModel::Snapshot params;
+  uint64_t served = 0;
+  uint64_t malformed = 0;
+};
+
+RunResult TrainUnderLoad(const Dataset& data, size_t clients) {
+  SupaConfig config;
+  config.seed = 42;
+  SupaModel model(data, config);
+  ServeOptions options;
+  options.workers = 2;
+  ServeEngine engine(&model, &data, options);
+
+  const std::vector<NodeId> users = QueryUsers(data);
+  const EdgeTypeId rel = data.target_relations[0];
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> malformed{0};
+  std::vector<std::thread> threads;
+
+  if (clients > 0) {
+    engine.Start();
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(SplitMix64At(9, c));
+        const FastZipf zipf(users.size(), 0.9);
+        RecommendRequest req;
+        req.relation = rel;
+        req.k = 5;
+        RecommendResponse resp;
+        uint64_t last_epoch = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          req.user = users[zipf.Sample(rng)];
+          if (!engine.Recommend(req, &resp).ok()) continue;
+          // Well-formed response: pinned order, finite scores, no user
+          // echo, epoch never goes backwards for this client (workers
+          // only ever swap in newer snapshots).
+          bool ok = resp.items.size() <= req.k;
+          for (size_t i = 0; i < resp.items.size(); ++i) {
+            ok = ok && std::isfinite(resp.items[i].score);
+            ok = ok && resp.items[i].item != req.user;
+            if (i > 0) {
+              const auto& a = resp.items[i - 1];
+              const auto& b = resp.items[i];
+              ok = ok && (a.score > b.score ||
+                          (a.score == b.score && a.item < b.item));
+            }
+          }
+          ok = ok && resp.snapshot_epoch + 1 >= last_epoch;
+          last_epoch = resp.snapshot_epoch;
+          if (!ok) malformed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  const auto split = SplitTemporal(data).value();
+  InsLearnConfig tc;
+  tc.max_iters = 4;
+  tc.valid_interval = 2;
+  tc.threads = 2;
+  InsLearnTrainer trainer(tc);
+  EXPECT_TRUE(trainer.Train(model, data, split.train).ok());
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  engine.Stop();
+
+  RunResult out;
+  out.params = model.TakeSnapshot();
+  out.served = engine.requests_served();
+  out.malformed = malformed.load();
+  return out;
+}
+
+TEST(ServeConcurrentTest, ConcurrentIngestAndServeNoTornReads) {
+  const auto data = MakePaperDataset("taobao", 0.1, 7).value();
+  RunResult r = TrainUnderLoad(data, /*clients=*/4);
+  EXPECT_GT(r.served, 0u) << "no requests completed during training";
+  EXPECT_EQ(r.malformed, 0u);
+}
+
+TEST(ServeConcurrentTest, ServingLoadDoesNotPerturbTraining) {
+  const auto data = MakePaperDataset("taobao", 0.1, 7).value();
+  RunResult loaded = TrainUnderLoad(data, /*clients=*/3);
+  RunResult unloaded = TrainUnderLoad(data, /*clients=*/0);
+  ASSERT_EQ(loaded.params.params.size(), unloaded.params.params.size());
+  EXPECT_EQ(std::memcmp(loaded.params.params.data(),
+                        unloaded.params.params.data(),
+                        loaded.params.params.size() * sizeof(float)),
+            0)
+      << "serving load changed training parameters";
+}
+
+TEST(ServeConcurrentTest, ManyClientsOneWorkerAllRequestsComplete) {
+  const auto data = MakePaperDataset("taobao", 0.05, 7).value();
+  SupaConfig config;
+  config.seed = 42;
+  SupaModel model(data, config);
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 4;
+  ServeEngine engine(&model, &data, options);
+  engine.Start();
+
+  const std::vector<NodeId> users = QueryUsers(data);
+  constexpr size_t kClients = 8;
+  constexpr int kPerClient = 50;
+  std::atomic<uint64_t> ok_count{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      RecommendRequest req;
+      req.relation = data.target_relations[0];
+      req.k = 3;
+      RecommendResponse resp;
+      for (int i = 0; i < kPerClient; ++i) {
+        req.user = users[(c * kPerClient + i) % users.size()];
+        if (engine.Recommend(req, &resp).ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  EXPECT_EQ(engine.requests_served(), kClients * kPerClient);
+  engine.Stop();
+}
+
+TEST(ServeConcurrentTest, StopDrainsAdmittedRequestsAndRejectsNew) {
+  const auto data = MakePaperDataset("taobao", 0.05, 7).value();
+  SupaConfig config;
+  config.seed = 42;
+  SupaModel model(data, config);
+  ServeEngine engine(&model, &data);
+  engine.Start();
+
+  // Clients race Stop(): every Recommend must return — either OK
+  // (admitted before the flip, drained by the workers) or
+  // FailedPrecondition (after). A hang here is the failure mode.
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> ok_count{0}, rejected{0}, other{0};
+  for (size_t c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      RecommendRequest req;
+      req.user = 0;
+      req.relation = data.target_relations[0];
+      RecommendResponse resp;
+      for (int i = 0; i < 200; ++i) {
+        const Status st = engine.Recommend(req, &resp);
+        if (st.ok()) {
+          ok_count.fetch_add(1);
+        } else if (st.code() == StatusCode::kFailedPrecondition) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.Stop();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(ok_count.load() + rejected.load(), 4u * 200u);
+
+  // Restartable after Stop.
+  engine.Start();
+  RecommendRequest req;
+  req.user = 0;
+  req.relation = data.target_relations[0];
+  RecommendResponse resp;
+  EXPECT_TRUE(engine.Recommend(req, &resp).ok());
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace supa::serve

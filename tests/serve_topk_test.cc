@@ -1,0 +1,264 @@
+// Exact rank agreement between the serving engine's batched/SIMD top-K
+// path and a brute-force reference built from SupaModel::ScoreOn — same
+// snapshot, same candidates, same pinned tie-break (higher score first,
+// then smaller node id). The engine hoists the user-side operands and
+// calls simd::ScoreDot directly, so the comparison is bitwise on both the
+// item ids and the double scores.
+
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/inslearn.h"
+#include "core/model.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace supa::serve {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  std::unique_ptr<SupaModel> model;
+
+  static Fixture TrainedSmall() {
+    Fixture f;
+    f.data = MakePaperDataset("taobao", 0.1, 7).value();
+    SupaConfig config;
+    config.seed = 42;
+    f.model = std::make_unique<SupaModel>(f.data, config);
+    const auto split = SplitTemporal(f.data).value();
+    InsLearnConfig tc;
+    tc.max_iters = 2;
+    tc.valid_interval = 2;
+    tc.threads = 1;
+    InsLearnTrainer trainer(tc);
+    EXPECT_TRUE(trainer.Train(*f.model, f.data, split.train).ok());
+    return f;
+  }
+};
+
+/// Reference: score every candidate with ScoreOn and sort with the pinned
+/// comparator. `exclude_seen` mirrors the engine's snapshot-adjacency rule.
+std::vector<ScoredItem> BruteForceTopK(const SupaModel& model,
+                                       const Dataset& data, NodeId user,
+                                       EdgeTypeId relation, size_t k,
+                                       bool exclude_seen) {
+  const auto snapshot = model.AcquireSnapshot();
+  std::vector<NodeId> seen;
+  if (exclude_seen) {
+    for (const Neighbor& n : snapshot->AllNeighbors(user)) {
+      if (n.edge_type == relation) seen.push_back(n.node);
+    }
+    std::sort(seen.begin(), seen.end());
+  }
+  std::vector<ScoredItem> all;
+  for (NodeId item : data.TargetNodes()) {
+    if (item == user) continue;
+    if (exclude_seen &&
+        std::binary_search(seen.begin(), seen.end(), item)) {
+      continue;
+    }
+    all.push_back({item, model.ScoreOn(*snapshot, user, item, relation)});
+  }
+  std::sort(all.begin(), all.end(), [](const ScoredItem& a,
+                                       const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<NodeId> QueryUsers(const Dataset& data, size_t max_users) {
+  std::vector<NodeId> users;
+  for (NodeId v = 0; v < data.num_nodes() && users.size() < max_users; ++v) {
+    if (data.node_types[v] == data.query_type) users.push_back(v);
+  }
+  return users;
+}
+
+TEST(ServeTopKTest, ExactAgreementWithBruteForce) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeEngine engine(f.model.get(), &f.data);
+  engine.Start();
+
+  const EdgeTypeId rel = f.data.target_relations[0];
+  for (NodeId user : QueryUsers(f.data, 12)) {
+    RecommendRequest req;
+    req.user = user;
+    req.relation = rel;
+    req.k = 7;
+    RecommendResponse resp;
+    ASSERT_TRUE(engine.Recommend(req, &resp).ok()) << "user " << user;
+
+    const auto expected =
+        BruteForceTopK(*f.model, f.data, user, rel, 7, /*exclude_seen=*/true);
+    ASSERT_EQ(resp.items.size(), expected.size()) << "user " << user;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(resp.items[i].item, expected[i].item)
+          << "user " << user << " rank " << i;
+      // Bitwise: the engine runs the same fused kernel as ScoreOn.
+      EXPECT_EQ(resp.items[i].score, expected[i].score)
+          << "user " << user << " rank " << i;
+    }
+  }
+  engine.Stop();
+}
+
+TEST(ServeTopKTest, AgreementAcrossRelationsAndKs) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeEngine engine(f.model.get(), &f.data);
+  engine.Start();
+
+  const auto users = QueryUsers(f.data, 3);
+  for (EdgeTypeId rel = 0; rel < f.data.schema.num_edge_types(); ++rel) {
+    for (size_t k : {size_t{1}, size_t{3}, size_t{20}}) {
+      for (NodeId user : users) {
+        RecommendRequest req;
+        req.user = user;
+        req.relation = rel;
+        req.k = k;
+        RecommendResponse resp;
+        ASSERT_TRUE(engine.Recommend(req, &resp).ok());
+        const auto expected = BruteForceTopK(*f.model, f.data, user, rel, k,
+                                             /*exclude_seen=*/true);
+        ASSERT_EQ(resp.items.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(resp.items[i].item, expected[i].item);
+          EXPECT_EQ(resp.items[i].score, expected[i].score);
+        }
+      }
+    }
+  }
+  engine.Stop();
+}
+
+TEST(ServeTopKTest, KLargerThanCandidatePoolReturnsEverything) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeEngine engine(f.model.get(), &f.data);
+  engine.Start();
+
+  const NodeId user = QueryUsers(f.data, 1).at(0);
+  RecommendRequest req;
+  req.user = user;
+  req.relation = f.data.target_relations[0];
+  req.k = f.data.num_nodes() * 2;
+  RecommendResponse resp;
+  ASSERT_TRUE(engine.Recommend(req, &resp).ok());
+  const auto expected =
+      BruteForceTopK(*f.model, f.data, user, req.relation, req.k,
+                     /*exclude_seen=*/true);
+  ASSERT_EQ(resp.items.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(resp.items[i].item, expected[i].item);
+    EXPECT_EQ(resp.items[i].score, expected[i].score);
+  }
+  engine.Stop();
+}
+
+TEST(ServeTopKTest, ZeroKUsesDefaultK) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeOptions options;
+  options.default_k = 4;
+  ServeEngine engine(f.model.get(), &f.data, options);
+  engine.Start();
+
+  RecommendRequest req;
+  req.user = QueryUsers(f.data, 1).at(0);
+  req.relation = f.data.target_relations[0];
+  req.k = 0;
+  RecommendResponse resp;
+  ASSERT_TRUE(engine.Recommend(req, &resp).ok());
+  EXPECT_EQ(resp.items.size(), 4u);
+  engine.Stop();
+}
+
+TEST(ServeTopKTest, SeenItemsExcludedAndIncludableViaOption) {
+  Fixture f = Fixture::TrainedSmall();
+  const NodeId user = QueryUsers(f.data, 1).at(0);
+  const EdgeTypeId rel = f.data.target_relations[0];
+
+  // Collect this user's seen items from a snapshot (what the engine
+  // excludes).
+  std::vector<NodeId> seen;
+  {
+    const auto snapshot = f.model->AcquireSnapshot();
+    for (const Neighbor& n : snapshot->AllNeighbors(user)) {
+      if (n.edge_type == rel) seen.push_back(n.node);
+    }
+    std::sort(seen.begin(), seen.end());
+  }
+  ASSERT_FALSE(seen.empty()) << "fixture user has no interactions";
+
+  {
+    ServeEngine engine(f.model.get(), &f.data);  // exclude_seen = true
+    engine.Start();
+    RecommendRequest req;
+    req.user = user;
+    req.relation = rel;
+    req.k = f.data.num_nodes();
+    RecommendResponse resp;
+    ASSERT_TRUE(engine.Recommend(req, &resp).ok());
+    for (const ScoredItem& item : resp.items) {
+      EXPECT_FALSE(std::binary_search(seen.begin(), seen.end(), item.item))
+          << "seen item " << item.item << " not excluded";
+    }
+    engine.Stop();
+  }
+  {
+    ServeOptions options;
+    options.exclude_seen = false;
+    ServeEngine engine(f.model.get(), &f.data, options);
+    engine.Start();
+    RecommendRequest req;
+    req.user = user;
+    req.relation = rel;
+    req.k = f.data.num_nodes();
+    RecommendResponse resp;
+    ASSERT_TRUE(engine.Recommend(req, &resp).ok());
+    const auto expected = BruteForceTopK(*f.model, f.data, user, rel, req.k,
+                                         /*exclude_seen=*/false);
+    ASSERT_EQ(resp.items.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(resp.items[i].item, expected[i].item);
+      EXPECT_EQ(resp.items[i].score, expected[i].score);
+    }
+    engine.Stop();
+  }
+}
+
+TEST(ServeTopKTest, InvalidRequestsRejectedWithOutOfRange) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeEngine engine(f.model.get(), &f.data);
+  engine.Start();
+
+  RecommendRequest req;
+  req.user = static_cast<NodeId>(f.data.num_nodes() + 100);
+  req.relation = f.data.target_relations[0];
+  RecommendResponse resp;
+  EXPECT_EQ(engine.Recommend(req, &resp).code(), StatusCode::kOutOfRange);
+
+  req.user = 0;
+  req.relation =
+      static_cast<EdgeTypeId>(f.data.schema.num_edge_types() + 3);
+  EXPECT_EQ(engine.Recommend(req, &resp).code(), StatusCode::kOutOfRange);
+  engine.Stop();
+}
+
+TEST(ServeTopKTest, RecommendBeforeStartFailsPrecondition) {
+  Fixture f = Fixture::TrainedSmall();
+  ServeEngine engine(f.model.get(), &f.data);
+  RecommendRequest req;
+  req.user = 0;
+  RecommendResponse resp;
+  EXPECT_EQ(engine.Recommend(req, &resp).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace supa::serve

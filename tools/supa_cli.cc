@@ -3,6 +3,8 @@
 //   supa_cli generate  --dataset taobao --scale 1 --seed 7 --out edges.tsv
 //   supa_cli train     --dataset taobao --checkpoint model.bin [--dim 64]
 //                      [--iters 16] [--scale 1] [--seed 7] [--threads N]
+//   supa_cli serve     --dataset taobao --checkpoint model.bin
+//                      --admin-port 0 [--duration-s 30] [--serve-workers 2]
 //   supa_cli eval      --dataset taobao --checkpoint model.bin [--threads N]
 //   supa_cli recommend --dataset taobao --checkpoint model.bin --user 3
 //                      --relation Buy [--k 10]
@@ -14,12 +16,14 @@
 // `--threads` sets the evaluation/validation worker count (0 = all cores,
 // the default); results are bit-identical at every setting.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "baselines/recommender.h"
 #include "core/checkpoint.h"
@@ -32,6 +36,8 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/engine.h"
+#include "serve/http.h"
 #include "util/tsv.h"
 
 namespace supa {
@@ -106,7 +112,32 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdTrain(const Args& args) {
+/// Spins up a ServeEngine over `model` and exposes POST/GET /recommend on
+/// the admin server (when one is running). Shared by `train --serve` and
+/// the `serve` command.
+std::unique_ptr<serve::ServeEngine> StartServing(const Args& args,
+                                                 const SupaModel* model,
+                                                 const Dataset& data,
+                                                 obs::AdminServer* admin,
+                                                 size_t workers) {
+  serve::ServeOptions options;
+  options.workers = workers;
+  options.max_batch = static_cast<size_t>(args.GetUint("serve-batch", 8));
+  options.max_queue = static_cast<size_t>(args.GetUint("serve-queue", 1024));
+  options.default_k = static_cast<size_t>(args.GetUint("k", 10));
+  auto engine = std::make_unique<serve::ServeEngine>(model, &data, options);
+  engine->Start();
+  if (admin != nullptr) {
+    serve::RegisterRecommendRoutes(admin, engine.get(), &data);
+    serve::ServeEngine* raw = engine.get();
+    admin->AddReadinessProbe("serve", [raw] { return raw->running(); });
+  }
+  std::fprintf(stderr, "serving /recommend with %zu workers (%zu candidates)\n",
+               options.workers, engine->candidates().size());
+  return engine;
+}
+
+int CmdTrain(const Args& args, obs::AdminServer* admin) {
   auto data = LoadDataset(args);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
@@ -114,6 +145,16 @@ int CmdTrain(const Args& args) {
   }
   auto split = SplitTemporal(data.value()).value();
   SupaModel model(data.value(), ModelConfig(args));
+
+  // --serve N scores /recommend on N workers *while training runs* —
+  // serving reads epoch snapshots only, so the checkpoint bytes below are
+  // bit-identical with serving on or off (CI pins this).
+  std::unique_ptr<serve::ServeEngine> engine;
+  const size_t serve_workers = static_cast<size_t>(args.GetUint("serve", 0));
+  if (serve_workers > 0) {
+    engine = StartServing(args, &model, data.value(), admin, serve_workers);
+  }
+
   InsLearnConfig tc;
   tc.max_iters = static_cast<int>(args.GetUint("iters", 16));
   tc.valid_interval = 4;
@@ -133,6 +174,19 @@ int CmdTrain(const Args& args) {
   std::printf("trained %zu edges in %zu batches (%zu steps) -> %s\n",
               split.train.size(), report.value().num_batches,
               report.value().train_steps, ckpt.c_str());
+  if (engine != nullptr) {
+    // --serve-linger keeps the engine (and admin endpoints) up after
+    // training so an external load generator can finish its measurement.
+    const double linger_s = args.GetDouble("serve-linger", 0.0);
+    if (linger_s > 0.0) {
+      std::fprintf(stderr, "serving for another %.1fs\n", linger_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+    }
+    engine->Stop();
+    std::fprintf(stderr, "served %llu requests (%llu rejected)\n",
+                 static_cast<unsigned long long>(engine->requests_served()),
+                 static_cast<unsigned long long>(engine->requests_rejected()));
+  }
   return 0;
 }
 
@@ -148,6 +202,38 @@ Result<std::unique_ptr<SupaModel>> RestoreModel(const Args& args,
   SUPA_RETURN_NOT_OK(
       LoadCheckpoint(args.Get("checkpoint", "supa_model.bin"), model.get()));
   return model;
+}
+
+/// `serve`: restore a checkpoint and serve /recommend until --duration-s
+/// elapses. Requires --admin-port (the engine is only reachable over
+/// HTTP in this mode).
+int CmdServe(const Args& args, obs::AdminServer* admin) {
+  if (admin == nullptr) {
+    std::fprintf(stderr, "serve requires --admin-port\n");
+    return 2;
+  }
+  auto data = LoadDataset(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitTemporal(data.value()).value();
+  auto model = RestoreModel(args, data.value(), split.train);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto engine =
+      StartServing(args, model.value().get(), data.value(), admin,
+                   static_cast<size_t>(args.GetUint("serve-workers", 2)));
+  const double duration_s = args.GetDouble("duration-s", 30.0);
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  engine->Stop();
+  std::printf("served %llu requests (%llu rejected) in %.1fs\n",
+              static_cast<unsigned long long>(engine->requests_served()),
+              static_cast<unsigned long long>(engine->requests_rejected()),
+              duration_s);
+  return 0;
 }
 
 int CmdEval(const Args& args) {
@@ -319,8 +405,18 @@ int CmdMine(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: supa_cli <generate|train|eval|recommend|mine|export> "
+               "usage: supa_cli "
+               "<generate|train|serve|eval|recommend|mine|export> "
                "[--flag value]...\n"
+               "serving:\n"
+               "  train --serve <n>     score POST /recommend on n workers "
+               "while training runs (results and checkpoint bytes stay "
+               "bit-identical); --serve-linger <secs> keeps serving after "
+               "training\n"
+               "  serve --checkpoint C --admin-port P [--duration-s S]\n"
+               "                        serve a restored checkpoint "
+               "(static) for S seconds\n"
+               "  --serve-batch/--serve-queue/--k tune the engine\n"
                "storage (train/eval/recommend/export):\n"
                "  --shards <n>          shard the storage engine across n "
                "banks (0 = SUPA_SHARDS env, then 1; results and checkpoint "
@@ -338,9 +434,11 @@ int Usage() {
   return 2;
 }
 
-int Dispatch(const std::string& cmd, const Args& args) {
+int Dispatch(const std::string& cmd, const Args& args,
+             obs::AdminServer* admin) {
   if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "train") return CmdTrain(args, admin);
+  if (cmd == "serve") return CmdServe(args, admin);
   if (cmd == "eval") return CmdEval(args);
   if (cmd == "recommend") return CmdRecommend(args);
   if (cmd == "mine") return CmdMine(args);
@@ -383,7 +481,7 @@ int Main(int argc, char** argv) {
                  admin->port());
   }
 
-  const int rc = Dispatch(args.value().command, args.value());
+  const int rc = Dispatch(args.value().command, args.value(), admin.get());
   if (admin != nullptr) admin->Stop();
 
   // Observability exports are written even when the command failed — a
