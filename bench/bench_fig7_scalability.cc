@@ -5,6 +5,8 @@
 // is time linear in S_batch with stable accuracy for S_batch >= 32.
 
 #include <cmath>
+#include <cstring>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "baselines/recommender.h"
@@ -12,6 +14,25 @@
 #include "eval/protocols.h"
 #include "store/graph_store.h"
 #include "util/timer.h"
+
+namespace {
+
+// SUPA_BENCH_SECTIONS: comma-separated subset of
+// {batch,eval_threads,shards,writers} to run (unset/empty = all). Lets CI
+// gate only the sections it uploads without paying for the full figure.
+bool SectionEnabled(const char* name) {
+  const char* spec = std::getenv("SUPA_BENCH_SECTIONS");
+  if (spec == nullptr || *spec == '\0') return true;
+  const size_t len = std::strlen(name);
+  for (const char* p = spec; (p = std::strstr(p, name)) != nullptr; ++p) {
+    const bool left_ok = (p == spec || p[-1] == ',');
+    const bool right_ok = (p[len] == '\0' || p[len] == ',');
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace supa;
@@ -30,7 +51,8 @@ int main(int argc, char** argv) {
   Report report("Figure 7 — scalability vs training batch size S_batch");
   report.SetHeader({"S_batch", "avg_batch_s", "edges_per_s", "H@50", "MRR"});
 
-  for (int log2_batch = 5; log2_batch <= 15; ++log2_batch) {
+  for (int log2_batch = 5; SectionEnabled("batch") && log2_batch <= 15;
+       ++log2_batch) {
     const size_t batch = static_cast<size_t>(1) << log2_batch;
     SupaConfig model_config;
     model_config.dim = 64;
@@ -78,7 +100,7 @@ int main(int argc, char** argv) {
   // is then timed at 1/2/4/8 eval threads. The determinism contract
   // (fixed sharding + per-shard seeds, see util/thread_pool.h) means the
   // metrics must be bit-identical across rows — only the time may change.
-  {
+  if (SectionEnabled("eval_threads")) {
     SupaConfig model_config;
     model_config.dim = 64;
     InsLearnConfig train_config;
@@ -150,7 +172,9 @@ int main(int argc, char** argv) {
   shard_report.SetHeader({"shards", "fit_s", "edges_per_s", "max_shard_MB",
                           "total_MB", "H@50", "MRR"});
   const size_t shard_repeats = std::max<size_t>(1, env.repeats);
-  for (size_t shards : {1, 2, 4, 8}) {
+  std::vector<size_t> shard_counts;
+  if (SectionEnabled("shards")) shard_counts = {1, 2, 4, 8};
+  for (size_t shards : shard_counts) {
     ShardPoint point;
     point.shards = shards;
     for (size_t rep = 0; rep < shard_repeats; ++rep) {
@@ -223,6 +247,124 @@ int main(int argc, char** argv) {
   }
   shard_report.Print();
 
+  // Writer sweep: the multi-writer ingest pipeline (DESIGN.md §13) at a
+  // fixed 8-shard store. writers=1 is the serial trainer baseline; the
+  // fast rows (2/4/8 writers) must be bit-identical to EACH OTHER (group
+  // formation is writer-count independent) and the strict row must be
+  // bit-identical to serial. Only wall time may move.
+  struct WriterPoint {
+    std::string label;  // "1".."8" or "4_strict" — JSON sample key stem
+    size_t writers = 1;
+    std::vector<double> fit_samples;  // per-repeat Fit wall seconds
+    double edges_per_s = 0.0;         // from the best repeat
+    RankingResult metrics;
+  };
+  std::vector<WriterPoint> writer_points;
+  Report writer_report("Figure 7d — multi-writer ingest sweep (8 shards)");
+  writer_report.SetHeader(
+      {"writers", "mode", "fit_s", "edges_per_s", "speedup", "H@50", "MRR"});
+  if (SectionEnabled("writers")) {
+    // Speedup needs spare cores: with fewer hardware threads than
+    // writers the sweep measures pipeline overhead, not scaling. Say so
+    // instead of letting a flat curve read as a regression.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4) {
+      SUPA_LOG(WARNING)
+          << "fig7d: only " << hw << " hardware thread(s); writer rows are "
+          << "parallelism-starved — ratios measure pipeline overhead, "
+          << "not multi-core scaling";
+    }
+    struct WriterCell {
+      size_t writers;
+      IngestMode mode;
+    };
+    const WriterCell cells[] = {{1, IngestMode::kFast},
+                                {2, IngestMode::kFast},
+                                {4, IngestMode::kFast},
+                                {8, IngestMode::kFast},
+                                {4, IngestMode::kStrict}};
+    for (const WriterCell& cell : cells) {
+      const bool strict = cell.mode == IngestMode::kStrict;
+      WriterPoint point;
+      point.writers = cell.writers;
+      point.label =
+          std::to_string(cell.writers) + (strict ? "_strict" : "");
+      for (size_t rep = 0; rep < shard_repeats; ++rep) {
+        SupaConfig model_config;
+        model_config.dim = 64;
+        model_config.shards = 8;
+        InsLearnConfig train_config;
+        train_config.batch_size = 4096;
+        train_config.max_iters =
+            std::max(1, static_cast<int>(8 * env.effort));
+        train_config.valid_interval = 4;
+        train_config.writer_threads = cell.writers;
+        train_config.ingest_mode = cell.mode;
+        SupaRecommender model(model_config, train_config);
+        Timer timer;
+        Status st = model.Fit(data, split.train);
+        const double fit_s = timer.ElapsedSeconds();
+        if (!st.ok()) {
+          std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        point.fit_samples.push_back(fit_s);
+        if (rep + 1 < shard_repeats) continue;
+
+        EvalConfig eval;
+        eval.max_test_edges = env.test_edges;
+        eval.threads = env.threads;
+        auto result = EvaluateLinkPrediction(
+            model, data, split.test, EdgeRange{0, split.valid.end}, eval);
+        if (!result.ok()) {
+          std::fprintf(stderr, "eval failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        point.metrics = result.value();
+      }
+      double best_s = point.fit_samples.front();
+      for (double s : point.fit_samples) best_s = std::min(best_s, s);
+      point.edges_per_s = static_cast<double>(split.train.size()) / best_s;
+
+      // Determinism cross-checks against the rows already collected.
+      auto same = [](const RankingResult& a, const RankingResult& b) {
+        return a.mrr == b.mrr && a.hit20 == b.hit20 && a.hit50 == b.hit50 &&
+               a.ndcg10 == b.ndcg10;
+      };
+      for (const WriterPoint& prev : writer_points) {
+        const bool prev_serial = prev.label == "1";
+        const bool prev_fast = !prev_serial && prev.label.back() != 't';
+        const bool want_equal =
+            strict ? prev_serial : (cell.writers > 1 && prev_fast);
+        if (want_equal && !same(point.metrics, prev.metrics)) {
+          std::fprintf(stderr,
+                       "determinism violation: writers=%s diverged from "
+                       "writers=%s\n",
+                       point.label.c_str(), prev.label.c_str());
+          return 1;
+        }
+      }
+
+      double base_best = best_s;
+      if (!writer_points.empty()) {
+        base_best = writer_points.front().fit_samples.front();
+        for (double s : writer_points.front().fit_samples) {
+          base_best = std::min(base_best, s);
+        }
+      }
+      writer_report.AddRow(
+          {std::to_string(cell.writers), strict ? "strict" : "fast",
+           Fmt(best_s, 4), Fmt(point.edges_per_s, 0),
+           Fmt(base_best / best_s, 2), Fmt(point.metrics.hit50),
+           Fmt(point.metrics.mrr)});
+      SUPA_LOG(INFO) << "fig7d: writers=" << point.label << " fit " << best_s
+                     << "s (" << point.edges_per_s << " edges/s)";
+      writer_points.push_back(std::move(point));
+    }
+  }
+  writer_report.Print();
+
   // --json-out: the S_batch table (Report schema), the shard sweep with
   // the raw per-shard byte split, and a top-level "samples" object so
   // tools/bench_compare can Welch-test the per-shard-count Fit timings
@@ -263,6 +405,18 @@ int main(int argc, char** argv) {
     }
     w.EndObject();
     w.EndObject();
+    w.Key("writer_sweep").BeginObject();
+    w.Key("header").BeginArray();
+    for (const auto& cell : writer_report.header()) w.String(cell);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : writer_report.rows()) {
+      w.BeginArray();
+      for (const auto& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
     w.Key("samples").BeginObject();
     for (const ShardPoint& point : shard_points) {
       const std::string prefix = "shards" + std::to_string(point.shards);
@@ -273,6 +427,11 @@ int main(int argc, char** argv) {
       for (uint64_t b : point.shard_bytes) max_bytes = std::max(max_bytes, b);
       w.Key(prefix + "_max_shard_bytes").BeginArray();
       w.Double(static_cast<double>(max_bytes));
+      w.EndArray();
+    }
+    for (const WriterPoint& point : writer_points) {
+      w.Key("writers" + point.label + "_fit_wall_s").BeginArray();
+      for (double s : point.fit_samples) w.Double(s);
       w.EndArray();
     }
     w.EndObject();

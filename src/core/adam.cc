@@ -36,6 +36,17 @@ uint32_t RowIndex::FindOrInsert(size_t offset, uint32_t len, bool* inserted) {
   }
 }
 
+bool RowIndex::Contains(size_t offset) const {
+  if (table_.empty()) return false;
+  size_t slot = Hash(offset) & mask_;
+  while (true) {
+    const uint32_t id_plus1 = table_[slot];
+    if (id_plus1 == 0) return false;
+    if (entries_[id_plus1 - 1].offset == offset) return true;
+    slot = (slot + 1) & mask_;
+  }
+}
+
 void RowIndex::Rehash(size_t new_slots) {
   table_.assign(new_slots, 0);
   mask_ = new_slots - 1;
@@ -93,25 +104,48 @@ SparseAdam::SparseAdam(size_t num_params, double lr, double weight_decay,
       m_(num_params, 0.0f),
       v_(num_params, 0.0f) {}
 
+void SparseAdam::UpdateRow(size_t offset, const float* g, size_t len,
+                           double bc1, double bc2, float* params) {
+  for (size_t i = 0; i < len; ++i) {
+    const size_t p = offset + i;
+    const double gi = g[i];
+    m_[p] = static_cast<float>(beta1_ * m_[p] + (1.0 - beta1_) * gi);
+    v_[p] = static_cast<float>(beta2_ * v_[p] + (1.0 - beta2_) * gi * gi);
+    const double mhat = m_[p] / bc1;
+    const double vhat = v_[p] / bc2;
+    double update = mhat / (std::sqrt(vhat) + eps_);
+    // Decoupled weight decay (AdamW).
+    update += weight_decay_ * params[p];
+    params[p] = static_cast<float>(params[p] - lr_ * update);
+  }
+}
+
 void SparseAdam::Step(const GradBuffer& grads, float* params) {
   ++step_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
   grads.ForEach([&](size_t offset, const float* g, size_t len) {
     dirty_.Mark(offset, static_cast<uint32_t>(len));
-    for (size_t i = 0; i < len; ++i) {
-      const size_t p = offset + i;
-      const double gi = g[i];
-      m_[p] = static_cast<float>(beta1_ * m_[p] + (1.0 - beta1_) * gi);
-      v_[p] = static_cast<float>(beta2_ * v_[p] + (1.0 - beta2_) * gi * gi);
-      const double mhat = m_[p] / bc1;
-      const double vhat = v_[p] / bc2;
-      double update = mhat / (std::sqrt(vhat) + eps_);
-      // Decoupled weight decay (AdamW).
-      update += weight_decay_ * params[p];
-      params[p] = static_cast<float>(params[p] - lr_ * update);
-    }
+    UpdateRow(offset, g, len, bc1, bc2, params);
   });
+}
+
+void SparseAdam::StepAt(uint64_t step, const GradBuffer& grads, float* params,
+                        BankedDirty* dirty) {
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
+  grads.ForEach([&](size_t offset, const float* g, size_t len) {
+    dirty->emplace_back(offset, static_cast<uint32_t>(len));
+    UpdateRow(offset, g, len, bc1, bc2, params);
+  });
+}
+
+void SparseAdam::StepScalarAt(uint64_t step, size_t offset, float grad,
+                              float* params) {
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
+  dirty_.Mark(offset, 1);
+  UpdateRow(offset, &grad, 1, bc1, bc2, params);
 }
 
 void SparseAdam::Restore(const State& state) {

@@ -41,6 +41,11 @@ class RowIndex {
   /// offset.
   uint32_t FindOrInsert(size_t offset, uint32_t len, bool* inserted);
 
+  /// Probe-only lookup: true when `offset` has an entry. Never mutates, so
+  /// the ingest dispatcher can test a candidate edge's rows against a
+  /// group's accumulated footprint before deciding to admit it.
+  bool Contains(size_t offset) const;
+
   /// Entries in insertion order.
   const std::vector<Entry>& entries() const { return entries_; }
 
@@ -147,6 +152,26 @@ class SparseAdam {
   /// every touched row dirty.
   void Step(const GradBuffer& grads, float* params);
 
+  /// Rows a concurrent executor touched, banked for the dispatcher's
+  /// in-order dirty merge (DirtyRowSet itself is not thread-safe).
+  using BankedDirty = std::vector<std::pair<size_t, uint32_t>>;
+
+  /// Applies the accumulated gradients as optimizer step `step` WITHOUT
+  /// advancing the global counter or touching the shared dirty set:
+  /// touched rows are appended to `dirty` instead. Same per-row math as
+  /// Step() bit-for-bit. This is the multi-writer commit path — the
+  /// ingest dispatcher pins each edge's step number at plan time (arrival
+  /// order), workers apply their row updates concurrently on disjoint
+  /// rows, and the dispatcher advances the counter at commit.
+  void StepAt(uint64_t step, const GradBuffer& grads, float* params,
+              BankedDirty* dirty);
+
+  /// Single 1-float-row step at `step` for deferred α commits. Runs on
+  /// the dispatcher, so it marks the row dirty directly. Takes a float
+  /// because the serial path accumulates scalar gradients in float
+  /// (GradBuffer rows); a double here would break bit-identity.
+  void StepScalarAt(uint64_t step, size_t offset, float grad, float* params);
+
   /// Global step count so far.
   uint64_t step_count() const { return step_; }
   /// Rewinds the step counter (delta-snapshot restore).
@@ -179,6 +204,12 @@ class SparseAdam {
   void set_lr(double lr) { lr_ = lr; }
 
  private:
+  /// One row's moment + parameter update at bias corrections (bc1, bc2).
+  /// Shared by Step/StepAt/StepScalarAt so every entry point computes
+  /// bit-identical floats.
+  void UpdateRow(size_t offset, const float* g, size_t len, double bc1,
+                 double bc2, float* params);
+
   double lr_;
   double weight_decay_;
   double beta1_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 
+#include "core/ingest.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
 #include "obs/trace.h"
@@ -222,6 +224,22 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
   Rng valid_rng(config_.seed);
   Heartbeat heartbeat(config_.heartbeat_seconds, range);
 
+  // With > 1 resolved writer threads the per-edge loops route through the
+  // multi-writer ingest pipeline (DESIGN.md §13); otherwise they stay on
+  // the historical serial TrainEdge loop.
+  const size_t writers = ResolveWriterThreads(config_.writer_threads);
+  std::unique_ptr<IngestPipeline> pipeline;
+  if (writers > 1) {
+    IngestOptions ingest;
+    ingest.writers = writers;
+    ingest.mode = config_.ingest_mode;
+    pipeline = std::make_unique<IngestPipeline>(model, ingest);
+  }
+  auto on_edge = [&](const TrainStats&) {
+    ++report.train_steps;
+    heartbeat.Tick();
+  };
+
   for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
     SUPA_TRACE_SPAN_CAT("inslearn/batch", "inslearn");
     const size_t b1 = std::min(b0 + config_.batch_size, range.end);
@@ -240,17 +258,23 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
 
     bool first_iteration = true;
     for (int iter = 1; iter <= config_.max_iters; ++iter) {
-      for (size_t i = b0; i < train_end; ++i) {
-        {
-          StopwatchGuard guard(&report.train_seconds);
-          auto stats = model.TrainEdge(data.edges[i]);
-          if (!stats.ok()) return stats.status();
-        }
-        ++report.train_steps;
-        heartbeat.Tick();
-        if (first_iteration) {
-          StopwatchGuard guard(&report.observe_seconds);
-          SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+      if (pipeline != nullptr) {
+        SUPA_RETURN_NOT_OK(pipeline->TrainSpan(
+            data.edges, b0, train_end, first_iteration, on_edge,
+            &report.train_seconds, &report.observe_seconds));
+      } else {
+        for (size_t i = b0; i < train_end; ++i) {
+          {
+            StopwatchGuard guard(&report.train_seconds);
+            auto stats = model.TrainEdge(data.edges[i]);
+            if (!stats.ok()) return stats.status();
+          }
+          ++report.train_steps;
+          heartbeat.Tick();
+          if (first_iteration) {
+            StopwatchGuard guard(&report.observe_seconds);
+            SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+          }
         }
       }
       first_iteration = false;
@@ -323,6 +347,21 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
   Rng valid_rng(config_.seed);
   Heartbeat heartbeat(config_.heartbeat_seconds, range);
 
+  // Same routing rule as TrainSinglePass: the pipeline takes over the
+  // per-edge loop when more than one writer thread is resolved.
+  const size_t writers = ResolveWriterThreads(config_.writer_threads);
+  std::unique_ptr<IngestPipeline> pipeline;
+  if (writers > 1) {
+    IngestOptions ingest;
+    ingest.writers = writers;
+    ingest.mode = config_.ingest_mode;
+    pipeline = std::make_unique<IngestPipeline>(model, ingest);
+  }
+  auto on_edge = [&](const TrainStats&) {
+    ++report.train_steps;
+    heartbeat.Tick();
+  };
+
   const size_t n = range.size();
   size_t valid_len = std::min(config_.valid_size, n / 5);
   const size_t train_end = range.end - valid_len;
@@ -337,17 +376,23 @@ Result<InsLearnReport> InsLearnTrainer::TrainFullPass(SupaModel& model,
 
   for (int epoch = 1; epoch <= config_.full_pass_epochs; ++epoch) {
     SUPA_TRACE_SPAN_CAT("inslearn/epoch", "inslearn");
-    for (size_t i = range.begin; i < train_end; ++i) {
-      {
-        StopwatchGuard guard(&report.train_seconds);
-        auto stats = model.TrainEdge(data.edges[i]);
-        if (!stats.ok()) return stats.status();
-      }
-      ++report.train_steps;
-      heartbeat.Tick();
-      if (epoch == 1) {
-        StopwatchGuard guard(&report.observe_seconds);
-        SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+    if (pipeline != nullptr) {
+      SUPA_RETURN_NOT_OK(pipeline->TrainSpan(
+          data.edges, range.begin, train_end, epoch == 1, on_edge,
+          &report.train_seconds, &report.observe_seconds));
+    } else {
+      for (size_t i = range.begin; i < train_end; ++i) {
+        {
+          StopwatchGuard guard(&report.train_seconds);
+          auto stats = model.TrainEdge(data.edges[i]);
+          if (!stats.ok()) return stats.status();
+        }
+        ++report.train_steps;
+        heartbeat.Tick();
+        if (epoch == 1) {
+          StopwatchGuard guard(&report.observe_seconds);
+          SUPA_RETURN_NOT_OK(model.ObserveEdge(data.edges[i]));
+        }
       }
     }
     ++report.iterations;

@@ -105,14 +105,20 @@ Status SupaModel::RebuildNegativeTable() {
 }
 
 NodeId SupaModel::SampleNegative(NodeId u, NodeId v) {
+  return SampleNegative(u, v, rng_);
+}
+
+NodeId SupaModel::SampleNegative(NodeId u, NodeId v, Rng& rng) const {
   for (int attempt = 0; attempt < 8; ++attempt) {
-    NodeId cand = static_cast<NodeId>(neg_table_.Sample(rng_));
+    NodeId cand = static_cast<NodeId>(neg_table_.Sample(rng));
     if (cand != u && cand != v) return cand;
   }
   return kInvalidNode;
 }
 
-void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
+void SupaModel::RunUpdater(NodeId node, Timestamp t, Timestamp last_active,
+                           UpdateContext* ctx, const MathSink& sink,
+                           double* deferred_gamma) {
   const size_t d = static_cast<size_t>(config_.dim);
   ctx->node = node;
   ctx->grad_h_star.assign(d, 0.0f);
@@ -130,8 +136,8 @@ void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
   float* hs = store_->ShortMem(node);
 
   if (config_.use_short_term) {
-    const Timestamp last = graph_->LastActive(node);
-    ctx->delta = (last == kNeverActive) ? 0.0 : std::max(0.0, t - last);
+    ctx->delta =
+        (last_active == kNeverActive) ? 0.0 : std::max(0.0, t - last_active);
     if (config_.use_update_decay) {
       const double alpha = *store_->Alpha(otype);
       ctx->decay_input = Sigmoid(alpha) * ctx->delta;
@@ -141,10 +147,29 @@ void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
       // new interaction's gradient signal is re-encoded into it. This
       // mutates parameters outside the optimizer, so the row is marked
       // dirty here rather than relying on the optimizer step that
-      // normally follows (TrainEdge can error out in between).
-      adam_->MarkDirty(store_->ShortMemOffset(node),
-                       static_cast<uint32_t>(d));
-      Scale(ctx->gamma, hs, d);
+      // normally follows (TrainEdge can error out in between). Pipeline
+      // executors bank the mark instead — the shared dirty set is not
+      // thread-safe.
+      if (sink.dirty != nullptr) {
+        sink.dirty->emplace_back(store_->ShortMemOffset(node),
+                                 static_cast<uint32_t>(d));
+      } else {
+        adam_->MarkDirty(store_->ShortMemOffset(node),
+                         static_cast<uint32_t>(d));
+      }
+      if (deferred_gamma != nullptr) {
+        // Deferred decay: bank γ and work on a scratch copy. The live row
+        // is scaled at commit, in arrival order, so a shared endpoint
+        // keeps earlier in-group commits instead of being overwritten
+        // with a group-start value. The scale-then-read sequence matches
+        // the in-place path bit-for-bit when rows don't overlap.
+        *deferred_gamma = ctx->gamma;
+        ctx->short_scaled.assign(hs, hs + d);
+        Scale(ctx->gamma, ctx->short_scaled.data(), d);
+        hs = ctx->short_scaled.data();
+      } else {
+        Scale(ctx->gamma, hs, d);
+      }
     } else {
       ctx->short_before.assign(hs, hs + d);
     }
@@ -155,12 +180,13 @@ void SupaModel::RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx) {
   }
 }
 
-void SupaModel::BackpropUpdater(const UpdateContext& ctx) {
+void SupaModel::BackpropUpdater(const UpdateContext& ctx, GradBuffer& grads,
+                                const MathSink& sink) {
   const size_t d = static_cast<size_t>(config_.dim);
   const float* g = ctx.grad_h_star.data();
-  grads_.Accumulate(store_->LongMemOffset(ctx.node), d, 1.0, g);
+  grads.Accumulate(store_->LongMemOffset(ctx.node), d, 1.0, g);
   if (!config_.use_short_term) return;
-  grads_.Accumulate(store_->ShortMemOffset(ctx.node), d, 1.0, g);
+  grads.Accumulate(store_->ShortMemOffset(ctx.node), d, 1.0, g);
   if (config_.use_update_decay && ctx.delta > 0.0) {
     // h* depends on α through the forgetting factor γ = g(σ(α)·Δ):
     // ∂h*/∂α = h^S_before · g'(x)·σ(α)(1-σ(α))·Δ with x = σ(α)·Δ.
@@ -171,71 +197,154 @@ void SupaModel::BackpropUpdater(const UpdateContext& ctx) {
         DecayGPrime(ctx.decay_input) * sig * (1.0 - sig) * ctx.delta;
     const double inner =
         Dot(g, ctx.short_before.data(), d) * dgamma_dalpha;
-    grads_.AccumulateScalar(ctx.alpha_offset, inner);
+    if (sink.alpha != nullptr) {
+      // Deferred α: accumulate in float exactly like the GradBuffer row
+      // the serial path uses (u's and v's contributions may share one α).
+      float* cell = nullptr;
+      for (auto& entry : *sink.alpha) {
+        if (entry.first == ctx.alpha_offset) {
+          cell = &entry.second;
+          break;
+        }
+      }
+      if (cell == nullptr) {
+        sink.alpha->emplace_back(ctx.alpha_offset, 0.0f);
+        cell = &sink.alpha->back().second;
+      }
+      *cell += static_cast<float>(inner);
+    } else {
+      grads.AccumulateScalar(ctx.alpha_offset, inner);
+    }
   }
 }
 
-Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
-                                        const TrainOptions& options) {
+Status SupaModel::PlanEdge(const TemporalEdge& e, const TrainOptions& options,
+                           bool want_footprint, EdgePlan* plan) {
   if (e.src >= graph_->num_nodes() || e.dst >= graph_->num_nodes()) {
     return Status::OutOfRange("train edge endpoint out of range");
   }
   if (e.src == e.dst) {
     return Status::InvalidArgument("self loop in training stream");
   }
+  plan->edge = e;
+  plan->options = options;
+  // The last-active timestamps feed Δ_V; the serial trainer reads them at
+  // step start, before the edge is observed, so they are banked here.
+  plan->last_active_u = graph_->LastActive(e.src);
+  plan->last_active_v = graph_->LastActive(e.dst);
+  plan->u_walk_count = 0;
+  plan->negatives.clear();
+  plan->rows.clear();
+  plan->shard_mask = 0;
+
+  // RNG draw order matches the serial trainer exactly: walks first, then
+  // the (possibly rebuilt) negative table's draws.
+  if (config_.use_prop_loss) {
+    SUPA_TRACE_SPAN_CAT("sample", "model");
+    sampler_->SampleInto(e.src, e.dst, rng_, &plan->walks,
+                         &plan->u_walk_count);
+  }
+  if (config_.use_neg_loss) {
+    if (!neg_table_.built()) {
+      SUPA_RETURN_NOT_OK(RebuildNegativeTable());
+    }
+    const size_t total = 2 * static_cast<size_t>(config_.num_neg);
+    plan->negatives.reserve(total);
+    for (size_t j = 0; j < total; ++j) {
+      plan->negatives.push_back(SampleNegative(e.src, e.dst));
+    }
+  }
+
+  if (want_footprint) {
+    const EdgeTypeId r_ctx = CtxRel(e.type);
+    auto touch = [&](NodeId node, size_t offset) {
+      plan->rows.push_back(offset);
+      plan->shard_mask |= graph_store_->ShardMaskOf(node);
+    };
+    touch(e.src, store_->LongMemOffset(e.src));
+    touch(e.dst, store_->LongMemOffset(e.dst));
+    if (config_.use_short_term) {
+      touch(e.src, store_->ShortMemOffset(e.src));
+      touch(e.dst, store_->ShortMemOffset(e.dst));
+    }
+    if (config_.use_inter_loss && options.use_inter_loss) {
+      touch(e.src, store_->ContextOffset(e.src, r_ctx));
+      touch(e.dst, store_->ContextOffset(e.dst, r_ctx));
+    }
+    if (config_.use_prop_loss) {
+      // Every walk row, including those the filter D(.) would terminate
+      // before — the footprint must be a superset of the writes, and
+      // termination depends on edge time, cheap to over-approximate.
+      for (size_t w = 0; w < plan->walks.num_walks(); ++w) {
+        const WalkBuffer::Span& span = plan->walks.walk(w);
+        const WalkStep* steps = plan->walks.steps_of(span);
+        for (size_t si = 0; si < span.size(); ++si) {
+          touch(steps[si].node,
+                store_->ContextOffset(steps[si].node,
+                                      CtxRel(steps[si].via_type)));
+        }
+      }
+    }
+    if (config_.use_neg_loss) {
+      for (NodeId neg : plan->negatives) {
+        if (neg == kInvalidNode) continue;
+        touch(neg, store_->ContextOffset(neg, r_ctx));
+      }
+    }
+    if (config_.use_short_term && config_.use_update_decay) {
+      // The α tail rides with shard 0's write ordering; the α row itself
+      // is excluded from `rows` (dispatcher-committed, never raced).
+      plan->shard_mask |= uint64_t{1};
+    }
+  }
+  return Status::OK();
+}
+
+TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
+                                  const MathSink& sink) {
+  const TemporalEdge& e = plan.edge;
   const size_t d = static_cast<size_t>(config_.dim);
   const EdgeTypeId r_ctx = CtxRel(e.type);
   TrainStats stats;
-  SUPA_TRACE_SPAN_CAT("train_edge", "model");
+  GradBuffer& grads = sink.grads != nullptr ? *sink.grads : scratch->grads;
+  UpdateContext& ctx_u = scratch->ctx_u;
+  UpdateContext& ctx_v = scratch->ctx_v;
 
-  // One training step scatters embedding writes (updater, optimizer)
-  // across arbitrary rows, so it holds the whole-store write lease;
-  // concurrent snapshot publishes wait for the step boundary. ~one
-  // uncontended mutex per shard per edge — noise next to the step itself.
-  store::ShardWriteLease lease = graph_store_->LeaseAll();
-
-  grads_.Clear();
+  grads.Clear();
   {
     SUPA_TRACE_SPAN_CAT("update", "model");
-    RunUpdater(e.src, e.time, &ctx_u_);
-    RunUpdater(e.dst, e.time, &ctx_v_);
+    RunUpdater(e.src, e.time, plan.last_active_u, &ctx_u, sink, sink.gamma_u);
+    RunUpdater(e.dst, e.time, plan.last_active_v, &ctx_v, sink, sink.gamma_v);
   }
 
   // ---- interaction loss (Eq. 6–7) ----------------------------------------
-  if (config_.use_inter_loss && options.use_inter_loss) {
-    scratch_hr_u_.resize(d);
-    scratch_hr_v_.resize(d);
+  if (config_.use_inter_loss && plan.options.use_inter_loss) {
+    scratch->hr_u.resize(d);
+    scratch->hr_v.resize(d);
     const float* cu = store_->Context(e.src, r_ctx);
     const float* cv = store_->Context(e.dst, r_ctx);
-    simd::HalfSum(ctx_u_.h_star.data(), cu, scratch_hr_u_.data(), d);
-    simd::HalfSum(ctx_v_.h_star.data(), cv, scratch_hr_v_.data(), d);
-    const double s = Dot(scratch_hr_u_.data(), scratch_hr_v_.data(), d);
+    simd::HalfSum(ctx_u.h_star.data(), cu, scratch->hr_u.data(), d);
+    simd::HalfSum(ctx_v.h_star.data(), cv, scratch->hr_v.data(), d);
+    const double s = Dot(scratch->hr_u.data(), scratch->hr_v.data(), d);
     stats.loss_inter = -LogSigmoid(s);
     const double a = 1.0 - Sigmoid(s);  // -dL/ds
     // dL/dh^r_u = -a·h^r_v; h^r = ½(h* + c) so both receive a ½ factor.
-    Axpy(-0.5 * a, scratch_hr_v_.data(), ctx_u_.grad_h_star.data(), d);
-    Axpy(-0.5 * a, scratch_hr_u_.data(), ctx_v_.grad_h_star.data(), d);
-    grads_.Accumulate(store_->ContextOffset(e.src, r_ctx), d, -0.5 * a,
-                      scratch_hr_v_.data());
-    grads_.Accumulate(store_->ContextOffset(e.dst, r_ctx), d, -0.5 * a,
-                      scratch_hr_u_.data());
+    Axpy(-0.5 * a, scratch->hr_v.data(), ctx_u.grad_h_star.data(), d);
+    Axpy(-0.5 * a, scratch->hr_u.data(), ctx_v.grad_h_star.data(), d);
+    grads.Accumulate(store_->ContextOffset(e.src, r_ctx), d, -0.5 * a,
+                     scratch->hr_v.data());
+    grads.Accumulate(store_->ContextOffset(e.dst, r_ctx), d, -0.5 * a,
+                     scratch->hr_u.data());
   }
 
   // ---- time-aware propagation (Eq. 8–10) ----------------------------------
   if (config_.use_prop_loss) {
-    // The influenced graph is sampled into a model-owned arena reused
-    // across edges — no per-walk heap traffic on the hot path.
-    size_t u_walks = 0;
-    {
-      SUPA_TRACE_SPAN_CAT("sample", "model");
-      sampler_->SampleInto(e.src, e.dst, rng_, &walk_arena_, &u_walks);
-    }
     SUPA_TRACE_SPAN_CAT("propagate", "model");
     auto propagate = [&](size_t walk_begin, size_t walk_end,
                          UpdateContext& origin) {
       for (size_t w = walk_begin; w < walk_end; ++w) {
-        const WalkBuffer::Span& span = walk_arena_.walk(w);
-        const WalkStep* steps = walk_arena_.steps_of(span);
+        const WalkBuffer::Span& span = plan.walks.walk(w);
+        const WalkStep* steps = plan.walks.steps_of(span);
         double f = 1.0;  // cumulative attenuation along the path
         for (size_t si = 0; si < span.size(); ++si) {
           const WalkStep& step = steps[si];
@@ -251,46 +360,175 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
           stats.loss_prop += -LogSigmoid(s);
           ++stats.prop_steps;
           const double a = 1.0 - Sigmoid(s);
-          grads_.Accumulate(store_->ContextOffset(step.node, rr), d, -a * f,
-                            origin.h_star.data());
+          grads.Accumulate(store_->ContextOffset(step.node, rr), d, -a * f,
+                           origin.h_star.data());
           Axpy(-a * f, c, origin.grad_h_star.data(), d);
         }
       }
     };
-    propagate(0, u_walks, ctx_u_);
-    propagate(u_walks, walk_arena_.num_walks(), ctx_v_);
+    propagate(0, plan.u_walk_count, ctx_u);
+    propagate(plan.u_walk_count, plan.walks.num_walks(), ctx_v);
   }
 
   // ---- negative sampling loss (Eq. 12) -------------------------------------
   if (config_.use_neg_loss) {
     SUPA_TRACE_SPAN_CAT("negative", "model");
-    if (!neg_table_.built()) {
-      SUPA_RETURN_NOT_OK(RebuildNegativeTable());
-    }
-    auto add_negatives = [&](UpdateContext& origin) {
-      for (int j = 0; j < config_.num_neg; ++j) {
-        const NodeId neg = SampleNegative(e.src, e.dst);
+    const size_t n = static_cast<size_t>(config_.num_neg);
+    auto add_negatives = [&](size_t base, UpdateContext& origin) {
+      for (size_t j = 0; j < n; ++j) {
+        const NodeId neg = plan.negatives[base + j];
         if (neg == kInvalidNode) continue;
         const float* c = store_->Context(neg, r_ctx);
         const double s = Dot(c, origin.h_star.data(), d);
         stats.loss_neg += -LogSigmoid(-s);
         const double p = Sigmoid(s);  // dL/ds
-        grads_.Accumulate(store_->ContextOffset(neg, r_ctx), d, p,
-                          origin.h_star.data());
+        grads.Accumulate(store_->ContextOffset(neg, r_ctx), d, p,
+                         origin.h_star.data());
         Axpy(p, c, origin.grad_h_star.data(), d);
       }
     };
-    add_negatives(ctx_u_);
-    add_negatives(ctx_v_);
+    add_negatives(0, ctx_u);
+    add_negatives(n, ctx_v);
   }
 
   {
     SUPA_TRACE_SPAN_CAT("optimize", "model");
-    BackpropUpdater(ctx_u_);
-    BackpropUpdater(ctx_v_);
-    adam_->Step(grads_, store_->data());
+    BackpropUpdater(ctx_u, grads, sink);
+    BackpropUpdater(ctx_v, grads, sink);
   }
   return stats;
+}
+
+Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
+                                        const TrainOptions& options) {
+  SUPA_TRACE_SPAN_CAT("train_edge", "model");
+  SUPA_RETURN_NOT_OK(
+      PlanEdge(e, options, /*want_footprint=*/false, &serial_plan_));
+
+  // A full training step scatters embedding writes across arbitrary rows
+  // (walk and negative contexts land anywhere), so it holds the
+  // whole-store write lease; concurrent snapshot publishes wait for the
+  // step boundary. With propagation AND negative sampling both disabled
+  // the writes provably stay on the endpoints' rows, so those
+  // configurations — ablations and DeleteEdge-heavy maintenance flows on
+  // such models — lease just the endpoint shards (+ shard 0 for the α
+  // tail) instead of serializing against the whole store.
+  store::ShardWriteLease lease =
+      (!config_.use_prop_loss && !config_.use_neg_loss)
+          ? graph_store_->LeaseMask(
+                graph_store_->ShardMaskOf(e.src) |
+                graph_store_->ShardMaskOf(e.dst) |
+                ((config_.use_short_term && config_.use_update_decay)
+                     ? uint64_t{1}
+                     : uint64_t{0}))
+          : graph_store_->LeaseAll();
+
+  // Serial sink: dirty rows and α gradients flow straight into the
+  // optimizer, exactly as before the plan/execute split.
+  const MathSink sink;
+  const TrainStats stats = RunEdgeMath(serial_plan_, &serial_scratch_, sink);
+  {
+    SUPA_TRACE_SPAN_CAT("optimize", "model");
+    adam_->Step(serial_scratch_.grads, store_->data());
+  }
+  return stats;
+}
+
+void SupaModel::ExecutePlan(EdgePlan* plan, ExecScratch* scratch) {
+  plan->dirty.clear();
+  plan->alpha_grads.clear();
+  MathSink sink;
+  sink.dirty = &plan->dirty;
+  sink.alpha = &plan->alpha_grads;
+  plan->stats = RunEdgeMath(*plan, scratch, sink);
+  // Row updates land now, at the plan's pinned step; α and the dirty merge
+  // wait for CommitPlan. Per-row Adam math depends only on the step number
+  // and the row's own state, so disjoint-row plans commute bit-exactly.
+  adam_->StepAt(plan->step, scratch->grads, store_->data(), &plan->dirty);
+}
+
+void SupaModel::CommitPlan(const EdgePlan& plan) {
+  for (const auto& [offset, len] : plan.dirty) {
+    adam_->MarkDirty(offset, len);
+  }
+  for (const auto& [offset, grad] : plan.alpha_grads) {
+    adam_->StepScalarAt(plan.step, offset, grad, store_->data());
+  }
+  adam_->set_step_count(plan.step);
+}
+
+Status SupaModel::PlanEdgeDeferred(const TemporalEdge& e,
+                                   const TrainOptions& options,
+                                   EdgePlan* plan) {
+  if (e.src >= graph_->num_nodes() || e.dst >= graph_->num_nodes()) {
+    return Status::OutOfRange("train edge endpoint out of range");
+  }
+  if (e.src == e.dst) {
+    return Status::InvalidArgument("self loop in training stream");
+  }
+  plan->edge = e;
+  plan->options = options;
+  plan->last_active_u = graph_->LastActive(e.src);
+  plan->last_active_v = graph_->LastActive(e.dst);
+  plan->u_walk_count = 0;
+  plan->negatives.clear();
+  plan->rows.clear();
+  plan->shard_mask = 0;
+  // Executors sample the table concurrently and must never mutate it, so
+  // a pending rebuild happens here, on the dispatcher, before launch.
+  if (config_.use_neg_loss && !neg_table_.built()) {
+    SUPA_RETURN_NOT_OK(RebuildNegativeTable());
+  }
+  return Status::OK();
+}
+
+void SupaModel::ExecutePlanDeferred(EdgePlan* plan, ExecScratch* scratch) {
+  plan->dirty.clear();
+  plan->alpha_grads.clear();
+  plan->grads.Clear();
+  plan->gamma_u = 1.0;
+  plan->gamma_v = 1.0;
+  const TemporalEdge& e = plan->edge;
+  // Counter-based stream: one private RNG keyed by (seed, step), so the
+  // draws depend only on the edge's arrival index — never on the writer
+  // count or the execution interleaving.
+  Rng rng(0x9E3779B97F4A7C15ULL * (plan->step + 1) ^
+          (static_cast<uint64_t>(config_.seed) + 0x632BE59BD9B4E019ULL));
+  if (config_.use_prop_loss) {
+    SUPA_TRACE_SPAN_CAT("sample", "model");
+    sampler_->SampleInto(e.src, e.dst, rng, &plan->walks,
+                         &plan->u_walk_count);
+  }
+  if (config_.use_neg_loss) {
+    const size_t total = 2 * static_cast<size_t>(config_.num_neg);
+    plan->negatives.reserve(total);
+    for (size_t j = 0; j < total; ++j) {
+      plan->negatives.push_back(SampleNegative(e.src, e.dst, rng));
+    }
+  }
+  MathSink sink;
+  sink.dirty = &plan->dirty;
+  sink.grads = &plan->grads;
+  sink.gamma_u = &plan->gamma_u;
+  sink.gamma_v = &plan->gamma_v;
+  // α rides in `grads` as a scalar row (sink.alpha stays null) — the
+  // commit-time Step applies it exactly like the serial trainer.
+  plan->stats = RunEdgeMath(*plan, scratch, sink);
+}
+
+void SupaModel::CommitPlanDeferred(const EdgePlan& plan) {
+  SUPA_TRACE_SPAN_CAT("optimize", "model");
+  const size_t d = static_cast<size_t>(config_.dim);
+  if (config_.use_short_term && config_.use_update_decay) {
+    // The banked forgetting scales the *live* rows — layered on top of
+    // any earlier in-group commits to the same endpoints.
+    Scale(plan.gamma_u, store_->ShortMem(plan.edge.src), d);
+    Scale(plan.gamma_v, store_->ShortMem(plan.edge.dst), d);
+  }
+  for (const auto& [offset, len] : plan.dirty) {
+    adam_->MarkDirty(offset, len);
+  }
+  adam_->Step(plan.grads, store_->data());
 }
 
 Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,

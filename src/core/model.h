@@ -40,6 +40,67 @@ struct TrainOptions {
   bool use_inter_loss = true;
 };
 
+/// A banked training step (DESIGN.md §13). Two pipelines share it:
+///
+///   * kStrict: PlanEdge banks everything TrainEdge consumes from the RNG
+///     stream and the graph in arrival order; ExecutePlan (any thread)
+///     applies row updates via SparseAdam::StepAt under the group lease;
+///     CommitPlan folds the banked side effects in arrival order.
+///     Bit-identical to the serial trainer.
+///   * kFast: PlanEdgeDeferred only validates and banks graph reads; the
+///     sampling moves into ExecutePlanDeferred with a per-step
+///     counter-based RNG so workers sample and compute gradients in
+///     parallel against the frozen group-start state (reads only); the
+///     gradients land in `grads` and CommitPlanDeferred applies the
+///     ordinary serial optimizer step in arrival order.
+struct EdgePlan {
+  TemporalEdge edge;
+  TrainOptions options;
+  /// Optimizer step number this edge commits as (arrival order; the
+  /// serial trainer's Step() would have assigned exactly this number).
+  uint64_t step = 0;
+  /// Last-active timestamps at plan time — the serial trainer reads them
+  /// before the edge is observed.
+  Timestamp last_active_u = kNeverActive;
+  Timestamp last_active_v = kNeverActive;
+  /// Sampled influenced graph: walks from u first, then from v.
+  WalkBuffer walks;
+  size_t u_walk_count = 0;
+  /// Banked negative draws, num_neg for u then num_neg for v;
+  /// kInvalidNode marks an exhausted draw (the loss loop skips it exactly
+  /// like the serial path).
+  std::vector<NodeId> negatives;
+
+  // -- Scheduling footprint (PlanEdge with want_footprint only) --
+  /// Every embedding row the step writes (each dim floats; the α tail is
+  /// excluded — α commits are serialized by the dispatcher). Walk rows
+  /// are included even when propagation terminates early, so the
+  /// footprint is a conservative superset of the rows actually touched.
+  std::vector<size_t> rows;
+  /// Shards covered by `rows`, widened with shard 0 whenever the step may
+  /// carry α gradients (the α tail rides with shard 0's write ordering).
+  uint64_t shard_mask = 0;
+
+  // -- Execution outputs (ExecutePlan / ExecutePlanDeferred) --
+  TrainStats stats;
+  /// Rows to mark dirty at commit.
+  SparseAdam::BankedDirty dirty;
+  /// Deferred α gradients (offset, float-accumulated like GradBuffer's
+  /// scalar rows), applied by CommitPlan at this plan's step number.
+  /// (kStrict only — the deferred pipeline routes α through `grads`.)
+  std::vector<std::pair<size_t, float>> alpha_grads;
+
+  // -- Deferred-apply outputs (kFast; ExecutePlanDeferred) --
+  /// The step's full gradient accumulation, applied by
+  /// CommitPlanDeferred via the ordinary serial optimizer step.
+  GradBuffer grads;
+  /// Banked forgetting factors γ = g(σ(α)·Δ) for src/dst: the h^S decay
+  /// is scaled into the live rows at commit (in arrival order) rather
+  /// than during execution, so shared endpoints lose no updates.
+  double gamma_u = 1.0;
+  double gamma_v = 1.0;
+};
+
 /// A trainable SUPA instance bound to one dataset's node universe, schema,
 /// and metapath set. The model owns its incrementally-built DynamicGraph;
 /// callers drive the stream with ObserveEdge (graph insertion) and
@@ -164,15 +225,113 @@ class SupaModel {
     double decay_input = 0.0; // σ(α)·Δ
     double gamma = 1.0;       // g(σ(α)·Δ)
     std::vector<float> short_before;  // h^S prior to forgetting
+    std::vector<float> short_scaled;  // γ·h^S when the decay is deferred
     std::vector<float> h_star;        // target embedding
     std::vector<float> grad_h_star;   // accumulated dL/dh*
   };
 
-  /// Eq. 5: applies forgetting to h^S in place and fills `ctx`.
-  void RunUpdater(NodeId node, Timestamp t, UpdateContext* ctx);
+ public:
+  /// Per-executor reusable scratch for ExecutePlan. One per writer thread;
+  /// never shared across concurrent executions.
+  struct ExecScratch {
+    GradBuffer grads;
+    UpdateContext ctx_u;
+    UpdateContext ctx_v;
+    std::vector<float> hr_u;
+    std::vector<float> hr_v;
+  };
+
+  // -- Plan/execute/commit split (multi-writer ingest; DESIGN.md §13) --
+
+  /// Stage 1 of a training step: validates the edge and banks everything
+  /// the step consumes from the RNG stream and the graph, in exactly the
+  /// serial trainer's draw order (walks first, then negatives). Must run
+  /// on the dispatcher thread in arrival order; never writes embeddings.
+  /// With `want_footprint`, additionally records the step's embedding-row
+  /// write set and conservative shard mask for the group scheduler.
+  Status PlanEdge(const TemporalEdge& e, const TrainOptions& options,
+                  bool want_footprint, EdgePlan* plan);
+
+  /// Stage 2: the banked step's embedding math. Touches only embedding
+  /// rows — never the graph, the RNG, or the optimizer's counters — so
+  /// plans with disjoint row footprints may execute concurrently, each
+  /// with its own scratch. Row updates apply via SparseAdam::StepAt at
+  /// plan->step; dirty rows and α gradients are banked into the plan for
+  /// CommitPlan. The caller must hold a write lease covering
+  /// plan->shard_mask.
+  void ExecutePlan(EdgePlan* plan, ExecScratch* scratch);
+
+  /// Stage 3, dispatcher-side, in arrival order: merges the banked dirty
+  /// rows, applies the deferred α gradients at the plan's pinned step
+  /// number, and advances the optimizer's step counter.
+  void CommitPlan(const EdgePlan& plan);
+
+  // -- Deferred-apply pipeline (kFast; DESIGN.md §13) --
+
+  /// kFast stage 1: validates the edge and banks only what must be read
+  /// before observation (last-active timestamps) plus the negative table
+  /// rebuild. Consumes nothing from the model's RNG stream — sampling is
+  /// deferred to ExecutePlanDeferred under a per-step counter-based seed,
+  /// so results are independent of the writer count (but diverge from the
+  /// serial trainer's draw order). Dispatcher thread, arrival order.
+  Status PlanEdgeDeferred(const TemporalEdge& e, const TrainOptions& options,
+                          EdgePlan* plan);
+
+  /// kFast stage 2, any thread, no lease required: samples the influenced
+  /// graph and negatives from Rng(seed ⊕ plan->step) against the frozen
+  /// group-start graph, then computes the step's full gradient into
+  /// plan->grads. Reads embeddings, never writes them — the forgetting
+  /// decay is banked as plan->gamma_{u,v} and all gradients stay in the
+  /// plan until commit.
+  void ExecutePlanDeferred(EdgePlan* plan, ExecScratch* scratch);
+
+  /// kFast stage 3, dispatcher-side, arrival order, under a store lease:
+  /// scales the banked forgetting into the live h^S rows, merges dirty
+  /// rows, and applies plan->grads via the ordinary serial optimizer step
+  /// (which advances the step counter to exactly plan->step).
+  void CommitPlanDeferred(const EdgePlan& plan);
+
+  /// Optimizer step counter — the ingest dispatcher pins per-edge step
+  /// numbers starting from here.
+  uint64_t optimizer_step_count() const { return adam_->step_count(); }
+
+ private:
+  /// Where the training-step math routes its side effects: straight into
+  /// the optimizer (serial TrainEdge) or banked into the plan (pipeline).
+  struct MathSink {
+    /// Dirty sink for pre-optimizer row writes (updater forgetting);
+    /// null → adam_->MarkDirty directly.
+    SparseAdam::BankedDirty* dirty = nullptr;
+    /// α gradient sink; null → GradBuffer::AccumulateScalar (serial).
+    std::vector<std::pair<size_t, float>>* alpha = nullptr;
+    /// Gradient accumulator override; null → scratch->grads (serial and
+    /// kStrict). The deferred pipeline points this at plan->grads.
+    GradBuffer* grads = nullptr;
+    /// Deferred forgetting sinks: when set, RunUpdater banks γ here and
+    /// decays a scratch copy of h^S instead of the live row (the scale is
+    /// applied at commit). Null → in-place decay (serial and kStrict).
+    double* gamma_u = nullptr;
+    double* gamma_v = nullptr;
+  };
+
+  /// Eq. 5: applies forgetting to h^S (in place, or — when
+  /// `deferred_gamma` is non-null — to a scratch copy, banking γ for the
+  /// commit-time scale) and fills `ctx`. `last_active` is the banked
+  /// pre-observation timestamp.
+  void RunUpdater(NodeId node, Timestamp t, Timestamp last_active,
+                  UpdateContext* ctx, const MathSink& sink,
+                  double* deferred_gamma);
 
   /// Routes dL/dh* into h^L, h^S, and α gradients.
-  void BackpropUpdater(const UpdateContext& ctx);
+  void BackpropUpdater(const UpdateContext& ctx, GradBuffer& grads,
+                       const MathSink& sink);
+
+  /// The full per-edge loss/gradient computation over a banked plan.
+  /// Clears scratch->grads, fills it (and the sink's banked outputs), and
+  /// returns the step's stats. Shared verbatim by the serial TrainEdge
+  /// and ExecutePlan — the two differ only in how gradients are applied.
+  TrainStats RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
+                         const MathSink& sink);
 
   /// Maps an edge type to its context-embedding slot (shared-context
   /// ablation collapses all relations onto slot 0).
@@ -180,8 +339,11 @@ class SupaModel {
     return config_.shared_context ? static_cast<EdgeTypeId>(0) : r;
   }
 
-  /// Samples one negative node id != u, v.
+  /// Samples one negative node id != u, v from the model's RNG stream.
   NodeId SampleNegative(NodeId u, NodeId v);
+  /// Same, drawing from an external RNG (the deferred pipeline's
+  /// per-step stream). Thread-safe on a frozen negative table.
+  NodeId SampleNegative(NodeId u, NodeId v, Rng& rng) const;
 
   /// Drops the delta baseline (after a whole-buffer restore) so stale
   /// delta snapshots take the full-copy fallback.
@@ -194,7 +356,6 @@ class SupaModel {
   std::unique_ptr<EmbeddingStore> store_;
   std::unique_ptr<InfluencedGraphSampler> sampler_;
   std::unique_ptr<SparseAdam> adam_;
-  GradBuffer grads_;
   Rng rng_;
 
   std::vector<double> degrees_;
@@ -204,12 +365,10 @@ class SupaModel {
   // delta-snapshot baseline (see DeltaSnapshot)
   std::shared_ptr<const Snapshot> delta_baseline_;
 
-  // reusable scratch
-  UpdateContext ctx_u_;
-  UpdateContext ctx_v_;
-  std::vector<float> scratch_hr_u_;
-  std::vector<float> scratch_hr_v_;
-  WalkBuffer walk_arena_;
+  // reusable scratch (serial TrainEdge path; the pipeline owns its own
+  // plans and per-writer scratches)
+  EdgePlan serial_plan_;
+  ExecScratch serial_scratch_;
   std::vector<double> neg_weight_scratch_;
 };
 

@@ -22,7 +22,13 @@ ShardWriteLease::ShardWriteLease(GraphStore* store, uint64_t mask)
   // can never participate in a cycle either.
   for (size_t s = 0; s < store_->shards_.size(); ++s) {
     if (mask_ & ShardBit(static_cast<uint32_t>(s))) {
-      store_->shards_[s]->mu.lock();
+      std::mutex& mu = store_->shards_[s]->mu;
+      // try_lock first so the uncontended hot path stays one CAS; a miss
+      // feeds the per-shard contention counter before parking.
+      if (!mu.try_lock()) {
+        store_->CountLeaseContention(s);
+        mu.lock();
+      }
     }
   }
 }
@@ -73,6 +79,8 @@ GraphStore::GraphStore(size_t num_edge_types,
           registry.GetGauge("store.shard_nodes" + suffix));
       shard_bytes_gauges_.push_back(
           registry.GetGauge("store.shard_bytes" + suffix));
+      lease_contention_counters_.push_back(
+          registry.GetCounter("store.lease_contention" + suffix));
     }
     RefreshShardMetrics();
     // The provider reads only relaxed atomics and construction-time
@@ -200,6 +208,37 @@ ShardWriteLease GraphStore::LeaseAll() {
 ShardWriteLease GraphStore::LeaseNodes(NodeId u, NodeId v) {
   return ShardWriteLease(this, ShardBit(map_->shard_of(u)) |
                                    ShardBit(map_->shard_of(v)));
+}
+
+uint64_t GraphStore::all_shards_mask() const {
+  return AllShardsMask(shards_.size());
+}
+
+ShardWriteLease GraphStore::LeaseMask(uint64_t mask) {
+  return ShardWriteLease(this, mask & AllShardsMask(shards_.size()));
+}
+
+bool GraphStore::TryLeaseMask(uint64_t mask, ShardWriteLease* out) {
+  mask &= AllShardsMask(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!(mask & ShardBit(static_cast<uint32_t>(s)))) continue;
+    if (shards_[s]->mu.try_lock()) continue;
+    CountLeaseContention(s);
+    // Back out the prefix we did acquire. No version bumps: a lease that
+    // was never granted guarded no writes, so snapshots need not re-copy.
+    for (size_t p = 0; p < s; ++p) {
+      if (mask & ShardBit(static_cast<uint32_t>(p))) shards_[p]->mu.unlock();
+    }
+    return false;
+  }
+  *out = ShardWriteLease(this, mask, ShardWriteLease::AdoptTag{});
+  return true;
+}
+
+void GraphStore::CountLeaseContention(size_t s) {
+  if (s < lease_contention_counters_.size()) {
+    lease_contention_counters_[s].Increment();
+  }
 }
 
 std::vector<NodeId> GraphStore::NodesOfType(NodeTypeId t) const {

@@ -82,6 +82,11 @@ class ShardWriteLease {
   friend class GraphStore;
   ShardWriteLease(GraphStore* store, uint64_t mask);
 
+  /// Adopts already-held locks (TryLeaseMask's success path).
+  struct AdoptTag {};
+  ShardWriteLease(GraphStore* store, uint64_t mask, AdoptTag)
+      : store_(store), mask_(mask) {}
+
   GraphStore* store_ = nullptr;
   uint64_t mask_ = 0;
 };
@@ -136,6 +141,27 @@ class GraphStore {
   // -- Write leases --
   ShardWriteLease LeaseAll();
   ShardWriteLease LeaseNodes(NodeId u, NodeId v);
+
+  /// Blocking lease over an explicit shard set (bit s covers shard s).
+  /// Ascending acquisition order; bits beyond num_shards() are ignored.
+  /// This is the ingest dispatcher's mask-wait: it parks here until every
+  /// shard a scheduled group touches is free.
+  ShardWriteLease LeaseMask(uint64_t mask);
+
+  /// All-or-nothing non-blocking variant: acquires every shard in `mask`
+  /// via try_lock (ascending) or none. On success stores the lease in
+  /// `*out` and returns true; on contention backs out the partial set
+  /// WITHOUT bumping versions (nothing was written under it) and returns
+  /// false.
+  bool TryLeaseMask(uint64_t mask, ShardWriteLease* out);
+
+  /// Mask with bit `shard_of(v)` set — footprint building block for the
+  /// ingest scheduler.
+  uint64_t ShardMaskOf(NodeId v) const {
+    return uint64_t{1} << map_->shard_of(v);
+  }
+  /// Mask covering every shard of this store.
+  uint64_t all_shards_mask() const;
 
   // -- Live reads (single-writer contract; see file comment) --
   std::span<const Neighbor> AllNeighbors(NodeId v) const {
@@ -224,6 +250,10 @@ class GraphStore {
   void AppendHalfEdge(NodeId from, const Neighbor& n);
   bool EraseLatestHalfEdge(NodeId from, NodeId to, EdgeTypeId r);
 
+  /// Records a blocked lease acquisition on shard `s`
+  /// (store.lease_contention.<s>; metrics-publishing stores only).
+  void CountLeaseContention(size_t s);
+
   size_t num_edge_types_;
   std::shared_ptr<const std::vector<NodeTypeId>> node_types_;
   std::shared_ptr<const NodeShardMap> map_;
@@ -247,6 +277,7 @@ class GraphStore {
   std::vector<obs::Gauge> shard_edges_gauges_;
   std::vector<obs::Gauge> shard_nodes_gauges_;
   std::vector<obs::Gauge> shard_bytes_gauges_;
+  std::vector<obs::Counter> lease_contention_counters_;
   std::optional<obs::StatusScope> status_scope_;
 };
 

@@ -160,6 +160,18 @@ int CmdTrain(const Args& args, obs::AdminServer* admin) {
   tc.valid_interval = 4;
   tc.threads = static_cast<size_t>(args.GetUint("threads", 0));
   tc.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
+  // 0 defers to SUPA_WRITER_THREADS, then 1 (the serial loop). `strict`
+  // commits are bit-identical to serial at any writer count; `fast`
+  // relaxes only within-group α staleness (DESIGN.md §13).
+  tc.writer_threads = static_cast<size_t>(args.GetUint("writer-threads", 0));
+  const std::string ingest_mode = args.Get("ingest", "strict");
+  if (ingest_mode == "fast") {
+    tc.ingest_mode = IngestMode::kFast;
+  } else if (ingest_mode != "strict") {
+    std::fprintf(stderr, "unknown --ingest mode '%s' (strict|fast)\n",
+                 ingest_mode.c_str());
+    return 1;
+  }
   InsLearnTrainer trainer(tc);
   auto report = trainer.Train(model, data.value(), split.train);
   if (!report.ok()) {
@@ -421,6 +433,12 @@ int Usage() {
                "  --shards <n>          shard the storage engine across n "
                "banks (0 = SUPA_SHARDS env, then 1; results and checkpoint "
                "bytes are bit-identical at every value)\n"
+               "ingest (train):\n"
+               "  --writer-threads <n>  concurrent embedding-math writers "
+               "(0 = SUPA_WRITER_THREADS env, then 1 = serial loop)\n"
+               "  --ingest <mode>       strict (default; bit-identical to "
+               "serial at any writer count) or fast (deterministic, relaxes "
+               "within-group alpha staleness)\n"
                "observability (any command):\n"
                "  --metrics-out <path>  write a metrics-registry JSON "
                "snapshot on exit (and print the table)\n"
