@@ -19,6 +19,8 @@
 //                          process exit
 //   SUPA_TRACE_OUT         enable trace spans and write Chrome trace JSON
 //                          here at process exit
+//   SUPA_PERF_OUT          enable hardware-counter profiling and write the
+//                          per-domain profile JSON here at process exit
 //   SUPA_ADMIN_PORT        serve /metrics /healthz /statusz /tracez on
 //                          127.0.0.1 at this port for the whole run
 //                          (0 = ephemeral; the bound port is printed to
@@ -38,6 +40,7 @@
 #include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/tsv.h"
@@ -87,8 +90,10 @@ inline void InitObservabilityFromEnv() {
     }
     const bool want_metrics = std::getenv("SUPA_METRICS_OUT") != nullptr;
     const bool want_trace = std::getenv("SUPA_TRACE_OUT") != nullptr;
+    const bool want_perf = std::getenv("SUPA_PERF_OUT") != nullptr;
     if (want_trace) obs::TraceRecorder::Global().Enable(true);
-    if (!want_metrics && !want_trace) return false;
+    if (want_perf) obs::PerfProfiler::Global().Enable(true);
+    if (!want_metrics && !want_trace && !want_perf) return false;
     std::atexit([] {
       std::string error;
       if (const char* path = std::getenv("SUPA_TRACE_OUT")) {
@@ -98,6 +103,16 @@ inline void InitObservabilityFromEnv() {
         } else {
           std::fprintf(stderr, "failed to write trace %s: %s\n", path,
                        error.c_str());
+        }
+      }
+      if (const char* path = std::getenv("SUPA_PERF_OUT")) {
+        obs::PerfProfiler::Global().Enable(false);
+        if (obs::WritePerfJson(obs::MetricsRegistry::Global(), path,
+                               &error)) {
+          std::fprintf(stderr, "(wrote perf profile %s)\n", path);
+        } else {
+          std::fprintf(stderr, "failed to write perf profile %s: %s\n",
+                       path, error.c_str());
         }
       }
       if (const char* path = std::getenv("SUPA_METRICS_OUT")) {

@@ -152,6 +152,58 @@ int main(int argc, char** argv) {
       return after.CounterValue(name) - before.CounterValue(name);
     };
 
+    // Hardware-profiled repeats of the same workload, kept separate from
+    // the timing repeats above so the wall_s/edges_per_sec samples stay
+    // comparable with unprofiled baselines. Every tier of the degradation
+    // ladder emits the same schema (all-zero ratios on PMU-less hosts);
+    // "perf.source" below names the tier so readers know which.
+    constexpr const char* kPerfPhases[] = {"sample", "update", "propagate",
+                                           "negative", "optimize"};
+    constexpr size_t kNumPerfPhases = 5;
+    struct PhasePerfSamples {
+      std::vector<double> llc_miss_rate;
+      std::vector<double> ipc;
+      std::vector<double> cycles_per_edge;
+      uint64_t cycles = 0, instructions = 0;
+      uint64_t llc_loads = 0, llc_misses = 0, scopes = 0;
+    };
+    PhasePerfSamples phase_perf[kNumPerfPhases];
+    obs::PerfProfiler::Global().Enable(true);
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const obs::MetricsSnapshot perf_before =
+          obs::MetricsRegistry::Global().Snapshot();
+      InsLearnReport r;
+      if (run_inslearn(true, &r) < 0.0) return 1;
+      const obs::MetricsSnapshot perf_after =
+          obs::MetricsRegistry::Global().Snapshot();
+      for (size_t p = 0; p < kNumPerfPhases; ++p) {
+        auto delta = [&](const char* slot) {
+          const std::string name =
+              std::string("perf.") + kPerfPhases[p] + "." + slot;
+          return perf_after.CounterValue(name) -
+                 perf_before.CounterValue(name);
+        };
+        const uint64_t cycles = delta("cycles");
+        const uint64_t instructions = delta("instructions");
+        const uint64_t loads = delta("llc_loads");
+        const uint64_t misses = delta("llc_misses");
+        const uint64_t scopes = delta("scopes");
+        PhasePerfSamples& s = phase_perf[p];
+        s.llc_miss_rate.push_back(
+            loads > 0 ? static_cast<double>(misses) / loads : 0.0);
+        s.ipc.push_back(
+            cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0);
+        s.cycles_per_edge.push_back(
+            scopes > 0 ? static_cast<double>(cycles) / scopes : 0.0);
+        s.cycles += cycles;
+        s.instructions += instructions;
+        s.llc_loads += loads;
+        s.llc_misses += misses;
+        s.scopes += scopes;
+      }
+    }
+    obs::PerfProfiler::Global().Enable(false);
+
     const size_t n_edges = data.edges.size();
     const double edges_per_sec =
         delta_wall_s > 0.0 ? static_cast<double>(n_edges) / delta_wall_s : 0.0;
@@ -256,6 +308,36 @@ int main(int argc, char** argv) {
     sample_array("edges_per_sec", eps_samples);
     sample_array("train_steps_per_sec", sps_samples);
     sample_array("wall_s", wall_samples);
+    // Hardware-profile samples, one array per phase x derived metric. On
+    // PMU-less hosts the ladder emits all-zero arrays under the same
+    // names, so baseline/candidate schemas always line up.
+    for (size_t p = 0; p < kNumPerfPhases; ++p) {
+      const std::string prefix = std::string("phase_") + kPerfPhases[p];
+      sample_array((prefix + "_llc_miss_rate").c_str(),
+                   phase_perf[p].llc_miss_rate);
+      sample_array((prefix + "_ipc").c_str(), phase_perf[p].ipc);
+      sample_array((prefix + "_cycles_per_edge").c_str(),
+                   phase_perf[p].cycles_per_edge);
+    }
+    w.EndObject();
+    // Which rung of the degradation ladder produced the perf samples,
+    // plus raw per-phase totals summed over the profiled repeats.
+    w.Key("perf").BeginObject();
+    w.Field("source", std::string_view(obs::PerfSourceName(
+                          obs::PerfProfiler::Global().source())));
+    w.Field("profiled_repeats", static_cast<uint64_t>(repeats));
+    w.Key("phases").BeginObject();
+    for (size_t p = 0; p < kNumPerfPhases; ++p) {
+      const PhasePerfSamples& s = phase_perf[p];
+      w.Key(kPerfPhases[p]).BeginObject();
+      w.Field("scopes", s.scopes);
+      w.Field("cycles", s.cycles);
+      w.Field("instructions", s.instructions);
+      w.Field("llc_loads", s.llc_loads);
+      w.Field("llc_misses", s.llc_misses);
+      w.EndObject();
+    }
+    w.EndObject();
     w.EndObject();
     w.Key("methods").BeginArray();
     for (const MethodRuntime& m : method_runtimes) {

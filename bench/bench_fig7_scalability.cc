@@ -365,6 +365,75 @@ int main(int argc, char** argv) {
   }
   writer_report.Print();
 
+  // Hardware profile of the ingest pipeline stages (DESIGN.md §14): a
+  // dedicated profiled loop at the representative writers=4 fast config,
+  // kept out of the timing sweep above so fit_wall_s samples stay
+  // comparable with unprofiled baselines. Each repeat is one Fit; the
+  // per-repeat counter deltas become bench_compare sample arrays. On
+  // PMU-less hosts the fallback ladder emits all-zero ratios under the
+  // same keys ("perf.source" names the tier).
+  constexpr const char* kIngestStages[] = {"ingest_plan", "ingest_execute",
+                                           "ingest_commit"};
+  constexpr size_t kNumIngestStages = 3;
+  struct StagePerfSamples {
+    std::vector<double> llc_miss_rate;
+    std::vector<double> ipc;
+    std::vector<double> cycles;
+    uint64_t total_cycles = 0, total_instructions = 0;
+    uint64_t total_llc_loads = 0, total_llc_misses = 0, total_scopes = 0;
+  };
+  StagePerfSamples stage_perf[kNumIngestStages];
+  bool ingest_profiled = false;
+  if (SectionEnabled("writers")) {
+    ingest_profiled = true;
+    obs::PerfProfiler::Global().Enable(true);
+    for (size_t rep = 0; rep < shard_repeats; ++rep) {
+      const obs::MetricsSnapshot perf_before =
+          obs::MetricsRegistry::Global().Snapshot();
+      SupaConfig model_config;
+      model_config.dim = 64;
+      model_config.shards = 8;
+      InsLearnConfig train_config;
+      train_config.batch_size = 4096;
+      train_config.max_iters = std::max(1, static_cast<int>(8 * env.effort));
+      train_config.valid_interval = 4;
+      train_config.writer_threads = 4;
+      train_config.ingest_mode = IngestMode::kFast;
+      SupaRecommender model(model_config, train_config);
+      Status st = model.Fit(data, split.train);
+      if (!st.ok()) {
+        std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      const obs::MetricsSnapshot perf_after =
+          obs::MetricsRegistry::Global().Snapshot();
+      for (size_t i = 0; i < kNumIngestStages; ++i) {
+        auto delta = [&](const char* slot) {
+          const std::string name =
+              std::string("perf.") + kIngestStages[i] + "." + slot;
+          return perf_after.CounterValue(name) -
+                 perf_before.CounterValue(name);
+        };
+        const uint64_t cycles = delta("cycles");
+        const uint64_t instructions = delta("instructions");
+        const uint64_t loads = delta("llc_loads");
+        const uint64_t misses = delta("llc_misses");
+        StagePerfSamples& s = stage_perf[i];
+        s.llc_miss_rate.push_back(
+            loads > 0 ? static_cast<double>(misses) / loads : 0.0);
+        s.ipc.push_back(
+            cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0);
+        s.cycles.push_back(static_cast<double>(cycles));
+        s.total_cycles += cycles;
+        s.total_instructions += instructions;
+        s.total_llc_loads += loads;
+        s.total_llc_misses += misses;
+        s.total_scopes += delta("scopes");
+      }
+    }
+    obs::PerfProfiler::Global().Enable(false);
+  }
+
   // --json-out: the S_batch table (Report schema), the shard sweep with
   // the raw per-shard byte split, and a top-level "samples" object so
   // tools/bench_compare can Welch-test the per-shard-count Fit timings
@@ -434,7 +503,40 @@ int main(int argc, char** argv) {
       for (double s : point.fit_samples) w.Double(s);
       w.EndArray();
     }
+    if (ingest_profiled) {
+      for (size_t i = 0; i < kNumIngestStages; ++i) {
+        const std::string prefix = kIngestStages[i];
+        auto sample_array = [&w](const std::string& name,
+                                 const std::vector<double>& xs) {
+          w.Key(name).BeginArray();
+          for (double x : xs) w.Double(x);
+          w.EndArray();
+        };
+        sample_array(prefix + "_llc_miss_rate", stage_perf[i].llc_miss_rate);
+        sample_array(prefix + "_ipc", stage_perf[i].ipc);
+        sample_array(prefix + "_cycles", stage_perf[i].cycles);
+      }
+    }
     w.EndObject();
+    if (ingest_profiled) {
+      w.Key("perf").BeginObject();
+      w.Field("source", std::string_view(obs::PerfSourceName(
+                            obs::PerfProfiler::Global().source())));
+      w.Field("profiled_repeats", static_cast<uint64_t>(shard_repeats));
+      w.Key("stages").BeginObject();
+      for (size_t i = 0; i < kNumIngestStages; ++i) {
+        const StagePerfSamples& s = stage_perf[i];
+        w.Key(kIngestStages[i]).BeginObject();
+        w.Field("scopes", s.total_scopes);
+        w.Field("cycles", s.total_cycles);
+        w.Field("instructions", s.total_instructions);
+        w.Field("llc_loads", s.total_llc_loads);
+        w.Field("llc_misses", s.total_llc_misses);
+        w.EndObject();
+      }
+      w.EndObject();
+      w.EndObject();
+    }
     w.EndObject();
     std::string error;
     if (!obs::WriteTextFile(json_path, w.str(), &error)) {

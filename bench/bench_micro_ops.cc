@@ -9,6 +9,7 @@
 #include "core/model.h"
 #include "data/synthetic.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/simd.h"
 
@@ -371,6 +372,49 @@ void BM_TrainEdgeTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrainEdgeTraced);
+
+void BM_ObsPerfScopeDisabled(benchmark::State& state) {
+  // Prices the disabled hot path of SUPA_PERF_SCOPE: one relaxed atomic
+  // load per scope. The acceptance budget is <= 0.1% per TrainEdge, which
+  // at 8 scopes/edge means this must stay in the ~1ns range.
+  obs::PerfProfiler::Global().Enable(false);
+  for (auto _ : state) {
+    SUPA_PERF_SCOPE(kTrainEdge);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsPerfScopeDisabled);
+
+void BM_ObsPerfScopeEnabled(benchmark::State& state) {
+  // Enabled cost: two counter-group reads plus the registry increments.
+  // On a PMU-less host this prices the active fallback tier instead; the
+  // tier is whatever PerfProfiler detection picked.
+  obs::PerfProfiler::Global().Enable(true);
+  for (auto _ : state) {
+    SUPA_PERF_SCOPE(kTrainEdge);
+    benchmark::ClobberMemory();
+  }
+  obs::PerfProfiler::Global().Enable(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsPerfScopeEnabled);
+
+void BM_TrainEdgeProfiled(benchmark::State& state) {
+  // BM_TrainEdge's dim-64 workload with hardware profiling ENABLED; the
+  // gap to BM_TrainEdge/64 is the full per-edge profiling cost (8 scopes).
+  const Dataset& data = BenchData();
+  auto model = WarmModel(BenchConfig(64), 5000);
+  obs::PerfProfiler::Global().Enable(true);
+  size_t i = 5000;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    benchmark::DoNotOptimize(model->TrainEdge(e));
+  }
+  obs::PerfProfiler::Global().Enable(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrainEdgeProfiled);
 
 void BM_InsLearnBatch(benchmark::State& state) {
   const Dataset& data = BenchData();

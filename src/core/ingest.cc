@@ -25,8 +25,14 @@ IngestPipeline::IngestPipeline(SupaModel& model, IngestOptions options)
   // One scratch per writer plus one for the dispatcher's work-stealing
   // wait (index options_.writers).
   scratches_.resize(options_.writers + 1);
-  // Value-initialized array: all per-writer counts start at zero.
+  // Value-initialized arrays: all per-writer counts start at zero.
   writer_executed_ =
+      std::make_unique<std::atomic<uint64_t>[]>(options_.writers + 1);
+  writer_cycles_ =
+      std::make_unique<std::atomic<uint64_t>[]>(options_.writers + 1);
+  writer_llc_misses_ =
+      std::make_unique<std::atomic<uint64_t>[]>(options_.writers + 1);
+  writer_task_clock_ns_ =
       std::make_unique<std::atomic<uint64_t>[]>(options_.writers + 1);
 
   auto& reg = obs::MetricsRegistry::Global();
@@ -54,15 +60,42 @@ std::vector<obs::StatusItem> IngestPipeline::StatusItems() const {
   items.push_back(
       {"committed_edges",
        std::to_string(committed_.load(std::memory_order_relaxed))});
-  for (size_t w = 0; w < options_.writers; ++w) {
+  // Per-writer hardware cost rows appear once profiling has recorded
+  // something (task-clock is nonzero on every tier of the ladder).
+  const bool have_perf =
+      writer_task_clock_ns_[0].load(std::memory_order_relaxed) != 0 ||
+      writer_task_clock_ns_[options_.writers].load(
+          std::memory_order_relaxed) != 0;
+  auto writer_rows = [&](const std::string& label, size_t w) {
     items.push_back(
-        {"writer_" + std::to_string(w) + "_executed",
+        {label + "_executed",
          std::to_string(writer_executed_[w].load(std::memory_order_relaxed))});
+    if (!have_perf) return;
+    items.push_back(
+        {label + "_cycles",
+         std::to_string(writer_cycles_[w].load(std::memory_order_relaxed))});
+    items.push_back({label + "_llc_misses",
+                     std::to_string(writer_llc_misses_[w].load(
+                         std::memory_order_relaxed))});
+    items.push_back({label + "_cpu_ms",
+                     std::to_string(writer_task_clock_ns_[w].load(
+                                        std::memory_order_relaxed) /
+                                    1000000)});
+  };
+  for (size_t w = 0; w < options_.writers; ++w) {
+    writer_rows("writer_" + std::to_string(w), w);
   }
-  items.push_back({"dispatcher_executed",
-                   std::to_string(writer_executed_[options_.writers].load(
-                       std::memory_order_relaxed))});
+  writer_rows("dispatcher", options_.writers);
   return items;
+}
+
+void IngestPipeline::FoldWriterPerf(size_t w, const obs::PerfDelta& delta) {
+  if (delta.task_clock_ns == 0 && delta.cycles == 0) return;
+  writer_cycles_[w].fetch_add(delta.cycles, std::memory_order_relaxed);
+  writer_llc_misses_[w].fetch_add(delta.llc_misses,
+                                  std::memory_order_relaxed);
+  writer_task_clock_ns_[w].fetch_add(delta.task_clock_ns,
+                                     std::memory_order_relaxed);
 }
 
 void IngestPipeline::FormGroup(Group* g, const std::vector<TemporalEdge>& edges,
@@ -73,6 +106,7 @@ void IngestPipeline::FormGroup(Group* g, const std::vector<TemporalEdge>& edges,
   g->mask = model_.graph_store().all_shards_mask();
   if (!error_.ok()) return;
   SUPA_TRACE_SPAN_CAT("ingest/form_group", "ingest");
+  SUPA_PERF_SCOPE(kIngestPlan);
   const bool deferred = options_.mode == IngestMode::kFast;
 
   while (g->count < group_cap_) {
@@ -140,9 +174,11 @@ void IngestPipeline::Launch(Group* g) {
   for (size_t w = 0; w < tasks; ++w) {
     pool.Submit([this, g, w, deferred] {
       SupaModel::ExecScratch& scratch = scratches_[w];
+      obs::PerfDelta perf;
       size_t i;
       while ((i = g->next_plan.fetch_add(1, std::memory_order_relaxed)) <
              g->count) {
+        SUPA_PERF_SCOPE_OUT(kIngestExecute, &perf);
         if (deferred) {
           model_.ExecutePlanDeferred(&g->plans[i], &scratch);
         } else {
@@ -151,6 +187,7 @@ void IngestPipeline::Launch(Group* g) {
         executed_counter_.Increment();
         writer_executed_[w].fetch_add(1, std::memory_order_relaxed);
       }
+      FoldWriterPerf(w, perf);
       if (g->pending_tasks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lk(g->mu);
         g->done = true;
@@ -170,9 +207,11 @@ void IngestPipeline::WaitExecuted(Group* g) {
   // usually empty the counter first and this loop exits immediately.
   const bool deferred = options_.mode == IngestMode::kFast;
   SupaModel::ExecScratch& scratch = scratches_[options_.writers];
+  obs::PerfDelta perf;
   size_t i;
   while ((i = g->next_plan.fetch_add(1, std::memory_order_relaxed)) <
          g->count) {
+    SUPA_PERF_SCOPE_OUT(kIngestExecute, &perf);
     if (deferred) {
       model_.ExecutePlanDeferred(&g->plans[i], &scratch);
     } else {
@@ -182,6 +221,7 @@ void IngestPipeline::WaitExecuted(Group* g) {
     writer_executed_[options_.writers].fetch_add(1,
                                                  std::memory_order_relaxed);
   }
+  FoldWriterPerf(options_.writers, perf);
   std::unique_lock<std::mutex> lk(g->mu);
   g->cv.wait(lk, [g] { return g->done; });
 }
@@ -189,6 +229,7 @@ void IngestPipeline::WaitExecuted(Group* g) {
 void IngestPipeline::Commit(
     Group* g, const std::function<void(const TrainStats&)>& on_edge) {
   SUPA_TRACE_SPAN_CAT("ingest/commit", "ingest");
+  SUPA_PERF_SCOPE(kIngestCommit);
   const bool deferred = options_.mode == IngestMode::kFast;
   if (deferred) {
     AcquireCommitLease(g);

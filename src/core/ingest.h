@@ -62,6 +62,7 @@
 #include "core/config.h"
 #include "core/model.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/statusz.h"
 #include "util/status.h"
 
@@ -158,6 +159,10 @@ class IngestPipeline {
   void Commit(Group* g,
               const std::function<void(const TrainStats&)>& on_edge);
 
+  /// Adds one execute loop's accumulated perf delta to writer slot `w`'s
+  /// atomics (no-op for an all-zero delta — profiling off).
+  void FoldWriterPerf(size_t w, const obs::PerfDelta& delta);
+
   std::vector<obs::StatusItem> StatusItems() const;
 
   SupaModel& model_;
@@ -184,6 +189,13 @@ class IngestPipeline {
   obs::Histogram lease_wait_hist_;
   obs::Histogram group_edges_hist_;
   std::unique_ptr<std::atomic<uint64_t>[]> writer_executed_;
+  /// Per-writer hardware cost (cycles / LLC misses / thread CPU ns) from
+  /// the execute-stage perf scopes, folded in once per drained group so
+  /// the scrape-side reads are plain atomics. Slot options_.writers is
+  /// the dispatcher's work-stealing share, like writer_executed_.
+  std::unique_ptr<std::atomic<uint64_t>[]> writer_cycles_;
+  std::unique_ptr<std::atomic<uint64_t>[]> writer_llc_misses_;
+  std::unique_ptr<std::atomic<uint64_t>[]> writer_task_clock_ns_;
   std::atomic<uint64_t> committed_{0};
   std::optional<obs::StatusScope> status_scope_;
 };

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/math_utils.h"
 #include "util/simd.h"
@@ -241,6 +242,7 @@ Status SupaModel::PlanEdge(const TemporalEdge& e, const TrainOptions& options,
   // the (possibly rebuilt) negative table's draws.
   if (config_.use_prop_loss) {
     SUPA_TRACE_SPAN_CAT("sample", "model");
+    SUPA_PERF_SCOPE(kSample);
     sampler_->SampleInto(e.src, e.dst, rng_, &plan->walks,
                          &plan->u_walk_count);
   }
@@ -313,6 +315,7 @@ TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
   grads.Clear();
   {
     SUPA_TRACE_SPAN_CAT("update", "model");
+    SUPA_PERF_SCOPE(kUpdate);
     RunUpdater(e.src, e.time, plan.last_active_u, &ctx_u, sink, sink.gamma_u);
     RunUpdater(e.dst, e.time, plan.last_active_v, &ctx_v, sink, sink.gamma_v);
   }
@@ -340,6 +343,7 @@ TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
   // ---- time-aware propagation (Eq. 8–10) ----------------------------------
   if (config_.use_prop_loss) {
     SUPA_TRACE_SPAN_CAT("propagate", "model");
+    SUPA_PERF_SCOPE(kPropagate);
     auto propagate = [&](size_t walk_begin, size_t walk_end,
                          UpdateContext& origin) {
       for (size_t w = walk_begin; w < walk_end; ++w) {
@@ -373,6 +377,7 @@ TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
   // ---- negative sampling loss (Eq. 12) -------------------------------------
   if (config_.use_neg_loss) {
     SUPA_TRACE_SPAN_CAT("negative", "model");
+    SUPA_PERF_SCOPE(kNegative);
     const size_t n = static_cast<size_t>(config_.num_neg);
     auto add_negatives = [&](size_t base, UpdateContext& origin) {
       for (size_t j = 0; j < n; ++j) {
@@ -393,6 +398,7 @@ TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
 
   {
     SUPA_TRACE_SPAN_CAT("optimize", "model");
+    SUPA_PERF_SCOPE(kOptimize);
     BackpropUpdater(ctx_u, grads, sink);
     BackpropUpdater(ctx_v, grads, sink);
   }
@@ -402,6 +408,7 @@ TrainStats SupaModel::RunEdgeMath(const EdgePlan& plan, ExecScratch* scratch,
 Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
                                         const TrainOptions& options) {
   SUPA_TRACE_SPAN_CAT("train_edge", "model");
+  SUPA_PERF_SCOPE(kTrainEdge);
   SUPA_RETURN_NOT_OK(
       PlanEdge(e, options, /*want_footprint=*/false, &serial_plan_));
 
@@ -429,6 +436,7 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
   const TrainStats stats = RunEdgeMath(serial_plan_, &serial_scratch_, sink);
   {
     SUPA_TRACE_SPAN_CAT("optimize", "model");
+    SUPA_PERF_SCOPE(kOptimize);
     adam_->Step(serial_scratch_.grads, store_->data());
   }
   return stats;
@@ -496,6 +504,7 @@ void SupaModel::ExecutePlanDeferred(EdgePlan* plan, ExecScratch* scratch) {
           (static_cast<uint64_t>(config_.seed) + 0x632BE59BD9B4E019ULL));
   if (config_.use_prop_loss) {
     SUPA_TRACE_SPAN_CAT("sample", "model");
+    SUPA_PERF_SCOPE(kSample);
     sampler_->SampleInto(e.src, e.dst, rng, &plan->walks,
                          &plan->u_walk_count);
   }
@@ -518,6 +527,7 @@ void SupaModel::ExecutePlanDeferred(EdgePlan* plan, ExecScratch* scratch) {
 
 void SupaModel::CommitPlanDeferred(const EdgePlan& plan) {
   SUPA_TRACE_SPAN_CAT("optimize", "model");
+  SUPA_PERF_SCOPE(kOptimize);
   const size_t d = static_cast<size_t>(config_.dim);
   if (config_.use_short_term && config_.use_update_decay) {
     // The banked forgetting scales the *live* rows — layered on top of
@@ -591,12 +601,14 @@ void SupaModel::FinalEmbeddingOn(const store::StoreSnapshot& snapshot,
 
 SupaModel::Snapshot SupaModel::TakeSnapshot() const {
   SUPA_TRACE_SPAN_CAT("snapshot/full_take", "snapshot");
+  SUPA_PERF_SCOPE(kSnapshotTake);
   SnapshotMetrics::Get().full_takes.Increment();
   return Snapshot{store_->Snapshot(), adam_->Snapshot()};
 }
 
 void SupaModel::RestoreSnapshot(const Snapshot& snapshot) {
   SUPA_TRACE_SPAN_CAT("snapshot/full_restore", "snapshot");
+  SUPA_PERF_SCOPE(kSnapshotRestore);
   SnapshotMetrics::Get().full_restores.Increment();
   store::ShardWriteLease lease = graph_store_->LeaseAll();
   store_->Restore(snapshot.params);
@@ -613,6 +625,7 @@ void SupaModel::InvalidateDeltaBaseline() {
 
 SupaModel::DeltaSnapshot SupaModel::TakeDeltaSnapshot() {
   SUPA_TRACE_SPAN_CAT("snapshot/delta_take", "snapshot");
+  SUPA_PERF_SCOPE(kSnapshotTake);
   SnapshotMetrics& metrics = SnapshotMetrics::Get();
   metrics.delta_takes.Increment();
   if (delta_baseline_ == nullptr ||
@@ -656,6 +669,7 @@ void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
   assert(snapshot.baseline != nullptr &&
          "RestoreDeltaSnapshot needs a snapshot from TakeDeltaSnapshot");
   SUPA_TRACE_SPAN_CAT("snapshot/delta_restore", "snapshot");
+  SUPA_PERF_SCOPE(kSnapshotRestore);
   SnapshotMetrics& metrics = SnapshotMetrics::Get();
   store::ShardWriteLease lease = graph_store_->LeaseAll();
   float* params = store_->data();

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -78,6 +79,7 @@ Result<RankingResult> EvaluateLinkPrediction(const Recommender& model,
   std::vector<MetricAccumulator> shard_acc(num_shards);
   ParallelFor(config.threads, num_shards, [&](size_t shard) {
     SUPA_TRACE_SPAN_CAT("eval/shard", "eval");
+    SUPA_PERF_SCOPE(kEvalShard);
     Rng shard_rng(SplitMix64At(config.seed, shard));
     MetricAccumulator& acc = shard_acc[shard];
     std::vector<NodeId> sampled_candidates;

@@ -19,6 +19,7 @@
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/prometheus.h"
 #include "obs/statusz.h"
 #include "obs/trace.h"
@@ -384,8 +385,13 @@ HttpResponse AdminServer::Route(const HttpRequest& request) {
                          std::string::npos);
   }
   if (request.path == "/tracez") return HandleTracez();
-  return HttpResponse{404, "text/plain; charset=utf-8",
-                      "not found; try /metrics /healthz /statusz /tracez\n"};
+  if (request.path == "/profilez") {
+    return HandleProfilez(request.query.find("format=json") !=
+                          std::string::npos);
+  }
+  return HttpResponse{
+      404, "text/plain; charset=utf-8",
+      "not found; try /metrics /healthz /statusz /tracez /profilez\n"};
 }
 
 HttpResponse AdminServer::HandleIndex() const {
@@ -398,6 +404,8 @@ HttpResponse AdminServer::HandleIndex() const {
       "<li><a href=\"/statusz\">/statusz</a> — build, uptime, progress "
       "(<a href=\"/statusz?format=json\">json</a>)</li>"
       "<li><a href=\"/tracez\">/tracez</a> — Chrome trace dump</li>"
+      "<li><a href=\"/profilez\">/profilez</a> — hardware profile "
+      "(<a href=\"/profilez?format=json\">json</a>)</li>"
       "</ul>\n";
   return r;
 }
@@ -406,7 +414,8 @@ HttpResponse AdminServer::HandleMetrics() const {
   const BuildInfo build;
   HttpResponse r;
   r.content_type = "text/plain; version=0.0.4; charset=utf-8";
-  r.body = RenderPrometheusText(MetricsRegistry::Global().Snapshot());
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  r.body = RenderPrometheusText(snapshot);
   AppendPrometheusSeries(
       "supa_build_info", "gauge", "build metadata (value is always 1)",
       {{"compiler", build.compiler},
@@ -417,7 +426,20 @@ HttpResponse AdminServer::HandleMetrics() const {
                          "seconds since the admin server started (steady "
                          "clock)",
                          {}, UptimeSeconds(), &r.body);
+  // Derived hardware-profile gauges (IPC, miss rates, cycles/edge); the
+  // raw perf.* counters are already in the snapshot above.
+  AppendPerfPrometheusSeries(snapshot, &r.body);
   return r;
+}
+
+HttpResponse AdminServer::HandleProfilez(bool as_json) const {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  if (as_json) {
+    return HttpResponse{200, "application/json; charset=utf-8",
+                        PerfReportJson(snapshot) + "\n"};
+  }
+  return HttpResponse{200, "text/html; charset=utf-8",
+                      PerfReportHtml(snapshot)};
 }
 
 HttpResponse AdminServer::HandleHealthz() const {
@@ -449,6 +471,8 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
   const std::vector<StatusSection> sections =
       StatusRegistry::Global().Collect();
   const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const uint64_t trace_dropped = TraceRecorder::Global().dropped_events();
+  const PerfProfiler& profiler = PerfProfiler::Global();
 
   if (as_json) {
     JsonWriter w;
@@ -459,6 +483,11 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
     w.Field("compiler", std::string_view(build.compiler));
     w.Field("build_type", std::string_view(build.build_type));
     w.Field("tracing", std::string_view(build.tracing));
+    w.EndObject();
+    w.Field("trace_dropped_events", trace_dropped);
+    w.Key("perf").BeginObject();
+    w.Field("source", std::string_view(PerfSourceName(profiler.source())));
+    w.Field("enabled", profiler.enabled());
     w.EndObject();
     w.Key("sections").BeginArray();
     for (const StatusSection& section : sections) {
@@ -497,6 +526,17 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
           EscapeHtml(build.build_type) + " build · compiler " +
           EscapeHtml(build.compiler) + " · tracing " +
           EscapeHtml(build.tracing) + "</p>";
+  if (trace_dropped > 0) {
+    body += "<p style=\"color:#b00\"><b>warning:</b> trace ring dropped " +
+            std::to_string(trace_dropped) +
+            " events (oldest overwritten) — raise the ring capacity or "
+            "export more often</p>";
+  }
+  body += "<p>hardware profile: source " +
+          EscapeHtml(PerfSourceName(profiler.source())) + ", profiling " +
+          (profiler.enabled() ? std::string("enabled") :
+                                std::string("disabled")) +
+          " — see <a href=\"/profilez\">/profilez</a></p>";
   for (const StatusSection& section : sections) {
     body += "<h2>" + EscapeHtml(section.name) + "</h2><table border=1>";
     for (const StatusItem& item : section.items) {

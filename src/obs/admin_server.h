@@ -134,6 +134,7 @@ class AdminServer {
   HttpResponse HandleHealthz() const;
   HttpResponse HandleStatusz(bool as_json) const;
   HttpResponse HandleTracez() const;
+  HttpResponse HandleProfilez(bool as_json) const;
 
   double UptimeSeconds() const;
 

@@ -1,0 +1,281 @@
+// Hardware performance-counter profiling with per-domain attribution.
+//
+// A PerfScope brackets one unit of work (one TrainEdge phase, one ingest
+// group commit, one serve scoring batch, ...) and charges the hardware
+// cost of that window — cycles, instructions, LLC loads/misses, branches,
+// branch misses, task-clock, context switches — to a PerfDomain. Deltas
+// accumulate into the global per-thread sharded MetricsRegistry under
+// `perf.<domain>.<counter>` names, so the existing /metrics, JSON export,
+// and Welch-gated bench plumbing all apply unchanged.
+//
+// Counters come from perf_event_open(2), opened per thread as two groups
+// so members of a group are scheduled onto the PMU together and their
+// ratios (IPC, miss rates) stay meaningful:
+//   * hardware group — leader: cycles; members: instructions, LLC-loads,
+//     LLC-load-misses, branches, branch-misses;
+//   * software group — leader: task-clock; member: context-switches.
+// Reads use PERF_FORMAT_GROUP with TOTAL_TIME_ENABLED / TOTAL_TIME_RUNNING
+// so a multiplexed group (more counters than PMU slots) is scaled by
+// enabled/running over the scope's window, the standard perf estimate.
+//
+// Degradation ladder (containers and CI runners rarely expose a PMU):
+//   1. kHardware — full PMU groups.
+//   2. kSoftware — perf_event_open works but hardware events don't
+//      (EACCES/ENOSYS/ENOENT/...): task-clock + context-switches only;
+//      hardware columns read as zero.
+//   3. kRusage  — perf_event_open unavailable entirely: thread CPU time
+//      via clock_gettime(CLOCK_THREAD_CPUTIME_ID) and context switches
+//      via getrusage(RUSAGE_THREAD).
+// Every tier emits the same metric schema; `source()` names the tier so
+// consumers (bench JSON, /profilez) can label what the numbers mean.
+// The ladder policy itself is the pure function ResolvePerfTier, pinned
+// by obs_perf_counters_test.
+//
+// Hot-path contract (same pin as tracing): with profiling disabled a
+// SUPA_PERF_SCOPE is one relaxed atomic load; enabled or not, nothing
+// here consumes application RNG streams or touches model state, so
+// training output is bit-identical with profiling on or off.
+//
+// Like everything in obs/, this depends only on the standard library and
+// POSIX/Linux syscalls.
+
+#ifndef SUPA_OBS_PERF_COUNTERS_H_
+#define SUPA_OBS_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace supa::obs {
+
+/// What a PerfScope's cost is attributed to. One scope == one unit of the
+/// domain's work (one edge for the training phases, one batch for serve,
+/// one shard for eval, ...), so `cycles / scopes` is cycles-per-edge for
+/// the training domains.
+enum class PerfDomain : uint8_t {
+  // The five phases of the paper's instant-update loop.
+  kSample = 0,
+  kUpdate,
+  kPropagate,
+  kNegative,
+  kOptimize,
+  // One whole TrainEdge (serial trainer), the per-edge denominator.
+  kTrainEdge,
+  // Multi-writer ingest pipeline stages.
+  kIngestPlan,
+  kIngestExecute,
+  kIngestCommit,
+  // Request path: one serve scoring batch.
+  kServeScore,
+  // One evaluation shard.
+  kEvalShard,
+  // Snapshot machinery (full + delta, take + restore).
+  kSnapshotTake,
+  kSnapshotRestore,
+  kCount
+};
+
+inline constexpr size_t kNumPerfDomains =
+    static_cast<size_t>(PerfDomain::kCount);
+
+/// Stable lowercase identifier ("sample", "ingest_commit", ...) used in
+/// metric names `perf.<domain>.<counter>` and report keys.
+const char* PerfDomainName(PerfDomain domain);
+
+/// Which rung of the degradation ladder is producing numbers.
+enum class PerfSource : uint8_t {
+  kDisabled = 0,  // profiler never enabled
+  kHardware,      // full PMU counter groups
+  kSoftware,      // software perf events only (no PMU access)
+  kRusage,        // getrusage/clock_gettime fallback (no perf_event_open)
+};
+
+/// Stable identifier ("hardware", "software", "rusage", "disabled") used
+/// as the `perf.source` field of every export.
+const char* PerfSourceName(PerfSource source);
+
+/// The ladder policy: given which probe succeeded, pick the tier. Pure so
+/// the fallback ordering is pinned by tests independent of the host.
+PerfSource ResolvePerfTier(bool hardware_ok, bool software_ok);
+
+/// True when `err` (an errno from perf_event_open) means the event or the
+/// syscall is unavailable in this environment — the expected, silent
+/// reasons to descend the ladder (EACCES, EPERM, ENOENT, ENOSYS, ENODEV,
+/// EOPNOTSUPP, EINVAL on partial PMUs).
+bool PerfErrnoMeansUnavailable(int err);
+
+/// One window's worth of counter deltas, multiplex-scaled. Fields read as
+/// zero for counters the active tier cannot measure.
+struct PerfDelta {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_loads = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+  uint64_t ctx_switches = 0;
+
+  void Accumulate(const PerfDelta& other);
+};
+
+namespace internal {
+
+/// Raw absolute readings at one instant; deltas and multiplex scaling are
+/// computed between two of these (see PerfScope).
+struct PerfReading {
+  uint64_t values[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  uint64_t hw_enabled = 0;
+  uint64_t hw_running = 0;
+  uint64_t sw_enabled = 0;
+  uint64_t sw_running = 0;
+};
+
+}  // namespace internal
+
+class PerfProfiler {
+ public:
+  PerfProfiler();
+
+  PerfProfiler(const PerfProfiler&) = delete;
+  PerfProfiler& operator=(const PerfProfiler&) = delete;
+
+  /// Process-wide profiler used by SUPA_PERF_SCOPE. Leaked singleton (see
+  /// MetricsRegistry::Global).
+  static PerfProfiler& Global();
+
+  /// Enabling probes the ladder (once per Enable(true)), registers the
+  /// `perf.*` counters, and makes scopes live. Disabling returns the hot
+  /// path to one relaxed load; per-thread counter fds stay open for a
+  /// later re-enable.
+  void Enable(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Tier chosen by the last Enable(true); kDisabled before that.
+  PerfSource source() const {
+    return source_.load(std::memory_order_relaxed);
+  }
+
+  /// Clamps the ladder: detection starts at `tier` instead of kHardware
+  /// (e.g. kRusage skips perf_event_open entirely). Applies from the next
+  /// Enable(true); already-open per-thread state is reopened lazily.
+  /// Testing aid for pinning tier behavior on any host.
+  void SetMaxTier(PerfSource tier);
+
+ private:
+  friend class PerfScope;
+
+  /// Fills `*reading` for the calling thread, opening its counters on
+  /// first use. Returns false when nothing could be read.
+  bool BeginScope(internal::PerfReading* reading);
+  /// Reads again, scales, and charges the delta to `domain` (and to
+  /// `*out` when non-null).
+  void EndScope(PerfDomain domain, const internal::PerfReading& begin,
+                PerfDelta* out);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<PerfSource> source_{PerfSource::kDisabled};
+  std::atomic<PerfSource> max_tier_{PerfSource::kHardware};
+  /// Bumped when tier detection reruns; threads holding state from an
+  /// older epoch reopen their counters.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> counters_ready_{false};
+  /// [domain][slot]: 8 counter slots + 1 scope-count slot, resolved once
+  /// under `init_mu_` at first Enable(true).
+  Counter counters_[kNumPerfDomains][9];
+  std::mutex init_mu_;
+};
+
+/// RAII scope charging the enclosed work to `domain`. Safe to nest (e.g.
+/// the optimize scope inside the train_edge scope); each scope reads
+/// absolute counters at entry/exit and takes its own delta. When `out` is
+/// non-null the delta is also accumulated there (per-writer attribution).
+class PerfScope {
+ public:
+  explicit PerfScope(PerfDomain domain, PerfDelta* out = nullptr)
+      : domain_(domain), out_(out) {
+    PerfProfiler& profiler = PerfProfiler::Global();
+    if (profiler.enabled()) {  // disabled path: this one relaxed load
+      active_ = profiler.BeginScope(&begin_);
+    }
+  }
+  ~PerfScope() {
+    if (active_) PerfProfiler::Global().EndScope(domain_, begin_, out_);
+  }
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  PerfDomain domain_;
+  PerfDelta* out_;
+  bool active_ = false;
+  internal::PerfReading begin_;
+};
+
+#ifndef SUPA_PERF_DISABLED
+/// Charges the rest of the enclosing scope to `domain` (a PerfDomain
+/// enumerator name, e.g. SUPA_PERF_SCOPE(kSample)).
+#define SUPA_PERF_SCOPE(domain)               \
+  ::supa::obs::PerfScope SUPA_OBS_CONCAT(     \
+      supa_perf_scope_, __LINE__)(::supa::obs::PerfDomain::domain)
+/// Same, additionally accumulating the delta into `*out`.
+#define SUPA_PERF_SCOPE_OUT(domain, out)      \
+  ::supa::obs::PerfScope SUPA_OBS_CONCAT(     \
+      supa_perf_scope_, __LINE__)(::supa::obs::PerfDomain::domain, (out))
+#else
+#define SUPA_PERF_SCOPE(domain) static_cast<void>(0)
+#define SUPA_PERF_SCOPE_OUT(domain, out) static_cast<void>(0)
+#endif
+
+/// Derived view of one domain's `perf.*` counters in a snapshot.
+struct PerfDomainStats {
+  PerfDomain domain = PerfDomain::kCount;
+  uint64_t scopes = 0;
+  PerfDelta totals;
+  double task_clock_s = 0.0;
+  /// Ratios are 0 when their denominator is 0 (fallback tiers).
+  double ipc = 0.0;              // instructions / cycles
+  double llc_miss_rate = 0.0;    // llc_misses / llc_loads
+  double branch_miss_rate = 0.0; // branch_misses / branches
+  double cycles_per_edge = 0.0;  // cycles / scopes (one scope == one unit)
+};
+
+/// Stats for every domain with at least one recorded scope, in enum
+/// order. Empty when profiling never ran.
+std::vector<PerfDomainStats> CollectPerfDomainStats(
+    const MetricsSnapshot& snapshot);
+
+/// Appends derived Prometheus gauges (`perf_<domain>_ipc`,
+/// `perf_<domain>_llc_miss_rate`, `perf_<domain>_branch_miss_rate`,
+/// `perf_<domain>_cycles_per_edge`) plus the `supa_perf_source` info
+/// series for the active tier. Raw `perf.*` counters are already covered
+/// by the normal exposition of `snapshot`.
+void AppendPerfPrometheusSeries(const MetricsSnapshot& snapshot,
+                                std::string* out);
+
+/// Full profile report as a JSON document: {"source": ..., "enabled": ...,
+/// "domains": {"sample": {...}, ...}}. Served by /profilez?format=json and
+/// written by `supa_cli --perf-out`.
+std::string PerfReportJson(const MetricsSnapshot& snapshot);
+
+/// Same report as a self-contained HTML table (GET /profilez).
+std::string PerfReportHtml(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes PerfReportJson to `path`.
+bool WritePerfJson(const MetricsRegistry& registry, const std::string& path,
+                   std::string* error);
+
+}  // namespace supa::obs
+
+// SUPA_OBS_CONCAT lives in trace.h; keep the macros usable without it.
+#ifndef SUPA_OBS_CONCAT
+#define SUPA_OBS_CONCAT_INNER(a, b) a##b
+#define SUPA_OBS_CONCAT(a, b) SUPA_OBS_CONCAT_INNER(a, b)
+#endif
+
+#endif  // SUPA_OBS_PERF_COUNTERS_H_

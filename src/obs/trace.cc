@@ -44,7 +44,11 @@ struct TraceRecorder::Ring {
 
 TraceRecorder::TraceRecorder()
     : recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
-      ring_capacity_(kDefaultRingCapacity) {}
+      ring_capacity_(kDefaultRingCapacity),
+      // Eagerly registered so the series exists (at zero) in every scrape,
+      // not only after the first drop.
+      dropped_counter_(
+          MetricsRegistry::Global().GetCounter("obs.trace.dropped")) {}
 
 TraceRecorder::~TraceRecorder() = default;
 
@@ -85,6 +89,9 @@ void TraceRecorder::Record(const char* name, const char* cat,
   if (!enabled()) return;
   Ring* ring = RingForThisThread();
   const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  // Only the wrap path pays the extra relaxed add; a non-full ring keeps
+  // the original record cost.
+  if (head >= ring->events.size()) dropped_counter_.Increment();
   ring->events[head & ring->mask] = StoredEvent{name, cat, start_ns, end_ns};
   ring->head.store(head + 1, std::memory_order_release);
 }

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace supa::obs {
 
 /// One recorded span, as exported for JSON emission and tests.
@@ -89,6 +91,10 @@ class TraceRecorder {
   const uint64_t recorder_id_;
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> ring_capacity_;
+  /// Mirrors ring overwrites into the metrics registry
+  /// (`obs.trace.dropped`) so scrapes see drops without calling
+  /// dropped_events(); unlike the per-ring counts it survives Clear().
+  Counter dropped_counter_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Ring>> rings_;  // creation order
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/perf_counters.h"
 #include "util/simd.h"
 
 #if defined(__linux__)
@@ -192,8 +193,11 @@ void ServeEngine::WorkerLoop(size_t worker_index) {
 
     batches_counter_.Increment();
     batch_size_hist_.Observe(static_cast<double>(arena->batch.size()));
-    for (void* raw : arena->batch) {
-      ScoreRequest(*snapshot, static_cast<Slot*>(raw), arena);
+    {
+      SUPA_PERF_SCOPE(kServeScore);  // one scope == one scoring batch
+      for (void* raw : arena->batch) {
+        ScoreRequest(*snapshot, static_cast<Slot*>(raw), arena);
+      }
     }
 
     {

@@ -76,6 +76,23 @@ TEST(DirectionForMetricTest, SuffixInference) {
   EXPECT_EQ(DirectionForMetric("mrr"), MetricDirection::kHigherIsBetter);
 }
 
+TEST(DirectionForMetricTest, HardwareProfileSuffixes) {
+  // The perf sample arrays BENCH_fig5.json / BENCH_fig7.json embed: miss
+  // rates and cycle counts are costs, IPC is throughput-like.
+  EXPECT_EQ(DirectionForMetric("phase_update_ipc"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("phase_update_llc_miss_rate"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("phase_update_cycles_per_edge"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("ingest_execute_cycles"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("ingest_plan_llc_misses"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("sample_branch_miss_rate"),
+            MetricDirection::kLowerIsBetter);
+}
+
 TEST(BenchCompareTest, TenPercentRegressionGates) {
   // Injected 10% edges_per_sec regression at ~1% noise: must gate at the
   // default p < 0.05 (the acceptance fixture).
@@ -172,6 +189,65 @@ TEST(BenchCompareTest, MissingSamplesObjectIsAnError) {
       CompareBenchReports(base.value(), cand.value(), CompareOptions{}).ok());
   EXPECT_FALSE(
       CompareBenchReports(cand.value(), base.value(), CompareOptions{}).ok());
+}
+
+TEST(BenchCompareTest, InjectedMissRateRegressionGates) {
+  // The acceptance fixture for the hardware-profile gate: a doubled LLC
+  // miss rate at unchanged wall time. Wall-clock gates are blind to it;
+  // the _miss_rate direction suffix must flag it, and the accompanying
+  // IPC drop gates through the higher-is-better arm.
+  auto perf_report = [](const std::vector<double>& miss_rate,
+                        const std::vector<double>& ipc,
+                        const std::vector<double>& wall) {
+    std::string out = R"({"samples": {)";
+    auto arr = [](const std::vector<double>& xs) {
+      std::string s = "[";
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += std::to_string(xs[i]);
+      }
+      return s + "]";
+    };
+    out += "\"phase_update_llc_miss_rate\": " + arr(miss_rate);
+    out += ", \"phase_update_ipc\": " + arr(ipc);
+    out += ", \"wall_s\": " + arr(wall);
+    out += "}}";
+    return out;
+  };
+  const std::vector<double> wall = Noisy(12.0, 0.12, 5, 50);
+  const std::string base = perf_report(Noisy(0.08, 0.004, 5, 51),
+                                       Noisy(2.1, 0.02, 5, 52), wall);
+  const std::string cand = perf_report(Noisy(0.16, 0.004, 5, 53),
+                                       Noisy(1.7, 0.02, 5, 54), wall);
+  const CompareReport report = Compare(base, cand);
+  ASSERT_TRUE(report.has_regression);
+  const MetricComparison* miss =
+      FindMetric(report, "phase_update_llc_miss_rate");
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(miss->direction, MetricDirection::kLowerIsBetter);
+  EXPECT_TRUE(miss->regression);
+  EXPECT_LT(miss->p_worse, 0.05);
+  const MetricComparison* ipc = FindMetric(report, "phase_update_ipc");
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_EQ(ipc->direction, MetricDirection::kHigherIsBetter);
+  EXPECT_TRUE(ipc->regression);
+  // Identical wall samples: the wall gate stays silent, proving the miss
+  // rate is the only signal.
+  const MetricComparison* w = FindMetric(report, "wall_s");
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->regression);
+}
+
+TEST(BenchCompareTest, AllZeroFallbackSamplesDoNotGate) {
+  // PMU-less hosts emit all-zero perf arrays (the rusage/software tiers
+  // cannot measure LLC traffic). Zero-variance inputs must compare clean
+  // against themselves — no NaNs, no spurious verdicts.
+  const std::string zeros =
+      R"({"samples": {"phase_update_llc_miss_rate": [0.0, 0.0, 0.0]}})";
+  const CompareReport report = Compare(zeros, zeros);
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_FALSE(report.metrics[0].regression);
+  EXPECT_FALSE(report.has_regression);
 }
 
 TEST(BenchCompareTest, JsonReportParses) {

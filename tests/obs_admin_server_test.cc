@@ -21,6 +21,7 @@
 #include "data/synthetic.h"
 #include "json_check.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/prometheus.h"
 #include "obs/statusz.h"
 #include "util/json_parse.h"
@@ -339,6 +340,56 @@ TEST(AdminServerTest, StatuszServesHtmlAndJson) {
   }
   EXPECT_TRUE(found);
   ASSERT_NE(parsed.value().Find("histograms"), nullptr);
+}
+
+TEST(AdminServerTest, ProfilezServesHtmlAndJson) {
+  // A recorded scope so the report has at least one domain row.
+  PerfProfiler::Global().Enable(true);
+  {
+    SUPA_PERF_SCOPE(kServeScore);
+    volatile uint64_t acc = 1;
+    for (int i = 0; i < 10000; ++i) acc = acc * 33 + 7;
+  }
+  PerfProfiler::Global().Enable(false);
+
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult html = HttpGet(server.port(), "/profilez");
+  ASSERT_TRUE(html.ok);
+  EXPECT_EQ(html.status, 200);
+  EXPECT_NE(html.head.find("text/html"), std::string::npos);
+  EXPECT_NE(html.body.find("Hardware profile"), std::string::npos);
+  EXPECT_NE(html.body.find("serve_score"), std::string::npos);
+
+  HttpResult json = HttpGet(server.port(), "/profilez?format=json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.head.find("application/json"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(test::JsonParses(json.body, &error)) << error;
+  auto parsed = ParseJson(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Any rung of the degradation ladder is fine; "disabled" would mean the
+  // Enable above never took effect.
+  const std::string source = parsed.value().Find("source")->string_value();
+  EXPECT_TRUE(source == "hardware" || source == "software" ||
+              source == "rusage")
+      << source;
+  ASSERT_NE(parsed.value().FindPath("domains.serve_score.scopes"), nullptr);
+
+  // /metrics carries the derived perf gauges and the tier info series.
+  HttpResult metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("supa_perf_source"), std::string::npos);
+  EXPECT_NE(metrics.body.find("perf_serve_score_ipc"), std::string::npos);
+
+  // /statusz surfaces the tier and the trace-drop counter.
+  HttpResult statusz = HttpGet(server.port(), "/statusz?format=json");
+  ASSERT_TRUE(statusz.ok);
+  auto status_json = ParseJson(statusz.body);
+  ASSERT_TRUE(status_json.ok()) << status_json.status().ToString();
+  ASSERT_NE(status_json.value().FindPath("perf.source"), nullptr);
+  ASSERT_NE(status_json.value().Find("trace_dropped_events"), nullptr);
 }
 
 TEST(AdminServerTest, TracezReturnsValidChromeTraceJson) {

@@ -48,8 +48,18 @@ std::string FormatG(double v) {
 }  // namespace
 
 MetricDirection DirectionForMetric(std::string_view name) {
+  // Throughput-style metrics (explicitly higher-is-better, so a future
+  // default change cannot flip them). "_ipc" covers the hardware-profile
+  // instructions-per-cycle samples.
+  for (std::string_view suffix : {"_ipc", "_per_sec", "_throughput"}) {
+    if (EndsWith(name, suffix)) return MetricDirection::kHigherIsBetter;
+  }
+  // Cost-style metrics: wall/latency times plus the hardware-profile
+  // counters ("_cycles_per_edge" is listed separately because
+  // EndsWith("_cycles") does not match it).
   for (std::string_view suffix :
-       {"_s", "_ms", "_us", "_ns", "_seconds", "_wall", "_latency"}) {
+       {"_s", "_ms", "_us", "_ns", "_seconds", "_wall", "_latency",
+        "_miss_rate", "_cycles", "_misses", "_cycles_per_edge"}) {
     if (EndsWith(name, suffix)) return MetricDirection::kLowerIsBetter;
   }
   return MetricDirection::kHigherIsBetter;

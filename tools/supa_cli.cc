@@ -35,6 +35,7 @@
 #include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/http.h"
@@ -444,6 +445,10 @@ int Usage() {
                "snapshot on exit (and print the table)\n"
                "  --trace-out <path>    record trace spans and write Chrome "
                "trace JSON on exit\n"
+               "  --perf-out <path>     profile hardware counters "
+               "(perf_event_open, with software/rusage fallback) and write "
+               "the per-domain profile JSON on exit; also live at "
+               "/profilez\n"
                "  --heartbeat <secs>    train: log a throughput line every "
                "~<secs> seconds\n"
                "  --admin-port <port>   serve /metrics /healthz /statusz "
@@ -470,7 +475,9 @@ int Main(int argc, char** argv) {
 
   const std::string metrics_out = args.value().Get("metrics-out", "");
   const std::string trace_out = args.value().Get("trace-out", "");
+  const std::string perf_out = args.value().Get("perf-out", "");
   if (!trace_out.empty()) obs::TraceRecorder::Global().Enable(true);
+  if (!perf_out.empty()) obs::PerfProfiler::Global().Enable(true);
 
   // --admin-port (or SUPA_ADMIN_PORT) serves the live telemetry endpoints
   // for the lifetime of the command. The bound port goes to stderr so
@@ -514,6 +521,19 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "trace (%zu spans) -> %s\n",
                  obs::TraceRecorder::Global().recorded_events(),
                  trace_out.c_str());
+  }
+  if (!perf_out.empty()) {
+    obs::PerfProfiler::Global().Enable(false);
+    std::string error;
+    if (!obs::WritePerfJson(obs::MetricsRegistry::Global(), perf_out,
+                            &error)) {
+      std::fprintf(stderr, "failed to write perf profile: %s\n",
+                   error.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "perf profile (source=%s) -> %s\n",
+                 obs::PerfSourceName(obs::PerfProfiler::Global().source()),
+                 perf_out.c_str());
   }
   if (!metrics_out.empty()) {
     const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
