@@ -21,7 +21,11 @@
 //                          here at process exit
 //   SUPA_PERF_OUT          enable hardware-counter profiling and write the
 //                          per-domain profile JSON here at process exit
-//   SUPA_ADMIN_PORT        serve /metrics /healthz /statusz /tracez on
+//   SUPA_MODEL_OUT         enable the model monitor and write its report
+//                          JSON (sketch quantiles, drift, alerts) here at
+//                          process exit
+//   SUPA_ADMIN_PORT        serve /metrics /healthz /statusz /tracez
+//                          /profilez /modelz on
 //                          127.0.0.1 at this port for the whole run
 //                          (0 = ephemeral; the bound port is printed to
 //                          stderr)
@@ -40,6 +44,7 @@
 #include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -91,9 +96,13 @@ inline void InitObservabilityFromEnv() {
     const bool want_metrics = std::getenv("SUPA_METRICS_OUT") != nullptr;
     const bool want_trace = std::getenv("SUPA_TRACE_OUT") != nullptr;
     const bool want_perf = std::getenv("SUPA_PERF_OUT") != nullptr;
+    const bool want_model = std::getenv("SUPA_MODEL_OUT") != nullptr;
     if (want_trace) obs::TraceRecorder::Global().Enable(true);
     if (want_perf) obs::PerfProfiler::Global().Enable(true);
-    if (!want_metrics && !want_trace && !want_perf) return false;
+    if (want_model) obs::ModelMonitor::Global().Enable(true);
+    if (!want_metrics && !want_trace && !want_perf && !want_model) {
+      return false;
+    }
     std::atexit([] {
       std::string error;
       if (const char* path = std::getenv("SUPA_TRACE_OUT")) {
@@ -112,6 +121,15 @@ inline void InitObservabilityFromEnv() {
           std::fprintf(stderr, "(wrote perf profile %s)\n", path);
         } else {
           std::fprintf(stderr, "failed to write perf profile %s: %s\n",
+                       path, error.c_str());
+        }
+      }
+      if (const char* path = std::getenv("SUPA_MODEL_OUT")) {
+        obs::ModelMonitor::Global().Enable(false);
+        if (obs::WriteModelJson(path, &error)) {
+          std::fprintf(stderr, "(wrote model report %s)\n", path);
+        } else {
+          std::fprintf(stderr, "failed to write model report %s: %s\n",
                        path, error.c_str());
         }
       }

@@ -15,6 +15,7 @@
 #include "eval/protocols.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "util/simd.h"
 #include "util/timer.h"
 
@@ -168,14 +169,30 @@ int main(int argc, char** argv) {
       uint64_t llc_loads = 0, llc_misses = 0, scopes = 0;
     };
     PhasePerfSamples phase_perf[kNumPerfPhases];
+    // Model-quality samples ride the profiled repeats: the monitor resets
+    // per repeat, so each sample is one full training run's mean. Training
+    // is bit-identical with the monitor on (pinned by tests), so these are
+    // the same runs the perf counters see.
+    std::vector<double> loss_samples, grad_norm_samples, mrr_samples;
+    obs::ModelMonitorSnapshot model_snapshot;
     obs::PerfProfiler::Global().Enable(true);
+    obs::ModelMonitor::Global().Enable(true);
     for (size_t rep = 0; rep < repeats; ++rep) {
+      obs::ModelMonitor::Global().Reset();
       const obs::MetricsSnapshot perf_before =
           obs::MetricsRegistry::Global().Snapshot();
       InsLearnReport r;
       if (run_inslearn(true, &r) < 0.0) return 1;
       const obs::MetricsSnapshot perf_after =
           obs::MetricsRegistry::Global().Snapshot();
+      model_snapshot = obs::ModelMonitor::Global().Snapshot();
+      loss_samples.push_back(model_snapshot.train_loss.Mean());
+      grad_norm_samples.push_back(model_snapshot.grad_norm.Mean());
+      double mrr_sum = 0.0;
+      for (double s : r.batch_scores) mrr_sum += s;
+      mrr_samples.push_back(
+          r.batch_scores.empty() ? 0.0
+                                 : mrr_sum / r.batch_scores.size());
       for (size_t p = 0; p < kNumPerfPhases; ++p) {
         auto delta = [&](const char* slot) {
           const std::string name =
@@ -202,6 +219,7 @@ int main(int argc, char** argv) {
         s.scopes += scopes;
       }
     }
+    obs::ModelMonitor::Global().Enable(false);
     obs::PerfProfiler::Global().Enable(false);
 
     const size_t n_edges = data.edges.size();
@@ -308,6 +326,13 @@ int main(int argc, char** argv) {
     sample_array("edges_per_sec", eps_samples);
     sample_array("train_steps_per_sec", sps_samples);
     sample_array("wall_s", wall_samples);
+    // Model-quality samples (one per profiled repeat). bench_compare
+    // knows the gate direction from the suffix: *_loss and *_grad_norm
+    // regress upward, *_mrr regresses downward — a quality regression
+    // gates even when wall_s is unchanged.
+    sample_array("train_loss", loss_samples);
+    sample_array("train_grad_norm", grad_norm_samples);
+    sample_array("valid_mrr", mrr_samples);
     // Hardware-profile samples, one array per phase x derived metric. On
     // PMU-less hosts the ladder emits all-zero arrays under the same
     // names, so baseline/candidate schemas always line up.
@@ -373,6 +398,21 @@ int main(int argc, char** argv) {
     w.Field("restore_full_ms", 1e3 * restore_full_s / reps);
     w.Field("restore_delta_ms", 1e3 * restore_delta_s / reps);
     w.Field("restore_speedup", restore_speedup);
+    w.EndObject();
+    // Model-monitor distributions from the last profiled repeat — the
+    // point-in-time quality fingerprint behind the sample arrays above.
+    w.Key("model").BeginObject();
+    w.Field("train_steps", model_snapshot.train_steps);
+    w.Field("observed_edges", model_snapshot.observed_edges);
+    w.Field("train_loss_p50", model_snapshot.train_loss.Quantile(0.5));
+    w.Field("train_loss_p99", model_snapshot.train_loss.Quantile(0.99));
+    w.Field("grad_norm_p50", model_snapshot.grad_norm.Quantile(0.5));
+    w.Field("grad_norm_p99", model_snapshot.grad_norm.Quantile(0.99));
+    w.Field("distinct_users", model_snapshot.distinct_users);
+    w.Field("distinct_items", model_snapshot.distinct_items);
+    w.Field("new_node_rate", model_snapshot.new_node_rate);
+    w.Field("alert_level",
+            std::string_view(obs::AlertLevelName(model_snapshot.worst_level)));
     w.EndObject();
     // Registry counter deltas over the delta-snapshot run.
     w.Key("metrics").BeginObject();

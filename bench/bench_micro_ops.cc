@@ -9,6 +9,7 @@
 #include "core/model.h"
 #include "data/synthetic.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/simd.h"
@@ -415,6 +416,37 @@ void BM_TrainEdgeProfiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrainEdgeProfiled);
+
+void BM_ObsModelMonitorDisabled(benchmark::State& state) {
+  // Prices the disabled hot path of the model monitor: the one relaxed
+  // `enabled()` load TrainEdge/ObserveEdge/ScoreRequest use as their
+  // guard. Must stay in the ~1ns range — a disabled monitor is free.
+  obs::ModelMonitor::Global().Enable(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::ModelMonitor::Global().enabled());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsModelMonitorDisabled);
+
+void BM_TrainEdgeMonitored(benchmark::State& state) {
+  // BM_TrainEdge's dim-64 workload with the model monitor ENABLED; the
+  // gap to BM_TrainEdge/64 is the full per-edge recording cost (gradient
+  // L2 reduction + StepStats accumulation + one mutexed sketch insert).
+  const Dataset& data = BenchData();
+  auto model = WarmModel(BenchConfig(64), 5000);
+  obs::ModelMonitor::Global().Enable(true);
+  size_t i = 5000;
+  for (auto _ : state) {
+    const auto& e = data.edges[5000 + (i++ % 4000)];
+    benchmark::DoNotOptimize(model->TrainEdge(e));
+  }
+  obs::ModelMonitor::Global().Enable(false);
+  obs::ModelMonitor::Global().Reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrainEdgeMonitored);
 
 void BM_InsLearnBatch(benchmark::State& state) {
   const Dataset& data = BenchData();

@@ -105,7 +105,8 @@ SparseAdam::SparseAdam(size_t num_params, double lr, double weight_decay,
       v_(num_params, 0.0f) {}
 
 void SparseAdam::UpdateRow(size_t offset, const float* g, size_t len,
-                           double bc1, double bc2, float* params) {
+                           double bc1, double bc2, float* params,
+                           StepStats* stats) {
   for (size_t i = 0; i < len; ++i) {
     const size_t p = offset + i;
     const double gi = g[i];
@@ -116,27 +117,38 @@ void SparseAdam::UpdateRow(size_t offset, const float* g, size_t len,
     double update = mhat / (std::sqrt(vhat) + eps_);
     // Decoupled weight decay (AdamW).
     update += weight_decay_ * params[p];
+    const double before = params[p];
     params[p] = static_cast<float>(params[p] - lr_ * update);
+    if (stats != nullptr) {
+      // Reads only — the update above is byte-for-byte the unmonitored
+      // computation.
+      const double after = params[p];
+      const double change = after - before;
+      stats->sum_update_sq += change * change;
+      stats->sum_param_sq_before += before * before;
+      stats->sum_param_sq_after += after * after;
+    }
   }
 }
 
-void SparseAdam::Step(const GradBuffer& grads, float* params) {
+void SparseAdam::Step(const GradBuffer& grads, float* params,
+                      StepStats* stats) {
   ++step_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
   grads.ForEach([&](size_t offset, const float* g, size_t len) {
     dirty_.Mark(offset, static_cast<uint32_t>(len));
-    UpdateRow(offset, g, len, bc1, bc2, params);
+    UpdateRow(offset, g, len, bc1, bc2, params, stats);
   });
 }
 
 void SparseAdam::StepAt(uint64_t step, const GradBuffer& grads, float* params,
-                        BankedDirty* dirty) {
+                        BankedDirty* dirty, StepStats* stats) {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
   grads.ForEach([&](size_t offset, const float* g, size_t len) {
     dirty->emplace_back(offset, static_cast<uint32_t>(len));
-    UpdateRow(offset, g, len, bc1, bc2, params);
+    UpdateRow(offset, g, len, bc1, bc2, params, stats);
   });
 }
 
@@ -145,7 +157,7 @@ void SparseAdam::StepScalarAt(uint64_t step, size_t offset, float grad,
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
   dirty_.Mark(offset, 1);
-  UpdateRow(offset, &grad, 1, bc1, bc2, params);
+  UpdateRow(offset, &grad, 1, bc1, bc2, params, nullptr);
 }
 
 void SparseAdam::Restore(const State& state) {

@@ -147,10 +147,23 @@ class SparseAdam {
   SparseAdam(size_t num_params, double lr, double weight_decay,
              double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
 
+  /// Optional per-step observability accumulator: squared L2 sums of the
+  /// applied parameter change and of the touched rows before/after the
+  /// step. Filling it only *reads* values the update already computes —
+  /// the parameter math is identical whether or not stats are collected,
+  /// so training stays bit-identical with monitoring on or off.
+  struct StepStats {
+    double sum_update_sq = 0.0;
+    double sum_param_sq_before = 0.0;
+    double sum_param_sq_after = 0.0;
+  };
+
   /// Applies one optimization step with the accumulated gradients;
   /// minimizes the loss (descends). Increments the global step and marks
-  /// every touched row dirty.
-  void Step(const GradBuffer& grads, float* params);
+  /// every touched row dirty. `stats`, when non-null, accumulates the
+  /// step's norms for the model monitor.
+  void Step(const GradBuffer& grads, float* params,
+            StepStats* stats = nullptr);
 
   /// Rows a concurrent executor touched, banked for the dispatcher's
   /// in-order dirty merge (DirtyRowSet itself is not thread-safe).
@@ -163,8 +176,10 @@ class SparseAdam {
   /// ingest dispatcher pins each edge's step number at plan time (arrival
   /// order), workers apply their row updates concurrently on disjoint
   /// rows, and the dispatcher advances the counter at commit.
+  /// `stats` is per-call (each worker passes its own), so concurrent
+  /// executors never share an accumulator.
   void StepAt(uint64_t step, const GradBuffer& grads, float* params,
-              BankedDirty* dirty);
+              BankedDirty* dirty, StepStats* stats = nullptr);
 
   /// Single 1-float-row step at `step` for deferred α commits. Runs on
   /// the dispatcher, so it marks the row dirty directly. Takes a float
@@ -206,9 +221,10 @@ class SparseAdam {
  private:
   /// One row's moment + parameter update at bias corrections (bc1, bc2).
   /// Shared by Step/StepAt/StepScalarAt so every entry point computes
-  /// bit-identical floats.
+  /// bit-identical floats. `stats` (nullable) accumulates observability
+  /// norms without touching the update math.
   void UpdateRow(size_t offset, const float* g, size_t len, double bc1,
-                 double bc2, float* params);
+                 double bc2, float* params, StepStats* stats);
 
   double lr_;
   double weight_decay_;

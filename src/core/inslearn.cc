@@ -7,6 +7,7 @@
 
 #include "core/ingest.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/statusz.h"
 #include "obs/trace.h"
@@ -52,6 +53,7 @@ class Heartbeat {
     SUPA_LOG(INFO) << "[inslearn] trained " << steps << " edges, "
                    << static_cast<uint64_t>(rate) << " edges/s"
                    << QuantileSuffix();
+    PollWarnings();
     last_beat_ = elapsed;
     last_steps_ = steps;
   }
@@ -140,6 +142,35 @@ class Heartbeat {
     return out;
   }
 
+  /// Beat-time warning poll (training thread): surfaces new model-monitor
+  /// alerts and trace-ring drops on the training log. Change detection via
+  /// the monotone counters keeps a stable system silent; SUPA_LOG_EVERY_N
+  /// bounds the output when a condition re-fires every beat.
+  void PollWarnings() {
+    const auto& monitor = obs::ModelMonitor::Global();
+    const uint64_t raised = monitor.alerts_raised();
+    if (raised > last_alerts_seen_) {
+      last_alerts_seen_ = raised;
+      if (monitor.worst_level() == obs::AlertLevel::kCritical) {
+        SUPA_LOG_EVERY_N(ERROR, 10)
+            << "[inslearn] model monitor critical alert (" << raised
+            << " total firings) — see /modelz";
+      } else {
+        SUPA_LOG_EVERY_N(WARNING, 10)
+            << "[inslearn] model drift warning (" << raised
+            << " total alert firings) — see /modelz";
+      }
+    }
+    const uint64_t dropped = obs::TraceRecorder::Global().dropped_events();
+    if (dropped > last_trace_dropped_) {
+      last_trace_dropped_ = dropped;
+      SUPA_LOG_EVERY_N(WARNING, 10)
+          << "[inslearn] trace ring dropped " << dropped
+          << " events (oldest overwritten) — raise the ring capacity or "
+             "export more often";
+    }
+  }
+
   std::vector<obs::StatusItem> StatusItems() const {
     char buf[32];
     std::vector<obs::StatusItem> items;
@@ -182,6 +213,8 @@ class Heartbeat {
   std::atomic<double> hw_llc_misses_per_edge_{0.0};
   uint64_t last_steps_ = 0;   // training thread only
   double last_beat_ = 0.0;    // training thread only
+  uint64_t last_alerts_seen_ = 0;    // training thread only
+  uint64_t last_trace_dropped_ = 0;  // training thread only
   uint64_t last_hw_steps_ = 0;       // training thread only
   uint64_t last_hw_cycles_ = 0;      // training thread only
   uint64_t last_hw_llc_misses_ = 0;  // training thread only

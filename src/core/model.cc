@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/math_utils.h"
@@ -51,6 +52,18 @@ struct SnapshotMetrics {
   }
 };
 
+/// L2 norm over every accumulated gradient row — a monitoring read that
+/// never mutates the buffer.
+double GradBufferL2(const GradBuffer& grads) {
+  double sum = 0.0;
+  grads.ForEach([&](size_t /*offset*/, const float* g, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      sum += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  });
+  return std::sqrt(sum);
+}
+
 }  // namespace
 
 SupaModel::SupaModel(const Dataset& data, SupaConfig config)
@@ -80,8 +93,18 @@ SupaModel::SupaModel(const Dataset& data, SupaConfig config)
 
 Status SupaModel::ObserveEdge(const TemporalEdge& e) {
   SUPA_RETURN_NOT_OK(graph_->AddEdge(e.src, e.dst, e.type, e.time));
+  // New-node checks read the pre-increment degrees; the recorded degrees
+  // are post-insert, matching what the negative table will see.
+  auto& monitor = obs::ModelMonitor::Global();
+  const bool monitored = monitor.enabled();
+  const bool src_new = monitored && degrees_[e.src] == 0.0;
+  const bool dst_new = monitored && degrees_[e.dst] == 0.0;
   degrees_[e.src] += 1.0;
   degrees_[e.dst] += 1.0;
+  if (monitored) {
+    monitor.RecordObservedEdge(e.src, e.dst, degrees_[e.src],
+                               degrees_[e.dst], src_new, dst_new);
+  }
   if (++observed_since_rebuild_ >= config_.neg_table_refresh) {
     SUPA_RETURN_NOT_OK(RebuildNegativeTable());
   }
@@ -434,10 +457,22 @@ Result<TrainStats> SupaModel::TrainEdge(const TemporalEdge& e,
   // optimizer, exactly as before the plan/execute split.
   const MathSink sink;
   const TrainStats stats = RunEdgeMath(serial_plan_, &serial_scratch_, sink);
+  auto& monitor = obs::ModelMonitor::Global();
+  const bool monitored = monitor.enabled();
+  SparseAdam::StepStats step_stats;
   {
     SUPA_TRACE_SPAN_CAT("optimize", "model");
     SUPA_PERF_SCOPE(kOptimize);
-    adam_->Step(serial_scratch_.grads, store_->data());
+    adam_->Step(serial_scratch_.grads, store_->data(),
+                monitored ? &step_stats : nullptr);
+  }
+  if (monitored) {
+    monitor.RecordTrainStep(stats.loss_inter, stats.loss_prop,
+                            stats.loss_neg,
+                            GradBufferL2(serial_scratch_.grads),
+                            std::sqrt(step_stats.sum_update_sq),
+                            std::sqrt(step_stats.sum_param_sq_before),
+                            std::sqrt(step_stats.sum_param_sq_after));
   }
   return stats;
 }
@@ -452,7 +487,17 @@ void SupaModel::ExecutePlan(EdgePlan* plan, ExecScratch* scratch) {
   // Row updates land now, at the plan's pinned step; α and the dirty merge
   // wait for CommitPlan. Per-row Adam math depends only on the step number
   // and the row's own state, so disjoint-row plans commute bit-exactly.
-  adam_->StepAt(plan->step, scratch->grads, store_->data(), &plan->dirty);
+  plan->mon_sampled = obs::ModelMonitor::Global().enabled();
+  SparseAdam::StepStats step_stats;
+  adam_->StepAt(plan->step, scratch->grads, store_->data(), &plan->dirty,
+                plan->mon_sampled ? &step_stats : nullptr);
+  if (plan->mon_sampled) {
+    // Banked for CommitPlan: the monitor's mutex stays off the worker.
+    plan->mon_grad_norm = GradBufferL2(scratch->grads);
+    plan->mon_step_norm = std::sqrt(step_stats.sum_update_sq);
+    plan->mon_row_norm_before = std::sqrt(step_stats.sum_param_sq_before);
+    plan->mon_row_norm_after = std::sqrt(step_stats.sum_param_sq_after);
+  }
 }
 
 void SupaModel::CommitPlan(const EdgePlan& plan) {
@@ -463,6 +508,13 @@ void SupaModel::CommitPlan(const EdgePlan& plan) {
     adam_->StepScalarAt(plan.step, offset, grad, store_->data());
   }
   adam_->set_step_count(plan.step);
+  auto& monitor = obs::ModelMonitor::Global();
+  if (plan.mon_sampled && monitor.enabled()) {
+    monitor.RecordTrainStep(plan.stats.loss_inter, plan.stats.loss_prop,
+                            plan.stats.loss_neg, plan.mon_grad_norm,
+                            plan.mon_step_norm, plan.mon_row_norm_before,
+                            plan.mon_row_norm_after);
+  }
 }
 
 Status SupaModel::PlanEdgeDeferred(const TemporalEdge& e,
@@ -538,7 +590,17 @@ void SupaModel::CommitPlanDeferred(const EdgePlan& plan) {
   for (const auto& [offset, len] : plan.dirty) {
     adam_->MarkDirty(offset, len);
   }
-  adam_->Step(plan.grads, store_->data());
+  auto& monitor = obs::ModelMonitor::Global();
+  const bool monitored = monitor.enabled();
+  SparseAdam::StepStats step_stats;
+  adam_->Step(plan.grads, store_->data(), monitored ? &step_stats : nullptr);
+  if (monitored) {
+    monitor.RecordTrainStep(plan.stats.loss_inter, plan.stats.loss_prop,
+                            plan.stats.loss_neg, GradBufferL2(plan.grads),
+                            std::sqrt(step_stats.sum_update_sq),
+                            std::sqrt(step_stats.sum_param_sq_before),
+                            std::sqrt(step_stats.sum_param_sq_after));
+  }
 }
 
 Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,

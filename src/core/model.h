@@ -99,6 +99,17 @@ struct EdgePlan {
   /// than during execution, so shared endpoints lose no updates.
   double gamma_u = 1.0;
   double gamma_v = 1.0;
+
+  // -- Model-monitor sample (kStrict; banked by ExecutePlan) --
+  /// True when the executor collected monitor signals; CommitPlan then
+  /// records them on the dispatcher, in arrival order, so the monitor's
+  /// mutex never sits on a worker's critical path. Norms are L2 over the
+  /// step's gradient rows; the dispatcher-committed α tail is excluded.
+  bool mon_sampled = false;
+  double mon_grad_norm = 0.0;
+  double mon_step_norm = 0.0;
+  double mon_row_norm_before = 0.0;
+  double mon_row_norm_after = 0.0;
 };
 
 /// A trainable SUPA instance bound to one dataset's node universe, schema,

@@ -19,6 +19,7 @@
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/prometheus.h"
 #include "obs/statusz.h"
@@ -98,6 +99,34 @@ std::string FormatDouble(double v, int digits = 3) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
+}
+
+/// Requested representation of an HTML-default endpoint.
+enum class PageFormat { kHtml, kJson, kBad };
+
+/// Parses the `format=` query parameter. Absent (or `format=html`) means
+/// HTML, `format=json` means JSON, and anything else is a client error —
+/// unknown formats must 400, never silently fall back to HTML.
+PageFormat ParseFormat(const std::string& query) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string param = query.substr(pos, end - pos);
+    if (param.rfind("format=", 0) == 0) {
+      const std::string value = param.substr(sizeof("format=") - 1);
+      if (value == "json") return PageFormat::kJson;
+      if (value == "html" || value.empty()) return PageFormat::kHtml;
+      return PageFormat::kBad;
+    }
+    pos = end + 1;
+  }
+  return PageFormat::kHtml;
+}
+
+HttpResponse BadFormatResponse() {
+  return HttpResponse{400, "text/plain; charset=utf-8",
+                      "unknown format; use format=json or format=html\n"};
 }
 
 /// Case-insensitive Content-Length lookup in a raw request head. Returns
@@ -380,18 +409,22 @@ HttpResponse AdminServer::Route(const HttpRequest& request) {
   if (request.path == "/") return HandleIndex();
   if (request.path == "/metrics") return HandleMetrics();
   if (request.path == "/healthz") return HandleHealthz();
-  if (request.path == "/statusz") {
-    return HandleStatusz(request.query.find("format=json") !=
-                         std::string::npos);
+  if (request.path == "/statusz" || request.path == "/profilez" ||
+      request.path == "/modelz") {
+    const PageFormat format = ParseFormat(request.query);
+    if (format == PageFormat::kBad) {
+      MetricsRegistry::Global().GetCounter("admin.bad_requests").Increment();
+      return BadFormatResponse();
+    }
+    const bool as_json = format == PageFormat::kJson;
+    if (request.path == "/statusz") return HandleStatusz(as_json);
+    if (request.path == "/profilez") return HandleProfilez(as_json);
+    return HandleModelz(as_json);
   }
   if (request.path == "/tracez") return HandleTracez();
-  if (request.path == "/profilez") {
-    return HandleProfilez(request.query.find("format=json") !=
-                          std::string::npos);
-  }
-  return HttpResponse{
-      404, "text/plain; charset=utf-8",
-      "not found; try /metrics /healthz /statusz /tracez /profilez\n"};
+  return HttpResponse{404, "text/plain; charset=utf-8",
+                      "not found; try /metrics /healthz /statusz /tracez "
+                      "/profilez /modelz\n"};
 }
 
 HttpResponse AdminServer::HandleIndex() const {
@@ -406,6 +439,8 @@ HttpResponse AdminServer::HandleIndex() const {
       "<li><a href=\"/tracez\">/tracez</a> — Chrome trace dump</li>"
       "<li><a href=\"/profilez\">/profilez</a> — hardware profile "
       "(<a href=\"/profilez?format=json\">json</a>)</li>"
+      "<li><a href=\"/modelz\">/modelz</a> — model observability "
+      "(<a href=\"/modelz?format=json\">json</a>)</li>"
       "</ul>\n";
   return r;
 }
@@ -429,7 +464,20 @@ HttpResponse AdminServer::HandleMetrics() const {
   // Derived hardware-profile gauges (IPC, miss rates, cycles/edge); the
   // raw perf.* counters are already in the snapshot above.
   AppendPerfPrometheusSeries(snapshot, &r.body);
+  // model_* series (sketch quantiles, drift flags, alert level) — emitted
+  // even while the monitor is disabled so scrapers always see the schema.
+  AppendModelPrometheusSeries(ModelMonitor::Global().Snapshot(), &r.body);
   return r;
+}
+
+HttpResponse AdminServer::HandleModelz(bool as_json) const {
+  const ModelMonitorSnapshot snapshot = ModelMonitor::Global().Snapshot();
+  if (as_json) {
+    return HttpResponse{200, "application/json; charset=utf-8",
+                        ModelReportJson(snapshot) + "\n"};
+  }
+  return HttpResponse{200, "text/html; charset=utf-8",
+                      ModelReportHtml(snapshot)};
 }
 
 HttpResponse AdminServer::HandleProfilez(bool as_json) const {
@@ -456,12 +504,22 @@ HttpResponse AdminServer::HandleHealthz() const {
       if (!healthy) failing.push_back(probe.name);
     }
   }
-  if (failing.empty()) {
+  // A critical model alert (NaN/Inf gradient, exploding norm) vetoes
+  // health with its reason; drift warnings do not (they surface on
+  // /statusz and /modelz instead). Disabled monitors never veto.
+  std::string model_reason;
+  const bool model_veto =
+      ModelMonitor::Global().HealthVeto(&model_reason);
+  if (failing.empty() && !model_veto) {
     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
   }
-  std::string body = "unready:";
-  for (const std::string& name : failing) body += " " + name;
-  body += "\n";
+  std::string body;
+  if (!failing.empty()) {
+    body = "unready:";
+    for (const std::string& name : failing) body += " " + name;
+    body += "\n";
+  }
+  if (model_veto) body += "model alert: " + model_reason + "\n";
   return HttpResponse{503, "text/plain; charset=utf-8", std::move(body)};
 }
 
@@ -473,6 +531,7 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
   const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
   const uint64_t trace_dropped = TraceRecorder::Global().dropped_events();
   const PerfProfiler& profiler = PerfProfiler::Global();
+  const ModelMonitorSnapshot model = ModelMonitor::Global().Snapshot();
 
   if (as_json) {
     JsonWriter w;
@@ -488,6 +547,25 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
     w.Key("perf").BeginObject();
     w.Field("source", std::string_view(PerfSourceName(profiler.source())));
     w.Field("enabled", profiler.enabled());
+    w.EndObject();
+    w.Key("model").BeginObject();
+    w.Field("enabled", model.enabled);
+    w.Field("alert_level",
+            std::string_view(AlertLevelName(model.worst_level)));
+    w.Key("alerts").BeginArray();
+    for (const ModelAlert& alert : model.alerts) {
+      w.BeginObject();
+      w.Field("name", std::string_view(alert.name));
+      w.Field("level", std::string_view(AlertLevelName(alert.level)));
+      w.Field("detail", std::string_view(alert.detail));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("drifted_series").BeginArray();
+    for (const ModelDriftState& d : model.drift) {
+      if (d.drifted) w.String(d.name);
+    }
+    w.EndArray();
     w.EndObject();
     w.Key("sections").BeginArray();
     for (const StatusSection& section : sections) {
@@ -531,6 +609,18 @@ HttpResponse AdminServer::HandleStatusz(bool as_json) const {
             std::to_string(trace_dropped) +
             " events (oldest overwritten) — raise the ring capacity or "
             "export more often</p>";
+  }
+  if (model.worst_level != AlertLevel::kOk) {
+    const char* color =
+        model.worst_level == AlertLevel::kCritical ? "#c00" : "#a60";
+    body += "<p style=\"color:" + std::string(color) +
+            "\"><b>model alert (" +
+            EscapeHtml(AlertLevelName(model.worst_level)) + "):</b>";
+    for (const ModelAlert& alert : model.alerts) {
+      body += " " + EscapeHtml(alert.name) + " — " +
+              EscapeHtml(alert.detail) + ";";
+    }
+    body += " see <a href=\"/modelz\">/modelz</a></p>";
   }
   body += "<p>hardware profile: source " +
           EscapeHtml(PerfSourceName(profiler.source())) + ", profiling " +

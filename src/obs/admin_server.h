@@ -12,6 +12,14 @@
 //                   JSON with ?format=json
 //   GET /tracez     on-demand flight-recorder dump of the trace rings as
 //                   Chrome trace JSON, without stopping the run
+//   GET /modelz     model observability: training-signal/stream/score
+//                   sketch quantiles, drift detectors, and alerts — HTML
+//                   by default, JSON with ?format=json
+//
+// Every HTML endpoint honors ?format=json; an unknown format= value is a
+// 400, never a silent HTML fallback. A critical model alert (NaN/Inf
+// gradients, exploding norms — see obs/model_monitor.h) vetoes /healthz
+// with a reason while the monitor is enabled.
 //
 // Beyond the built-ins, AddRoute registers application handlers for an
 // exact (method, path) pair — this is how the serving layer exposes
@@ -135,6 +143,7 @@ class AdminServer {
   HttpResponse HandleStatusz(bool as_json) const;
   HttpResponse HandleTracez() const;
   HttpResponse HandleProfilez(bool as_json) const;
+  HttpResponse HandleModelz(bool as_json) const;
 
   double UptimeSeconds() const;
 

@@ -1,0 +1,160 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace supa::obs {
+
+QuantileSketch::QuantileSketch(double alpha, size_t buckets_per_sign) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) alpha = 0.01;
+  if (buckets_per_sign < 2) buckets_per_sign = 2;
+  alpha_ = alpha;
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  offset_ = static_cast<int>(buckets_per_sign / 2);
+  pos_.assign(buckets_per_sign, 0);
+  neg_.assign(buckets_per_sign, 0);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+size_t QuantileSketch::BucketIndex(double magnitude) const {
+  // key = ceil(log_gamma(magnitude)); every magnitude in
+  // (gamma^(key-1), gamma^key] shares the key.
+  const double key = std::ceil(std::log(magnitude) * inv_log_gamma_);
+  const double index = key + static_cast<double>(offset_);
+  if (index < 0.0) return 0;
+  const size_t last = pos_.size() - 1;
+  if (index > static_cast<double>(last)) return last;
+  return static_cast<size_t>(index);
+}
+
+double QuantileSketch::BucketValue(size_t index) const {
+  // Midpoint (in the multiplicative sense) of the bucket's magnitude
+  // interval: 2*gamma^key/(gamma+1), within relative error alpha of
+  // every magnitude in the bucket.
+  const int key = static_cast<int>(index) - offset_;
+  return 2.0 * std::pow(gamma_, static_cast<double>(key)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++non_finite_count_;
+    return;
+  }
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (x == 0.0) {
+    ++zero_count_;
+  } else if (x > 0.0) {
+    ++pos_[BucketIndex(x)];
+  } else {
+    ++neg_[BucketIndex(-x)];
+  }
+}
+
+bool QuantileSketch::SameShape(const QuantileSketch& other) const {
+  return alpha_ == other.alpha_ && pos_.size() == other.pos_.size();
+}
+
+bool QuantileSketch::Merge(const QuantileSketch& other) {
+  if (!SameShape(other)) return false;
+  for (size_t i = 0; i < pos_.size(); ++i) {
+    pos_[i] += other.pos_[i];
+    neg_[i] += other.neg_[i];
+  }
+  zero_count_ += other.zero_count_;
+  non_finite_count_ += other.non_finite_count_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return true;
+}
+
+double QuantileSketch::min() const { return count_ > 0 ? min_ : 0.0; }
+double QuantileSketch::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based target rank in the sorted stream of finite inserts.
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  if (target == 0) return min_;
+  if (target >= count_ - 1) return max_;
+
+  uint64_t cum = 0;
+  // Ascending value order: most-negative magnitudes first (high negative
+  // bucket index down), then the zero bucket, then positives ascending.
+  for (size_t i = neg_.size(); i-- > 0;) {
+    cum += neg_[i];
+    if (cum > target) return std::clamp(-BucketValue(i), min_, max_);
+  }
+  cum += zero_count_;
+  if (cum > target) return std::clamp(0.0, min_, max_);
+  for (size_t i = 0; i < pos_.size(); ++i) {
+    cum += pos_[i];
+    if (cum > target) return std::clamp(BucketValue(i), min_, max_);
+  }
+  return max_;
+}
+
+void QuantileSketch::Reset() {
+  std::fill(pos_.begin(), pos_.end(), 0);
+  std::fill(neg_.begin(), neg_.end(), 0);
+  zero_count_ = 0;
+  non_finite_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Hll::Hll(int precision) {
+  precision_ = std::clamp(precision, 4, 18);
+  registers_.assign(static_cast<size_t>(1) << precision_, 0);
+}
+
+void Hll::AddHash(uint64_t hash) {
+  const size_t index = static_cast<size_t>(hash >> (64 - precision_));
+  const uint64_t w = hash << precision_;
+  // Rank = position of the leftmost 1 in the remaining bits, 1-based;
+  // an all-zero remainder gets the maximum rank.
+  const uint8_t rank =
+      w == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+             : static_cast<uint8_t>(__builtin_clzll(w) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+bool Hll::Merge(const Hll& other) {
+  if (precision_ != other.precision_) return false;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return true;
+}
+
+double Hll::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inv_sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha_m = 0.7213 / (1.0 + 1.079 / m);
+  const double estimate = alpha_m * m * m / inv_sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Linear-counting small-range correction.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void Hll::Reset() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+}  // namespace supa::obs

@@ -1,0 +1,140 @@
+// Mergeable, fixed-memory streaming sketches for model observability.
+//
+// Two sketches, both O(1) per insert, allocation-free after construction,
+// and exactly mergeable (merge is associative and commutative, so sharded
+// sketches combine to the same answer regardless of merge order):
+//
+//   * QuantileSketch — a DDSketch-style log-bucketed quantile sketch with
+//     bounded *relative* error: for any value inside the representable
+//     magnitude range, Quantile(q) returns an estimate within a factor of
+//     (1 ± alpha) of some true q'-quantile value. Buckets are a fixed
+//     dense array per sign (plus an exact zero bucket), so inserts are a
+//     log, a clamp, and an increment — fully deterministic, no RNG.
+//   * Hll — HyperLogLog distinct-count sketch (dense 8-bit registers).
+//     Standard error is ~1.04/sqrt(2^precision) (~1.6% at the default
+//     precision 12), with the linear-counting small-range correction.
+//
+// Like everything in obs/, this file depends only on the standard
+// library (util/ links *on top of* obs/, not the other way around), and
+// hashing is done with a local SplitMix64-style mixer rather than
+// util/rng.
+
+#ifndef SUPA_OBS_SKETCH_H_
+#define SUPA_OBS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace supa::obs {
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer used to
+/// hash node ids (and anything else integral) into Hll.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// DDSketch-style quantile sketch with relative-error guarantee `alpha`.
+///
+/// A value x with |x| in [gamma^-offset, gamma^offset) lands in bucket
+/// ceil(log_gamma|x|) of the matching sign array, where
+/// gamma = (1+alpha)/(1-alpha). The bucket midpoint estimate
+/// 2*gamma^key/(gamma+1) is within relative error alpha of every value in
+/// the bucket. Magnitudes outside the range clamp into the edge buckets
+/// (the error bound then degrades; min()/max() stay exact). Exact zeros
+/// go to a dedicated bucket; non-finite inserts are counted separately
+/// and excluded from quantiles.
+class QuantileSketch {
+ public:
+  /// `alpha` is the relative-error target in (0, 1); `buckets_per_sign`
+  /// fixes the memory footprint (two uint64 arrays of this size). The
+  /// defaults cover magnitudes ~[2e-18, 5e17] at 1% error in 64 KiB.
+  explicit QuantileSketch(double alpha = 0.01,
+                          size_t buckets_per_sign = 4096);
+
+  /// Inserts one value. O(1), no allocation.
+  void Add(double x);
+
+  /// Adds `other`'s contents into this sketch. Both sketches must have
+  /// the same alpha and bucket count; returns false (and leaves this
+  /// sketch untouched) otherwise.
+  bool Merge(const QuantileSketch& other);
+
+  /// Estimated q-quantile (q clamped to [0,1]) of the finite inserts,
+  /// clamped to the exact observed [min, max]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Exact moments over the finite inserts.
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const;
+  double max() const;
+
+  /// Non-finite (NaN/Inf) inserts seen and dropped.
+  uint64_t non_finite_count() const { return non_finite_count_; }
+
+  double alpha() const { return alpha_; }
+  size_t buckets_per_sign() const { return pos_.size(); }
+
+  /// True when `other` has identical (alpha, bucket count) and therefore
+  /// can be merged in.
+  bool SameShape(const QuantileSketch& other) const;
+
+  /// Forgets all inserts, keeping the configuration.
+  void Reset();
+
+ private:
+  size_t BucketIndex(double magnitude) const;
+  double BucketValue(size_t index) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  int offset_;  // bucket index of magnitude 1.0
+
+  std::vector<uint64_t> pos_;
+  std::vector<uint64_t> neg_;
+  uint64_t zero_count_ = 0;
+  uint64_t non_finite_count_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// HyperLogLog distinct-count sketch over pre-hashed or raw 64-bit keys.
+class Hll {
+ public:
+  /// `precision` in [4, 18]: 2^precision one-byte registers. The default
+  /// 12 gives 4096 registers and ~1.6% standard error.
+  explicit Hll(int precision = 12);
+
+  /// Inserts a raw key (mixed with Mix64 internally).
+  void Add(uint64_t key) { AddHash(Mix64(key)); }
+
+  /// Inserts an already well-distributed 64-bit hash.
+  void AddHash(uint64_t hash);
+
+  /// Register-wise max merge. Both sketches must share the precision;
+  /// returns false (no-op) otherwise.
+  bool Merge(const Hll& other);
+
+  /// Bias-corrected cardinality estimate with the linear-counting
+  /// small-range correction.
+  double Estimate() const;
+
+  int precision() const { return precision_; }
+  void Reset();
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace supa::obs
+
+#endif  // SUPA_OBS_SKETCH_H_

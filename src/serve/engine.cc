@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "util/simd.h"
 
@@ -289,6 +290,19 @@ void ServeEngine::ScoreRequest(const store::StoreSnapshot& snapshot,
     arena->heap.pop_back();
   }
   resp->items.assign(arena->ranked.rbegin(), arena->ranked.rend());
+
+  // Serve-score distribution for /modelz. Snapshot reads only; the
+  // monitor's short mutex is the only synchronization, so worker threads
+  // record concurrently without touching each other.
+  auto& monitor = obs::ModelMonitor::Global();
+  if (monitor.enabled() && !resp->items.empty()) {
+    arena->monitor_scores.clear();
+    for (const ScoredItem& item : resp->items) {
+      arena->monitor_scores.push_back(static_cast<float>(item.score));
+    }
+    monitor.RecordServeScores(arena->monitor_scores.data(),
+                              arena->monitor_scores.size());
+  }
 }
 
 }  // namespace supa::serve

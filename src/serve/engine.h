@@ -104,6 +104,10 @@ struct ScoringArena {
   std::vector<ScoredItem> heap;
   /// Draining-order scratch for emitting the heap in rank order.
   std::vector<ScoredItem> ranked;
+  /// Returned scores as floats for the model monitor's serve-score
+  /// sketch (capacity persists, so steady-state recording is
+  /// allocation-free).
+  std::vector<float> monitor_scores;
 };
 
 /// Concurrent top-K engine over one model's snapshots. The model and

@@ -12,6 +12,8 @@
 #ifndef SUPA_UTIL_LOGGING_H_
 #define SUPA_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -64,6 +66,16 @@ class NullStream {
   }
 };
 
+/// Returns true on the 1st, (n+1)th, (2n+1)th, ... call against this
+/// counter (every call when n <= 1). Thread-safe; the occurrence count
+/// advances even when the line is suppressed, so "(seen K times)"-style
+/// context stays accurate. Exposed for SUPA_LOG_EVERY_N.
+inline bool ShouldLogEveryN(std::atomic<uint64_t>* counter, uint64_t n) {
+  const uint64_t seen =
+      counter->fetch_add(1, std::memory_order_relaxed);
+  return n <= 1 || seen % n == 0;
+}
+
 }  // namespace internal
 
 #define SUPA_LOG_DEBUG ::supa::LogLevel::kDebug
@@ -77,6 +89,25 @@ class NullStream {
     ::supa::internal::LogMessage(SUPA_LOG_##severity, __FILE__,  \
                                  __LINE__)                       \
         .stream()
+
+#define SUPA_LOG_CONCAT_INNER(a, b) a##b
+#define SUPA_LOG_CONCAT(a, b) SUPA_LOG_CONCAT_INNER(a, b)
+
+// Rate-limited logging: emits the 1st, (n+1)th, (2n+1)th, ... hit of
+// this call site, so per-edge alert paths (drift, NaN gradients, trace
+// drops) cannot flood the heartbeat log. The per-callsite counter is a
+// function-local static atomic, so the macro must be used as a statement
+// (not as a bare `if` arm without braces). Disabled-severity statements
+// still advance the counter but never construct the message.
+//
+//   SUPA_LOG_EVERY_N(WARNING, 1000) << "gradient norm drifting";
+#define SUPA_LOG_EVERY_N(severity, n)                                     \
+  static ::std::atomic<uint64_t> SUPA_LOG_CONCAT(supa_log_every_,         \
+                                                 __LINE__){0};            \
+  if (!::supa::internal::ShouldLogEveryN(                                 \
+          &SUPA_LOG_CONCAT(supa_log_every_, __LINE__), (n))) {            \
+  } else                                                                  \
+    SUPA_LOG(severity)
 
 }  // namespace supa
 

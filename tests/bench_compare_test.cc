@@ -76,6 +76,19 @@ TEST(DirectionForMetricTest, SuffixInference) {
   EXPECT_EQ(DirectionForMetric("mrr"), MetricDirection::kHigherIsBetter);
 }
 
+TEST(DirectionForMetricTest, ModelQualitySuffixes) {
+  // The model-quality sample arrays BENCH_fig5.json embeds: losses and
+  // gradient norms regress upward, ranking scores regress downward.
+  EXPECT_EQ(DirectionForMetric("train_loss"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("train_grad_norm"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("valid_mrr"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("eval_hits"),
+            MetricDirection::kHigherIsBetter);
+}
+
 TEST(DirectionForMetricTest, HardwareProfileSuffixes) {
   // The perf sample arrays BENCH_fig5.json / BENCH_fig7.json embed: miss
   // rates and cycle counts are costs, IPC is throughput-like.
@@ -233,6 +246,52 @@ TEST(BenchCompareTest, InjectedMissRateRegressionGates) {
   EXPECT_TRUE(ipc->regression);
   // Identical wall samples: the wall gate stays silent, proving the miss
   // rate is the only signal.
+  const MetricComparison* w = FindMetric(report, "wall_s");
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->regression);
+}
+
+TEST(BenchCompareTest, InjectedQualityRegressionGates) {
+  // The acceptance fixture for the model-quality gate: training loss up
+  // 50% and validation MRR down 20% at *identical* wall time. Wall-clock
+  // gates are blind to it; the _loss suffix must flag it through the
+  // lower-is-better arm and _mrr through the higher-is-better arm.
+  auto quality_report = [](const std::vector<double>& loss,
+                           const std::vector<double>& mrr,
+                           const std::vector<double>& wall) {
+    std::string out = R"({"samples": {)";
+    auto arr = [](const std::vector<double>& xs) {
+      std::string s = "[";
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += std::to_string(xs[i]);
+      }
+      return s + "]";
+    };
+    out += "\"train_loss\": " + arr(loss);
+    out += ", \"valid_mrr\": " + arr(mrr);
+    out += ", \"wall_s\": " + arr(wall);
+    out += "}}";
+    return out;
+  };
+  const std::vector<double> wall = Noisy(12.0, 0.12, 5, 60);
+  const std::string base = quality_report(Noisy(0.40, 0.01, 5, 61),
+                                          Noisy(0.25, 0.005, 5, 62), wall);
+  const std::string cand = quality_report(Noisy(0.60, 0.01, 5, 63),
+                                          Noisy(0.20, 0.005, 5, 64), wall);
+  const CompareReport report = Compare(base, cand);
+  ASSERT_TRUE(report.has_regression);
+  const MetricComparison* loss = FindMetric(report, "train_loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(loss->direction, MetricDirection::kLowerIsBetter);
+  EXPECT_TRUE(loss->regression);
+  EXPECT_LT(loss->p_worse, 0.05);
+  const MetricComparison* mrr = FindMetric(report, "valid_mrr");
+  ASSERT_NE(mrr, nullptr);
+  EXPECT_EQ(mrr->direction, MetricDirection::kHigherIsBetter);
+  EXPECT_TRUE(mrr->regression);
+  // Identical wall samples: the wall gate stays silent, proving quality
+  // is the only signal.
   const MetricComparison* w = FindMetric(report, "wall_s");
   ASSERT_NE(w, nullptr);
   EXPECT_FALSE(w->regression);

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <regex>
 #include <stdexcept>
 #include <string>
@@ -21,6 +22,7 @@
 #include "data/synthetic.h"
 #include "json_check.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/prometheus.h"
 #include "obs/statusz.h"
@@ -528,6 +530,206 @@ TEST(AdminServerTest, ScrapingDuringTrainingIsBitIdentical) {
   const std::vector<float> scraped = train_once(true);
   ASSERT_EQ(plain.size(), scraped.size());
   EXPECT_EQ(plain, scraped);
+}
+
+/// Restores the global model monitor to its disabled, empty state when a
+/// test exits, so monitor-using tests cannot leak alerts into each other.
+class ScopedModelMonitor {
+ public:
+  ScopedModelMonitor() {
+    ModelMonitor::Global().Configure(ModelMonitorOptions{});
+    ModelMonitor::Global().Enable(true);
+  }
+  ~ScopedModelMonitor() {
+    ModelMonitor::Global().Enable(false);
+    ModelMonitor::Global().Configure(ModelMonitorOptions{});
+  }
+};
+
+TEST(AdminServerTest, ModelzServesHtmlAndJson) {
+  ScopedModelMonitor monitor;
+  for (int i = 0; i < 32; ++i) {
+    ModelMonitor::Global().RecordTrainStep(
+        /*loss_inter=*/0.6, /*loss_prop=*/0.2, /*loss_neg=*/0.1,
+        /*grad_norm=*/1.5, /*step_norm=*/0.02,
+        /*row_norm_before=*/10.0, /*row_norm_after=*/10.01);
+  }
+
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult html = HttpGet(server.port(), "/modelz");
+  ASSERT_TRUE(html.ok);
+  EXPECT_EQ(html.status, 200);
+  EXPECT_NE(html.head.find("text/html"), std::string::npos);
+  EXPECT_NE(html.body.find("Model observability"), std::string::npos);
+  EXPECT_NE(html.body.find("train_loss"), std::string::npos);
+
+  HttpResult json = HttpGet(server.port(), "/modelz?format=json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.head.find("application/json"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(test::JsonParses(json.body, &error)) << error;
+  auto parsed = ParseJson(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Find("enabled")->bool_value());
+  EXPECT_EQ(parsed.value().NumberOr("train_steps", -1.0), 32.0);
+  const JsonValue* loss = parsed.value().FindPath("sketches.train_loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(loss->NumberOr("count", -1.0), 32.0);
+  // Every sketched quantile of a constant loss stream is the loss itself
+  // (within the sketch's relative-error bound).
+  EXPECT_NEAR(loss->NumberOr("p50", -1.0), 0.9, 0.9 * 0.01);
+  ASSERT_NE(parsed.value().Find("drift"), nullptr);
+  ASSERT_NE(parsed.value().FindPath("stream.distinct_users"), nullptr);
+
+  // The model_* series ride along on /metrics even when nothing has been
+  // recorded — CI scrapes depend on their presence unconditionally.
+  HttpResult metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("model_monitor_enabled"), std::string::npos);
+  EXPECT_NE(metrics.body.find("model_alert_level"), std::string::npos);
+  EXPECT_NE(
+      metrics.body.find("model_train_loss{quantile=\"0.5\"}"),
+      std::string::npos);
+}
+
+TEST(AdminServerTest, UnknownFormatValuesAreRejectedWith400) {
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  for (const char* target :
+       {"/statusz?format=xml", "/profilez?format=yaml",
+        "/modelz?format=HTML", "/statusz?x=1&format=nope"}) {
+    HttpResult r = HttpGet(server.port(), target);
+    ASSERT_TRUE(r.ok) << target;
+    EXPECT_EQ(r.status, 400) << target;
+    EXPECT_NE(r.body.find("unknown format"), std::string::npos) << target;
+  }
+  // format=html and an explicit format=json keep working on all three.
+  for (const char* target :
+       {"/statusz?format=html", "/profilez?format=html",
+        "/modelz?format=html", "/modelz?format=json"}) {
+    HttpResult r = HttpGet(server.port(), target);
+    ASSERT_TRUE(r.ok) << target;
+    EXPECT_EQ(r.status, 200) << target;
+  }
+}
+
+TEST(AdminServerTest, CriticalModelAlertVetoesHealthz) {
+  ScopedModelMonitor monitor;
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+
+  HttpResult healthy = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(healthy.ok);
+  EXPECT_EQ(healthy.status, 200);
+
+  // One NaN gradient is a critical alert and must flip health to 503
+  // with the reason in the body.
+  ModelMonitor::Global().RecordTrainStep(
+      0.5, 0.2, 0.1, std::numeric_limits<double>::quiet_NaN(), 0.01, 1.0,
+      1.0);
+  HttpResult vetoed = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(vetoed.ok);
+  EXPECT_EQ(vetoed.status, 503);
+  EXPECT_NE(vetoed.body.find("model alert:"), std::string::npos);
+  EXPECT_NE(vetoed.body.find("grad_norm"), std::string::npos);
+
+  // A disabled monitor never vetoes, even with the alert still latched.
+  ModelMonitor::Global().Enable(false);
+  HttpResult disabled = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(disabled.ok);
+  EXPECT_EQ(disabled.status, 200);
+}
+
+TEST(AdminServerTest, ModelAlertsSurfaceOnStatusz) {
+  ScopedModelMonitor monitor;
+  // Shrink the drift windows so a mean shift latches quickly: feed a
+  // stable loss, then a 5x step change.
+  ModelMonitorOptions options;
+  options.window_edges = 16;
+  options.drift.warmup_windows = 4;
+  options.drift.consecutive_required = 2;
+  ModelMonitor::Global().Configure(options);
+  auto feed = [](double loss, int steps) {
+    for (int i = 0; i < steps; ++i) {
+      ModelMonitor::Global().RecordTrainStep(loss, 0.0, 0.0, 1.0, 0.01,
+                                             1.0, 1.0);
+    }
+  };
+  feed(0.8, 16 * 12);
+  feed(4.0, 16 * 6);
+  ASSERT_EQ(ModelMonitor::Global().worst_level(), AlertLevel::kWarn);
+
+  RunningServer server;
+  ASSERT_TRUE(server.started());
+  HttpResult json = HttpGet(server.port(), "/statusz?format=json");
+  ASSERT_TRUE(json.ok);
+  auto parsed = ParseJson(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().FindPath("model.alert_level")->string_value(),
+            "warn");
+  const JsonValue* drifted =
+      parsed.value().FindPath("model.drifted_series");
+  ASSERT_NE(drifted, nullptr);
+  bool found = false;
+  for (const JsonValue& name : drifted->array()) {
+    if (name.string_value() == "train_loss") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  HttpResult html = HttpGet(server.port(), "/statusz");
+  ASSERT_TRUE(html.ok);
+  EXPECT_NE(html.body.find("model alert (warn)"), std::string::npos);
+  EXPECT_NE(html.body.find("/modelz"), std::string::npos);
+
+  // Drift is a warning, not a health veto.
+  HttpResult health = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 200);
+}
+
+TEST(AdminServerTest, TrainingIsBitIdenticalWithModelMonitorOn) {
+  // The monitor only reads already-computed values, so enabling it must
+  // not change a single parameter bit — same guarantee the scraper test
+  // pins for the admin endpoints.
+  const auto train_once = [](bool with_monitor) {
+    if (with_monitor) {
+      ModelMonitor::Global().Configure(ModelMonitorOptions{});
+      ModelMonitor::Global().Enable(true);
+    }
+    Dataset data = MakeTaobao(0.15, 41).value();
+    SupaConfig model_config;
+    model_config.dim = 16;
+    model_config.num_walks = 2;
+    model_config.walk_len = 3;
+    model_config.num_neg = 3;
+    model_config.seed = 5;
+    InsLearnConfig train_config;
+    train_config.batch_size = 256;
+    train_config.max_iters = 4;
+    train_config.valid_interval = 2;
+    train_config.valid_size = 50;
+    train_config.patience = 2;
+    train_config.valid_negatives = 30;
+    SupaModel model(data, model_config);
+    InsLearnTrainer trainer(train_config);
+    const size_t n = std::min<size_t>(1024, data.edges.size());
+    auto report = trainer.Train(model, data, EdgeRange{0, n});
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (with_monitor) {
+      // Instrumented paths must actually have fed the monitor.
+      EXPECT_GT(ModelMonitor::Global().Snapshot().train_steps, 0u);
+      ModelMonitor::Global().Enable(false);
+      ModelMonitor::Global().Configure(ModelMonitorOptions{});
+    }
+    return model.TakeSnapshot().params;
+  };
+
+  const std::vector<float> plain = train_once(false);
+  const std::vector<float> monitored = train_once(true);
+  ASSERT_EQ(plain.size(), monitored.size());
+  EXPECT_EQ(plain, monitored);
 }
 
 }  // namespace

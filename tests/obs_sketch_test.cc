@@ -1,0 +1,253 @@
+#include "obs/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace supa::obs {
+namespace {
+
+// Deterministic local generator so the streams below are reproducible
+// without touching util/rng (obs tests sit below util/).
+class SplitMix {
+ public:
+  explicit SplitMix(uint64_t seed) : state_(seed) {}
+  uint64_t Next() { return Mix64(state_++); }
+  double Uniform01() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+void ExpectWithinRelativeError(const QuantileSketch& sketch,
+                               const std::vector<double>& values,
+                               double alpha) {
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double estimate = sketch.Quantile(q);
+    EXPECT_LE(std::abs(estimate - exact),
+              alpha * std::abs(exact) + 1e-12)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(QuantileSketchTest, UniformStreamStaysWithinErrorBound) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::vector<double> values;
+  SplitMix rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.Uniform01() + 1e-9;  // uniform (0, 1]
+    values.push_back(x);
+    sketch.Add(x);
+  }
+  EXPECT_EQ(sketch.count(), values.size());
+  ExpectWithinRelativeError(sketch, values, alpha);
+}
+
+TEST(QuantileSketchTest, ZipfStreamStaysWithinErrorBound) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::vector<double> values;
+  SplitMix rng(2);
+  // Heavy-tailed: value = 1000 / rank^1.2 over a 1000-item catalog with
+  // Zipf-ish rank frequencies.
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t rank = (rng.Next() % 1000) + 1;
+    const double x =
+        1000.0 / std::pow(static_cast<double>(rank), 1.2);
+    values.push_back(x);
+    sketch.Add(x);
+  }
+  ExpectWithinRelativeError(sketch, values, alpha);
+}
+
+TEST(QuantileSketchTest, AdversarialWideRangeSignedStream) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::vector<double> values;
+  // Magnitudes spanning 16 decades, both signs, duplicated to create
+  // heavy ties exactly at bucket-boundary-ish values.
+  for (int k = -8; k <= 8; ++k) {
+    const double magnitude = std::pow(10.0, k);
+    for (int rep = 0; rep < 64; ++rep) {
+      values.push_back(magnitude);
+      values.push_back(-magnitude);
+      sketch.Add(magnitude);
+      sketch.Add(-magnitude);
+    }
+  }
+  for (double q : {0.05, 0.25, 0.4, 0.6, 0.75, 0.95}) {
+    const double exact = ExactQuantile(values, q);
+    const double estimate = sketch.Quantile(q);
+    EXPECT_LE(std::abs(estimate - exact), alpha * std::abs(exact) + 1e-12)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), -1e8);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 1e8);
+}
+
+TEST(QuantileSketchTest, ZeroAndSignOrdering) {
+  QuantileSketch sketch;
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) sketch.Add(x);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), -5.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+}
+
+TEST(QuantileSketchTest, NonFiniteInsertsAreCountedAndExcluded) {
+  QuantileSketch sketch;
+  sketch.Add(1.0);
+  sketch.Add(std::nan(""));
+  sketch.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.non_finite_count(), 2u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 1.0);
+}
+
+TEST(QuantileSketchTest, EmptySketchIsWellDefined) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketchTest, MergeMatchesSingleSketchAndIsOrderIndependent) {
+  const int kShards = 8;
+  std::vector<QuantileSketch> shards(kShards, QuantileSketch(0.01));
+  QuantileSketch whole(0.01);
+  SplitMix rng(3);
+  for (int i = 0; i < 80000; ++i) {
+    const double x = (rng.Uniform01() - 0.5) * 2000.0;
+    whole.Add(x);
+    shards[i % kShards].Add(x);
+  }
+
+  // Left fold in shard order.
+  QuantileSketch forward(0.01);
+  for (const auto& s : shards) ASSERT_TRUE(forward.Merge(s));
+  // Left fold in reverse order.
+  QuantileSketch backward(0.01);
+  for (int i = kShards - 1; i >= 0; --i) {
+    ASSERT_TRUE(backward.Merge(shards[i]));
+  }
+  // Pairwise tree: ((0+1)+(2+3)) + ((4+5)+(6+7)).
+  std::vector<QuantileSketch> level = shards;
+  while (level.size() > 1) {
+    std::vector<QuantileSketch> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      QuantileSketch merged = level[i];
+      ASSERT_TRUE(merged.Merge(level[i + 1]));
+      next.push_back(merged);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  const QuantileSketch& tree = level.front();
+
+  EXPECT_EQ(forward.count(), whole.count());
+  for (double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    // Bucket counts are integers, so merge order cannot perturb the
+    // estimates at all — they are bit-identical, not just close.
+    EXPECT_DOUBLE_EQ(forward.Quantile(q), whole.Quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(backward.Quantile(q), whole.Quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(tree.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeRejectsShapeMismatch) {
+  QuantileSketch a(0.01), b(0.02), c(0.01, 1024);
+  a.Add(1.0);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_FALSE(a.Merge(c));
+  EXPECT_EQ(a.count(), 1u);
+  QuantileSketch d(0.01);
+  EXPECT_TRUE(a.Merge(d));
+}
+
+TEST(QuantileSketchTest, ResetForgetsEverything) {
+  QuantileSketch sketch;
+  sketch.Add(3.0);
+  sketch.Add(std::nan(""));
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.non_finite_count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+}
+
+TEST(HllTest, CardinalityWithinExpectedRelativeError) {
+  // Standard error at precision 12 is ~1.04/sqrt(4096) = 1.6%; allow 3
+  // sigma, and test across four decades of cardinality.
+  for (uint64_t n : {100u, 1000u, 10000u, 100000u, 1000000u}) {
+    Hll hll(12);
+    for (uint64_t i = 0; i < n; ++i) hll.Add(i * 2654435761ULL + 17);
+    const double estimate = hll.Estimate();
+    EXPECT_NEAR(estimate, static_cast<double>(n),
+                0.05 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(HllTest, DuplicatesDoNotInflateTheEstimate) {
+  Hll hll;
+  for (int i = 0; i < 100000; ++i) hll.Add(42);
+  EXPECT_GE(hll.Estimate(), 0.5);
+  EXPECT_LE(hll.Estimate(), 2.0);
+}
+
+TEST(HllTest, MergeEqualsUnionExactly) {
+  Hll a, b, uni;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    a.Add(i);
+    uni.Add(i);
+  }
+  for (uint64_t i = 5000; i < 15000; ++i) {
+    b.Add(i);
+    uni.Add(i);
+  }
+  ASSERT_TRUE(a.Merge(b));
+  // Register-wise max makes the merged registers equal the union's, so
+  // the estimates agree exactly.
+  EXPECT_DOUBLE_EQ(a.Estimate(), uni.Estimate());
+  EXPECT_NEAR(a.Estimate(), 15000.0, 0.05 * 15000.0);
+}
+
+TEST(HllTest, MergeIsOrderIndependent) {
+  const int kShards = 6;
+  std::vector<Hll> shards(kShards, Hll(12));
+  for (uint64_t i = 0; i < 60000; ++i) {
+    shards[i % kShards].Add(i / 2);  // overlapping across shards
+  }
+  Hll forward, backward;
+  for (int i = 0; i < kShards; ++i) ASSERT_TRUE(forward.Merge(shards[i]));
+  for (int i = kShards - 1; i >= 0; --i) {
+    ASSERT_TRUE(backward.Merge(shards[i]));
+  }
+  EXPECT_DOUBLE_EQ(forward.Estimate(), backward.Estimate());
+}
+
+TEST(HllTest, MergeRejectsPrecisionMismatch) {
+  Hll a(12), b(10);
+  EXPECT_FALSE(a.Merge(b));
+}
+
+}  // namespace
+}  // namespace supa::obs

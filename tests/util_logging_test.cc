@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <regex>
 #include <string>
@@ -59,6 +61,54 @@ TEST(LogMacroTest, EnabledLevelEvaluatesAndDoesNotCrash) {
   SUPA_LOG(DEBUG) << "value " << count();
   EXPECT_EQ(evaluations, 1);
   SetLogLevel(before);
+}
+
+TEST(LogEveryNTest, EmitsFirstAndEveryNth) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  for (int i = 0; i < 10; ++i) {
+    SUPA_LOG_EVERY_N(DEBUG, 3) << "hit " << count();
+  }
+  // Hits 1, 4, 7, 10 of 10.
+  EXPECT_EQ(evaluations, 4);
+  SetLogLevel(before);
+}
+
+TEST(LogEveryNTest, DisabledLevelSuppressesButStillCounts) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  for (int i = 0; i < 10; ++i) {
+    SUPA_LOG_EVERY_N(ERROR, 3) << count();
+  }
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+TEST(LogEveryNTest, NOfOneEmitsEveryHit) {
+  std::atomic<uint64_t> counter{0};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(internal::ShouldLogEveryN(&counter, 1));
+  }
+  EXPECT_EQ(counter.load(), 5u);
+}
+
+TEST(LogEveryNTest, ShouldLogCadence) {
+  std::atomic<uint64_t> counter{0};
+  int emitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (internal::ShouldLogEveryN(&counter, 25)) ++emitted;
+  }
+  EXPECT_EQ(emitted, 4);  // hits 1, 26, 51, 76
 }
 
 TEST(LogPrefixTest, MatchesDocumentedFormat) {

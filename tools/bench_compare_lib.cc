@@ -48,18 +48,23 @@ std::string FormatG(double v) {
 }  // namespace
 
 MetricDirection DirectionForMetric(std::string_view name) {
-  // Throughput-style metrics (explicitly higher-is-better, so a future
-  // default change cannot flip them). "_ipc" covers the hardware-profile
-  // instructions-per-cycle samples.
-  for (std::string_view suffix : {"_ipc", "_per_sec", "_throughput"}) {
+  // Throughput- and quality-score metrics (explicitly higher-is-better,
+  // so a future default change cannot flip them). "_ipc" covers the
+  // hardware-profile instructions-per-cycle samples; "_mrr" / "_hits"
+  // cover the model-quality sample arrays.
+  for (std::string_view suffix :
+       {"_ipc", "_per_sec", "_throughput", "_mrr", "_hits"}) {
     if (EndsWith(name, suffix)) return MetricDirection::kHigherIsBetter;
   }
   // Cost-style metrics: wall/latency times plus the hardware-profile
   // counters ("_cycles_per_edge" is listed separately because
-  // EndsWith("_cycles") does not match it).
+  // EndsWith("_cycles") does not match it). "_loss" / "_grad_norm" are
+  // the model-quality arrays where up means worse — these gate a quality
+  // regression even when wall-clock metrics are unchanged.
   for (std::string_view suffix :
        {"_s", "_ms", "_us", "_ns", "_seconds", "_wall", "_latency",
-        "_miss_rate", "_cycles", "_misses", "_cycles_per_edge"}) {
+        "_miss_rate", "_cycles", "_misses", "_cycles_per_edge", "_loss",
+        "_grad_norm"}) {
     if (EndsWith(name, suffix)) return MetricDirection::kLowerIsBetter;
   }
   return MetricDirection::kHigherIsBetter;

@@ -35,6 +35,7 @@
 #include "obs/admin_server.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
@@ -449,11 +450,14 @@ int Usage() {
                "(perf_event_open, with software/rusage fallback) and write "
                "the per-domain profile JSON on exit; also live at "
                "/profilez\n"
+               "  --model-out <path>    monitor model & data-quality "
+               "signals (loss/gradient/stream sketches, drift detectors) "
+               "and write the report JSON on exit; also live at /modelz\n"
                "  --heartbeat <secs>    train: log a throughput line every "
                "~<secs> seconds\n"
                "  --admin-port <port>   serve /metrics /healthz /statusz "
-               "/tracez on 127.0.0.1 while the command runs (0 = ephemeral "
-               "port; env: SUPA_ADMIN_PORT)\n");
+               "/tracez /profilez /modelz on 127.0.0.1 while the command "
+               "runs (0 = ephemeral port; env: SUPA_ADMIN_PORT)\n");
   return 2;
 }
 
@@ -476,8 +480,10 @@ int Main(int argc, char** argv) {
   const std::string metrics_out = args.value().Get("metrics-out", "");
   const std::string trace_out = args.value().Get("trace-out", "");
   const std::string perf_out = args.value().Get("perf-out", "");
+  const std::string model_out = args.value().Get("model-out", "");
   if (!trace_out.empty()) obs::TraceRecorder::Global().Enable(true);
   if (!perf_out.empty()) obs::PerfProfiler::Global().Enable(true);
+  if (!model_out.empty()) obs::ModelMonitor::Global().Enable(true);
 
   // --admin-port (or SUPA_ADMIN_PORT) serves the live telemetry endpoints
   // for the lifetime of the command. The bound port goes to stderr so
@@ -534,6 +540,21 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "perf profile (source=%s) -> %s\n",
                  obs::PerfSourceName(obs::PerfProfiler::Global().source()),
                  perf_out.c_str());
+  }
+  if (!model_out.empty()) {
+    obs::ModelMonitor::Global().Enable(false);
+    std::string error;
+    if (!obs::WriteModelJson(model_out, &error)) {
+      std::fprintf(stderr, "failed to write model report: %s\n",
+                   error.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    const obs::ModelMonitorSnapshot model =
+        obs::ModelMonitor::Global().Snapshot();
+    std::fprintf(stderr,
+                 "model report (%llu train steps, alert level %s) -> %s\n",
+                 static_cast<unsigned long long>(model.train_steps),
+                 obs::AlertLevelName(model.worst_level), model_out.c_str());
   }
   if (!metrics_out.empty()) {
     const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
