@@ -4,6 +4,7 @@
 // faster than retrain-from-scratch baselines of comparable quality.
 
 #include <algorithm>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,9 @@
 #include "core/inslearn.h"
 #include "core/model.h"
 #include "data/synthetic.h"
+#include "dur/checkpoint.h"
+#include "dur/delta_writer.h"
+#include "dur/wal.h"
 #include "eval/protocols.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
@@ -26,6 +30,13 @@ struct MethodRuntime {
   double train_s = 0.0;
   double eval_s = 0.0;
 };
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
 
 }  // namespace
 
@@ -308,6 +319,149 @@ int main(int argc, char** argv) {
         take_speedup, 1e3 * restore_full_s / reps,
         1e3 * restore_delta_s / reps, restore_speedup);
 
+    // Durability checkpoint ops (DESIGN.md §16): WAL append throughput per
+    // fsync policy, and the delta chain's capture / compact / restore
+    // costs. The two capture sizes pin the O(dirty-rows) claim — the
+    // large burst dirties more rows and must cost proportionally more,
+    // while the full base gather pays O(|params|) regardless.
+    std::vector<double> wal_off_samples, wal_every_samples;
+    std::vector<double> take_small_samples, take_large_samples;
+    std::vector<double> base_gather_samples, compact_samples,
+        chain_restore_samples;
+    uint64_t delta_small_rows = 0, delta_large_rows = 0;
+    {
+      namespace fs = std::filesystem;
+      const std::string opdir = "bench_checkpoint_ops.tmp";
+      std::error_code ec;
+      fs::remove_all(opdir, ec);
+      fs::create_directories(opdir, ec);
+      SupaConfig mc;
+      mc.dim = 64;
+      SupaModel model(data, mc);
+      const size_t warm = std::min<size_t>(data.edges.size(), 2000);
+      for (size_t i = 0; i < warm; ++i) {
+        (void)model.TrainEdge(data.edges[i]);
+        (void)model.ObserveEdge(data.edges[i]);
+      }
+      model.optimizer().set_checkpoint_tracking(true);
+      auto burst = [&](size_t at, size_t count) {
+        for (size_t j = 0; j < count; ++j) {
+          (void)model.TrainEdge(data.edges[(at + j) % warm]);
+        }
+      };
+      auto capture_after = [&](size_t at, size_t count, double* out_ms) {
+        model.optimizer().ClearCheckpointDirty();
+        burst(at, count);
+        Timer t;
+        auto delta = dur::CaptureDirtyRows(model);
+        *out_ms = 1e3 * t.ElapsedSeconds();
+        return delta;
+      };
+
+      // An 8-delta chain, in memory and on disk, for the compact/restore
+      // measurements below.
+      const dur::LogicalCheckpoint chain_base = dur::GatherLogicalState(model);
+      std::vector<dur::DeltaCapture> chain;
+      std::vector<std::string> chain_files;
+      Status chain_st = dur::WriteBaseFile(opdir + "/chain.base", chain_base);
+      for (int d = 0; d < 8 && chain_st.ok(); ++d) {
+        double unused = 0.0;
+        auto delta = capture_after(97 * static_cast<size_t>(d), 64, &unused);
+        if (!delta.ok()) {
+          chain_st = delta.status();
+          break;
+        }
+        const std::string file =
+            opdir + "/chain" + std::to_string(d) + ".delta";
+        chain_st = dur::WriteDeltaFile(file, delta.value());
+        chain.push_back(std::move(delta).value());
+        chain_files.push_back(file);
+      }
+      if (!chain_st.ok()) {
+        std::fprintf(stderr, "checkpoint_ops setup failed: %s\n",
+                     chain_st.ToString().c_str());
+        return 1;
+      }
+
+      for (size_t rep = 0; rep < repeats; ++rep) {
+        // WAL append throughput, unsynced and fdatasync-per-record.
+        const struct {
+          dur::WalSync sync;
+          size_t appends;
+          std::vector<double>* out;
+        } wal_runs[] = {{dur::WalSync::kOff, 4096, &wal_off_samples},
+                        {dur::WalSync::kEvery, 64, &wal_every_samples}};
+        for (const auto& run : wal_runs) {
+          const std::string waldir = opdir + "/wal";
+          fs::remove_all(waldir, ec);
+          dur::WalOptions wo;
+          wo.sync = run.sync;
+          auto writer = dur::WalWriter::Open(waldir, wo, 0);
+          if (!writer.ok()) {
+            std::fprintf(stderr, "wal bench failed: %s\n",
+                         writer.status().ToString().c_str());
+            return 1;
+          }
+          dur::WalRecord rec;
+          Timer t;
+          for (size_t k = 0; k < run.appends; ++k) {
+            rec.edge = data.edges[k % warm];
+            (void)writer.value()->Append(rec);
+          }
+          (void)writer.value()->Close();
+          run.out->push_back(static_cast<double>(run.appends) /
+                             t.ElapsedSeconds());
+        }
+
+        double ms = 0.0;
+        auto small = capture_after(31 * rep, 32, &ms);
+        if (!small.ok()) return 1;
+        take_small_samples.push_back(ms);
+        delta_small_rows = small.value().num_rows();
+        auto large = capture_after(53 * rep, 256, &ms);
+        if (!large.ok()) return 1;
+        take_large_samples.push_back(ms);
+        delta_large_rows = large.value().num_rows();
+
+        Timer t;
+        const dur::LogicalCheckpoint full = dur::GatherLogicalState(model);
+        base_gather_samples.push_back(1e3 * t.ElapsedSeconds());
+
+        // Compact: fold the 8-delta chain into a copy of its base.
+        t.Reset();
+        dur::LogicalCheckpoint folded = chain_base;
+        for (const auto& dlt : chain) (void)dur::ApplyDelta(dlt, &folded);
+        compact_samples.push_back(1e3 * t.ElapsedSeconds());
+
+        // Restore: materialise the same chain from disk.
+        t.Reset();
+        auto restored = dur::ReadBaseFile(opdir + "/chain.base");
+        if (!restored.ok()) {
+          std::fprintf(stderr, "chain restore failed: %s\n",
+                       restored.status().ToString().c_str());
+          return 1;
+        }
+        for (const std::string& file : chain_files) {
+          auto dlt = dur::ReadDeltaFile(file);
+          if (!dlt.ok()) return 1;
+          (void)dur::ApplyDelta(dlt.value(), &restored.value());
+        }
+        chain_restore_samples.push_back(1e3 * t.ElapsedSeconds());
+      }
+      fs::remove_all(opdir, ec);
+    }
+    std::printf(
+        "(checkpoint ops: wal append %.0f/s unsynced, %.0f/s synced; delta "
+        "take %.3fms @%llu rows vs %.3fms @%llu rows; base gather %.3fms; "
+        "compact %.3fms; chain restore %.3fms)\n",
+        Mean(wal_off_samples), Mean(wal_every_samples),
+        Mean(take_small_samples),
+        static_cast<unsigned long long>(delta_small_rows),
+        Mean(take_large_samples),
+        static_cast<unsigned long long>(delta_large_rows),
+        Mean(base_gather_samples), Mean(compact_samples),
+        Mean(chain_restore_samples));
+
     obs::JsonWriter w;
     w.BeginObject();
     w.Field("dataset", "MovieLens");
@@ -333,6 +487,16 @@ int main(int argc, char** argv) {
     sample_array("train_loss", loss_samples);
     sample_array("train_grad_norm", grad_norm_samples);
     sample_array("valid_mrr", mrr_samples);
+    // Durability-path samples: *_per_sec gates downward regressions in
+    // WAL append throughput, *_ms gates upward regressions in the delta
+    // chain's capture / compact / restore costs.
+    sample_array("wal_append_off_per_sec", wal_off_samples);
+    sample_array("wal_append_every_per_sec", wal_every_samples);
+    sample_array("ckpt_delta_take_small_ms", take_small_samples);
+    sample_array("ckpt_delta_take_large_ms", take_large_samples);
+    sample_array("ckpt_base_gather_ms", base_gather_samples);
+    sample_array("ckpt_compact_ms", compact_samples);
+    sample_array("ckpt_chain_restore_ms", chain_restore_samples);
     // Hardware-profile samples, one array per phase x derived metric. On
     // PMU-less hosts the ladder emits all-zero arrays under the same
     // names, so baseline/candidate schemas always line up.
@@ -398,6 +562,19 @@ int main(int argc, char** argv) {
     w.Field("restore_full_ms", 1e3 * restore_full_s / reps);
     w.Field("restore_delta_ms", 1e3 * restore_delta_s / reps);
     w.Field("restore_speedup", restore_speedup);
+    w.EndObject();
+    // Durability engine operation costs (means over the sample arrays
+    // above; the row counts pin the O(dirty) capture-scaling claim).
+    w.Key("checkpoint_ops").BeginObject();
+    w.Field("wal_append_off_per_sec", Mean(wal_off_samples));
+    w.Field("wal_append_every_per_sec", Mean(wal_every_samples));
+    w.Field("delta_take_small_ms", Mean(take_small_samples));
+    w.Field("delta_take_small_rows", delta_small_rows);
+    w.Field("delta_take_large_ms", Mean(take_large_samples));
+    w.Field("delta_take_large_rows", delta_large_rows);
+    w.Field("base_gather_ms", Mean(base_gather_samples));
+    w.Field("compact_ms", Mean(compact_samples));
+    w.Field("chain_restore_ms", Mean(chain_restore_samples));
     w.EndObject();
     // Model-monitor distributions from the last profiled repeat — the
     // point-in-time quality fingerprint behind the sample arrays above.

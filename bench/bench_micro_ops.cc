@@ -5,9 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/inslearn.h"
 #include "core/model.h"
 #include "data/synthetic.h"
+#include "dur/checkpoint.h"
+#include "dur/delta_writer.h"
+#include "dur/wal.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/perf_counters.h"
@@ -447,6 +452,123 @@ void BM_TrainEdgeMonitored(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrainEdgeMonitored);
+
+// ---- Durability: WAL appends and the delta checkpoint chain --------------
+
+void BM_WalAppend(benchmark::State& state) {
+  // arg 0 = WalSync::kOff (buffered), 1 = kEvery (fdatasync per record).
+  namespace fs = std::filesystem;
+  const Dataset& data = BenchData();
+  const std::string dir = "bench_wal_append.tmp";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  dur::WalOptions wo;
+  wo.sync = state.range(0) == 0 ? dur::WalSync::kOff : dur::WalSync::kEvery;
+  auto writer = dur::WalWriter::Open(dir, wo, 0).value();
+  dur::WalRecord rec;
+  size_t i = 0;
+  for (auto _ : state) {
+    rec.edge = data.edges[i++ % data.edges.size()];
+    benchmark::DoNotOptimize(writer->Append(rec));
+  }
+  (void)writer->Close();
+  fs::remove_all(dir, ec);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "sync=off" : "sync=every");
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1);
+
+void BM_DeltaCaptureDirtyRows(benchmark::State& state) {
+  // Capture cost must scale with the burst size (dirty rows), not with
+  // the model's total parameter count — the O(dirty) claim of §16.
+  auto model = TrainedModel(2000);
+  model->optimizer().set_checkpoint_tracking(true);
+  const size_t burst = static_cast<size_t>(state.range(0));
+  size_t i = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    model->optimizer().ClearCheckpointDirty();
+    TrainBurst(*model, 2000 + (i++ % 2000), burst);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dur::CaptureDirtyRows(*model));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaCaptureDirtyRows)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DeltaFileWrite(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  auto model = TrainedModel(2000);
+  model->optimizer().set_checkpoint_tracking(true);
+  model->optimizer().ClearCheckpointDirty();
+  TrainBurst(*model, 2000, 64);
+  const dur::DeltaCapture delta = dur::CaptureDirtyRows(*model).value();
+  const std::string path = "bench_delta_write.tmp";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dur::WriteDeltaFile(path, delta));
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaFileWrite);
+
+void BM_DeltaChainCompact(benchmark::State& state) {
+  // Folding `chain_len` deltas into a copy of their base — the in-memory
+  // half of what the engine's compaction does at the chain threshold.
+  auto model = TrainedModel(2000);
+  model->optimizer().set_checkpoint_tracking(true);
+  const dur::LogicalCheckpoint base = dur::GatherLogicalState(*model);
+  const size_t chain_len = static_cast<size_t>(state.range(0));
+  std::vector<dur::DeltaCapture> chain;
+  for (size_t d = 0; d < chain_len; ++d) {
+    model->optimizer().ClearCheckpointDirty();
+    TrainBurst(*model, 2000 + d * 97, 64);
+    chain.push_back(dur::CaptureDirtyRows(*model).value());
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    dur::LogicalCheckpoint folded = base;
+    state.ResumeTiming();
+    for (const auto& delta : chain) {
+      benchmark::DoNotOptimize(dur::ApplyDelta(delta, &folded));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * chain_len);
+}
+BENCHMARK(BM_DeltaChainCompact)->Arg(2)->Arg(8);
+
+void BM_DeltaChainRestore(benchmark::State& state) {
+  // Recovery's checkpoint half: read the base file plus `chain_len`
+  // delta files from disk and materialise the final logical state.
+  namespace fs = std::filesystem;
+  const std::string dir = "bench_chain_restore.tmp";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  auto model = TrainedModel(2000);
+  model->optimizer().set_checkpoint_tracking(true);
+  (void)dur::WriteBaseFile(dir + "/base", dur::GatherLogicalState(*model));
+  const size_t chain_len = static_cast<size_t>(state.range(0));
+  std::vector<std::string> files;
+  for (size_t d = 0; d < chain_len; ++d) {
+    model->optimizer().ClearCheckpointDirty();
+    TrainBurst(*model, 2000 + d * 97, 64);
+    files.push_back(dir + "/d" + std::to_string(d));
+    (void)dur::WriteDeltaFile(files.back(),
+                              dur::CaptureDirtyRows(*model).value());
+  }
+  for (auto _ : state) {
+    dur::LogicalCheckpoint lc = dur::ReadBaseFile(dir + "/base").value();
+    for (const std::string& f : files) {
+      (void)dur::ApplyDelta(dur::ReadDeltaFile(f).value(), &lc);
+    }
+    benchmark::DoNotOptimize(lc.params.data());
+  }
+  fs::remove_all(dir, ec);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaChainRestore)->Arg(2)->Arg(8);
 
 void BM_InsLearnBatch(benchmark::State& state) {
   const Dataset& data = BenchData();

@@ -137,7 +137,7 @@ void SparseAdam::Step(const GradBuffer& grads, float* params,
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
   grads.ForEach([&](size_t offset, const float* g, size_t len) {
-    dirty_.Mark(offset, static_cast<uint32_t>(len));
+    MarkRow(offset, static_cast<uint32_t>(len));
     UpdateRow(offset, g, len, bc1, bc2, params, stats);
   });
 }
@@ -156,7 +156,7 @@ void SparseAdam::StepScalarAt(uint64_t step, size_t offset, float grad,
                               float* params) {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
-  dirty_.Mark(offset, 1);
+  MarkRow(offset, 1);
   UpdateRow(offset, &grad, 1, bc1, bc2, params, nullptr);
 }
 
@@ -164,6 +164,9 @@ void SparseAdam::Restore(const State& state) {
   m_ = state.m;
   v_ = state.v;
   step_ = state.step;
+  // A whole-buffer rewrite: row tracking can no longer bound what changed
+  // since the last checkpoint link, so force the next link to a full base.
+  MarkAllCheckpointDirty();
 }
 
 }  // namespace supa

@@ -206,8 +206,37 @@ class SparseAdam {
   /// outside the optimizer (e.g. the updater's short-term forgetting) must
   /// MarkDirty() the row themselves.
   const DirtyRowSet& dirty_rows() const { return dirty_; }
-  void MarkDirty(size_t offset, uint32_t len) { dirty_.Mark(offset, len); }
+  void MarkDirty(size_t offset, uint32_t len) { MarkRow(offset, len); }
   void ClearDirty() { dirty_.Clear(); }
+
+  /// -- Checkpoint dirty tracking (durability engine) ------------------
+  ///
+  /// A second dirty set with an independent lifecycle: `dirty_` is owned
+  /// by the delta-snapshot rollback machinery and is cleared/re-based on
+  /// every Φ_best restore, while `ckpt_dirty_` accumulates every row
+  /// touched since the last durable checkpoint link and is cleared only
+  /// by ClearCheckpointDirty() at link-cut time. Off by default so the
+  /// hot path pays nothing when durability is not enabled.
+  void set_checkpoint_tracking(bool on) { ckpt_tracking_ = on; }
+  bool checkpoint_tracking() const { return ckpt_tracking_; }
+
+  /// Rows touched since the last ClearCheckpointDirty(). Meaningless when
+  /// checkpoint_dirty_overflow() is set — take a full base instead.
+  const DirtyRowSet& checkpoint_dirty_rows() const { return ckpt_dirty_; }
+
+  /// True after a whole-buffer mutation (full State restore, external
+  /// bulk load) that row tracking cannot bound; the next checkpoint link
+  /// must be a full base.
+  bool checkpoint_dirty_overflow() const { return ckpt_overflow_; }
+  void MarkAllCheckpointDirty() {
+    if (!ckpt_tracking_) return;
+    ckpt_overflow_ = true;
+    ckpt_dirty_.Clear();
+  }
+  void ClearCheckpointDirty() {
+    ckpt_dirty_.Clear();
+    ckpt_overflow_ = false;
+  }
 
   /// Raw moment access for row-wise delta snapshot/restore.
   float* m_data() { return m_.data(); }
@@ -226,6 +255,14 @@ class SparseAdam {
   void UpdateRow(size_t offset, const float* g, size_t len, double bc1,
                  double bc2, float* params, StepStats* stats);
 
+  /// The single marking point behind Step/StepScalarAt/MarkDirty: keeps
+  /// both dirty sets in lock-step so checkpoint tracking can never miss a
+  /// row the rollback machinery saw.
+  void MarkRow(size_t offset, uint32_t len) {
+    dirty_.Mark(offset, len);
+    if (ckpt_tracking_ && !ckpt_overflow_) ckpt_dirty_.Mark(offset, len);
+  }
+
   double lr_;
   double weight_decay_;
   double beta1_;
@@ -235,6 +272,9 @@ class SparseAdam {
   std::vector<float> m_;
   std::vector<float> v_;
   DirtyRowSet dirty_;
+  DirtyRowSet ckpt_dirty_;
+  bool ckpt_tracking_ = false;
+  bool ckpt_overflow_ = false;
 };
 
 }  // namespace supa

@@ -1,26 +1,11 @@
-// Binary checkpointing of a trained SUPA model: all embedding parameters
-// plus the optimizer state, so a stopped stream can resume exactly where
-// it left off (a production requirement for online learning).
+// Compatibility shim: checkpointing moved to the durability engine.
+// SaveCheckpoint / LoadCheckpoint now live in dur/checkpoint.h (still in
+// namespace supa); include that header directly in new code.
 
 #ifndef SUPA_CORE_CHECKPOINT_H_
 #define SUPA_CORE_CHECKPOINT_H_
 
-#include <string>
-
-#include "core/model.h"
-
-namespace supa {
-
-/// Writes `model`'s parameters and Adam state to `path`. The file embeds
-/// the layout (nodes, relations, node types, dim) for load-time checks.
-Status SaveCheckpoint(const SupaModel& model, const std::string& path);
-
-/// Restores parameters and optimizer state into `model`, which must have
-/// been constructed with a matching dataset + dim. The model's graph is
-/// not part of the checkpoint — replay ObserveEdge or use the original
-/// dataset to rebuild it.
-Status LoadCheckpoint(const std::string& path, SupaModel* model);
-
-}  // namespace supa
+#include "core/model.h"      // IWYU pragma: export (historical transitive)
+#include "dur/checkpoint.h"  // IWYU pragma: export
 
 #endif  // SUPA_CORE_CHECKPOINT_H_

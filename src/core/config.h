@@ -11,6 +11,8 @@
 
 namespace supa {
 
+class CheckpointSink;  // core/durability.h
+
 /// Model hyper-parameters (Table I) plus the ablation switches of
 /// Tables VII and VIII.
 struct SupaConfig {
@@ -128,6 +130,13 @@ struct InsLearnConfig {
   size_t writer_threads = 0;
   /// Commit semantics when writer_threads > 1; see IngestMode.
   IngestMode ingest_mode = IngestMode::kStrict;
+  /// Durability hook (core/durability.h): when set, the single-pass
+  /// trainer calls OnCheckpoint at its durable cut points — once before
+  /// the first batch, then at batch boundaries per `ckpt_interval`, and
+  /// once after the final batch. Not owned; null disables durable cuts.
+  CheckpointSink* checkpoint_sink = nullptr;
+  /// Batches between periodic durable cuts (>= 1).
+  size_t ckpt_interval = 1;
 };
 
 }  // namespace supa

@@ -113,6 +113,13 @@ class EmbeddingStore {
     bank_->ScatterLogical(src, dst);
   }
 
+  /// Logical offset of the float at physical `offset` — the per-row form
+  /// of GatherLogical, for serializing sparse dirty rows in shard-count-
+  /// invariant coordinates (delta checkpoints).
+  size_t PhysicalToLogical(size_t offset) const {
+    return bank_->layout().PhysicalToLogical(offset);
+  }
+
   /// The bank behind this facade.
   store::EmbeddingBank& bank() { return *bank_; }
   const store::EmbeddingBank& bank() const { return *bank_; }

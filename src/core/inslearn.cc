@@ -236,20 +236,34 @@ void PublishReport(const InsLearnReport& report) {
       .AddSeconds(report.snapshot_seconds);
   reg.GetCounter("inslearn.phase.observe_ns")
       .AddSeconds(report.observe_seconds);
+  reg.GetCounter("inslearn.phase.checkpoint_ns")
+      .AddSeconds(report.checkpoint_seconds);
 }
 
 }  // namespace
 
 Result<InsLearnReport> InsLearnTrainer::Train(SupaModel& model,
                                               const Dataset& data,
-                                              EdgeRange range) {
+                                              EdgeRange range,
+                                              const TrainerCursor* resume) {
   if (range.end > data.edges.size() || range.begin > range.end) {
     return Status::OutOfRange("bad training range");
   }
+  if (resume != nullptr) {
+    if (!config_.single_pass) {
+      return Status::InvalidArgument(
+          "cursor resume requires the single-pass workflow");
+    }
+    if (resume->next_edge_index < range.begin ||
+        resume->next_edge_index > range.end) {
+      return Status::OutOfRange("resume cursor outside the training range");
+    }
+  }
   if (range.empty()) return InsLearnReport{};
   SUPA_TRACE_SPAN_CAT("inslearn/train", "inslearn");
-  auto result = config_.single_pass ? TrainSinglePass(model, data, range)
-                                    : TrainFullPass(model, data, range);
+  auto result = config_.single_pass
+                    ? TrainSinglePass(model, data, range, resume)
+                    : TrainFullPass(model, data, range);
   if (result.ok()) PublishReport(result.value());
   return result;
 }
@@ -306,12 +320,40 @@ double InsLearnTrainer::ValidationScore(const SupaModel& model,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
-                                                        const Dataset& data,
-                                                        EdgeRange range) {
+Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(
+    SupaModel& model, const Dataset& data, EdgeRange range,
+    const TrainerCursor* resume) {
   InsLearnReport report;
   Rng valid_rng(config_.seed);
+  // Resuming from a durable cursor: the model already holds the cursor's
+  // parameter/graph/RNG state (dur::Recover restored it); the trainer
+  // restores its own stream and picks up at the cursor's batch boundary.
+  // Cuts only ever happen at batch boundaries, so next_edge_index lands on
+  // the same boundary lattice the uninterrupted run walked.
+  const size_t start_edge =
+      resume != nullptr ? static_cast<size_t>(resume->next_edge_index)
+                        : range.begin;
+  uint64_t batches_done = resume != nullptr ? resume->batches_done : 0;
+  if (resume != nullptr) valid_rng.set_state(resume->valid_rng);
   Heartbeat heartbeat(config_.heartbeat_seconds, range);
+
+  // One durable cut: captures a checkpoint link for the model's current
+  // state plus everything the resumed trainer needs (stream position,
+  // batch count, both RNG streams). The engine fills in the WAL sequence.
+  auto durable_cut = [&](size_t next_edge) -> Status {
+    if (config_.checkpoint_sink == nullptr) return Status::OK();
+    StopwatchGuard guard(&report.checkpoint_seconds);
+    SUPA_TRACE_SPAN_CAT("inslearn/checkpoint", "inslearn");
+    heartbeat.SetPhase("checkpoint");
+    TrainerCursor cursor;
+    cursor.next_edge_index = next_edge;
+    cursor.batches_done = batches_done;
+    cursor.model_rng = model.rng_state();
+    cursor.valid_rng = valid_rng.state();
+    const Status st = config_.checkpoint_sink->OnCheckpoint(model, cursor);
+    heartbeat.SetPhase("train");
+    return st;
+  };
 
   // With > 1 resolved writer threads the per-edge loops route through the
   // multi-writer ingest pipeline (DESIGN.md §13); otherwise they stay on
@@ -329,7 +371,11 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
     heartbeat.Tick();
   };
 
-  for (size_t b0 = range.begin; b0 < range.end; b0 += config_.batch_size) {
+  // Initial cut: guards the killed-during-first-batch window — recovery
+  // always has at least this link to restart from.
+  SUPA_RETURN_NOT_OK(durable_cut(start_edge));
+
+  for (size_t b0 = start_edge; b0 < range.end; b0 += config_.batch_size) {
     SUPA_TRACE_SPAN_CAT("inslearn/batch", "inslearn");
     const size_t b1 = std::min(b0 + config_.batch_size, range.end);
     const size_t batch_len = b1 - b0;
@@ -420,9 +466,18 @@ Result<InsLearnReport> InsLearnTrainer::TrainSinglePass(SupaModel& model,
       }
     }
     ++report.num_batches;
+    ++batches_done;
     // Batch boundary: re-export the store.shard_* gauges so Prometheus
     // scrapes track shard balance without forcing a snapshot publish.
     model.graph_store().RefreshShardMetrics();
+    // Durable cut point: no Φ_best snapshot is in flight and this batch's
+    // validation edges are observed, so the state here is exactly what a
+    // resumed trainer starting at b1 needs. The final boundary is always
+    // cut so recovery never replays a completed run's tail.
+    const size_t interval = std::max<size_t>(config_.ckpt_interval, 1);
+    if (batches_done % interval == 0 || b1 == range.end) {
+      SUPA_RETURN_NOT_OK(durable_cut(b1));
+    }
   }
   heartbeat.Finish();
   return report;

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/durability.h"
 #include "core/model.h"
 #include "data/splits.h"
 
@@ -38,6 +39,8 @@ struct InsLearnReport {
   double snapshot_seconds = 0.0;
   /// Time inserting edges into the graph (ObserveEdge).
   double observe_seconds = 0.0;
+  /// Time inside durable checkpoint cuts (CheckpointSink::OnCheckpoint).
+  double checkpoint_seconds = 0.0;
 };
 
 /// Drives SupaModel training over an edge range of a dataset.
@@ -48,8 +51,15 @@ class InsLearnTrainer {
   /// Trains `model` on edges [range.begin, range.end) of `data`. The model
   /// must have been constructed for this dataset and not have observed the
   /// range yet.
+  ///
+  /// `resume` (single-pass workflow only) continues a previous run from a
+  /// durable cursor: training restarts at cursor.next_edge_index with the
+  /// validation RNG stream restored, producing the exact batch sequence —
+  /// and bit-identical final state — the uninterrupted run would have. The
+  /// model must already hold the cursor's state (dur::Recover does this).
   Result<InsLearnReport> Train(SupaModel& model, const Dataset& data,
-                               EdgeRange range);
+                               EdgeRange range,
+                               const TrainerCursor* resume = nullptr);
 
   const InsLearnConfig& config() const { return config_; }
 
@@ -63,8 +73,8 @@ class InsLearnTrainer {
                          size_t begin, size_t end, Rng& rng) const;
 
   Result<InsLearnReport> TrainSinglePass(SupaModel& model,
-                                         const Dataset& data,
-                                         EdgeRange range);
+                                         const Dataset& data, EdgeRange range,
+                                         const TrainerCursor* resume);
   Result<InsLearnReport> TrainFullPass(SupaModel& model, const Dataset& data,
                                        EdgeRange range);
 

@@ -93,6 +93,7 @@ SupaModel::SupaModel(const Dataset& data, SupaConfig config)
 
 Status SupaModel::ObserveEdge(const TemporalEdge& e) {
   SUPA_RETURN_NOT_OK(graph_->AddEdge(e.src, e.dst, e.type, e.time));
+  if (edge_log_ != nullptr) edge_log_->LogAdd(e);
   // New-node checks read the pre-increment degrees; the recorded degrees
   // are post-insert, matching what the negative table will see.
   auto& monitor = obs::ModelMonitor::Global();
@@ -606,6 +607,7 @@ void SupaModel::CommitPlanDeferred(const EdgePlan& plan) {
 Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
                                          Timestamp t) {
   SUPA_RETURN_NOT_OK(graph_->RemoveEdge(u, v, r));
+  if (edge_log_ != nullptr) edge_log_->LogRemove(u, v, r, t);
   degrees_[u] = std::max(0.0, degrees_[u] - 1.0);
   degrees_[v] = std::max(0.0, degrees_[v] - 1.0);
   // Process the deletion like an (inverted) interaction: the update step
@@ -616,6 +618,19 @@ Result<TrainStats> SupaModel::DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
   TrainOptions options;
   options.use_inter_loss = false;
   return TrainEdge(TemporalEdge{u, v, r, t}, options);
+}
+
+Status SupaModel::ReplayRemoveEdge(NodeId u, NodeId v, EdgeTypeId r) {
+  // Durability replay: reproduce exactly the graph-side effects of
+  // DeleteEdge and nothing else. The original deletion's TrainEdge already
+  // shaped the parameters captured in the checkpoint, and last-active
+  // timestamps are only ever written by graph insertion, so removal +
+  // degree decrement is the complete state delta. No edge-log callback —
+  // the record being replayed *is* the log entry.
+  SUPA_RETURN_NOT_OK(graph_->RemoveEdge(u, v, r));
+  degrees_[u] = std::max(0.0, degrees_[u] - 1.0);
+  degrees_[v] = std::max(0.0, degrees_[v] - 1.0);
+  return Status::OK();
 }
 
 double SupaModel::Score(NodeId u, NodeId v, EdgeTypeId r) const {
@@ -764,6 +779,10 @@ void SupaModel::RestoreDeltaSnapshot(const DeltaSnapshot& snapshot) {
     std::memcpy(m, base.adam.m.data(), base.adam.m.size() * sizeof(float));
     std::memcpy(v, base.adam.v.data(), base.adam.v.size() * sizeof(float));
     delta_baseline_ = snapshot.baseline;
+    // Whole-buffer rewrite outside SparseAdam::Restore: checkpoint dirty
+    // tracking cannot bound the change, so the next durable link must be
+    // a full base.
+    adam_->MarkAllCheckpointDirty();
   }
 
   size_t pos = 0;

@@ -12,6 +12,7 @@
 
 #include "core/adam.h"
 #include "core/config.h"
+#include "core/durability.h"
 #include "core/embedding_store.h"
 #include "core/sampler.h"
 #include "data/dataset.h"
@@ -143,6 +144,12 @@ class SupaModel {
   Result<TrainStats> DeleteEdge(NodeId u, NodeId v, EdgeTypeId r,
                                 Timestamp t);
 
+  /// Durability replay of a logged removal (dur/recovery.h): undoes the
+  /// graph edge and decrements degrees, WITHOUT the deletion's training
+  /// step (its parameter effects live in the checkpoint being recovered)
+  /// and without re-logging. Not for general use.
+  Status ReplayRemoveEdge(NodeId u, NodeId v, EdgeTypeId r);
+
   /// Recommendation score γ(u, v, r) = h^r_u · h^r_v (Eq. 14–15). Reads
   /// the *live* store — training-internal use (validation runs while the
   /// trainer is parked between batches). Concurrent readers must score on
@@ -222,6 +229,24 @@ class SupaModel {
   const SupaConfig& config() const { return config_; }
   EmbeddingStore& store() { return *store_; }
   const EmbeddingStore& store() const { return *store_; }
+
+  /// Attaches (or detaches, with nullptr) the durability edge log. Every
+  /// committed graph mutation — ObserveEdge inserts and DeleteEdge
+  /// removals, from both the serial trainer and the ingest dispatcher — is
+  /// reported in commit order. Not owned.
+  void set_edge_log(EdgeLogSink* sink) { edge_log_ = sink; }
+  EdgeLogSink* edge_log() const { return edge_log_; }
+
+  /// The model's sampling stream, exposed so durable checkpoints can
+  /// resume it mid-flight.
+  Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const Rng::State& st) { rng_.set_state(st); }
+
+  /// The optimizer, exposed for the durability layer's dirty-row capture
+  /// (checkpoint_dirty_rows, moment buffers). Training-path callers go
+  /// through TrainEdge / the plan pipeline, never this.
+  SparseAdam& optimizer() { return *adam_; }
+  const SparseAdam& optimizer() const { return *adam_; }
 
   /// The storage engine holding this model's graph and embedding shards.
   store::GraphStore& graph_store() { return *graph_store_; }
@@ -361,6 +386,8 @@ class SupaModel {
   void InvalidateDeltaBaseline();
 
   SupaConfig config_;
+  /// Durability edge log (null when durability is off). Not owned.
+  EdgeLogSink* edge_log_ = nullptr;
   /// The engine; graph_ and store_ are facades sharing its state.
   std::shared_ptr<store::GraphStore> graph_store_;
   std::unique_ptr<DynamicGraph> graph_;

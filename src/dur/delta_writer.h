@@ -1,0 +1,66 @@
+// Incremental ("delta") checkpoints: only the parameter rows dirtied
+// since the previous durable link, plus their Adam moments, keyed by
+// *logical* offsets so delta files — like base files — are byte-identical
+// at any shard count (DESIGN.md §16).
+//
+// File layout ("SUPADL01"):
+//
+//   header   48 bytes: u64 magic | num_rows | num_floats | adam_step |
+//            param_count | reserved=0
+//   body     u64 logical offsets[num_rows] (ascending) |
+//            u32 lens[num_rows] |
+//            f32 params[num_floats] | m[num_floats] | v[num_floats]
+//   footer   16 bytes: u64 magic "SUPACRC1" | u32 header crc | u32 body crc
+//
+// Capture cost is O(dirty rows), not O(total parameters) — the point of
+// the exercise; BENCH_fig5.json's checkpoint_ops section pins the scaling.
+
+#ifndef SUPA_DUR_DELTA_WRITER_H_
+#define SUPA_DUR_DELTA_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace supa {
+class SupaModel;
+}  // namespace supa
+
+namespace supa::dur {
+
+struct LogicalCheckpoint;
+
+/// An in-memory delta: rows sorted by ascending logical offset.
+struct DeltaCapture {
+  uint64_t adam_step = 0;
+  uint64_t param_count = 0;
+  std::vector<uint64_t> offsets;  // logical float offsets, ascending
+  std::vector<uint32_t> lens;     // floats per row
+  std::vector<float> params;      // concatenated rows, offsets order
+  std::vector<float> m;
+  std::vector<float> v;
+
+  size_t num_rows() const { return offsets.size(); }
+  size_t num_floats() const { return params.size(); }
+};
+
+/// Copies the optimizer's checkpoint-dirty rows out of the live model,
+/// converting each physical offset to its logical coordinate. Must run on
+/// the training thread (reads live buffers). O(dirty).
+/// FailedPrecondition when the dirty set overflowed (take a base instead).
+Result<DeltaCapture> CaptureDirtyRows(const SupaModel& model);
+
+/// Writes / reads a SUPADL01 file (fsynced; fully validated on read).
+Status WriteDeltaFile(const std::string& path, const DeltaCapture& delta);
+Result<DeltaCapture> ReadDeltaFile(const std::string& path);
+
+/// Patches `lc` (a materialised base) with the delta's rows and advances
+/// its adam_step. InvalidArgument on param_count mismatch or out-of-range
+/// rows.
+Status ApplyDelta(const DeltaCapture& delta, LogicalCheckpoint* lc);
+
+}  // namespace supa::dur
+
+#endif  // SUPA_DUR_DELTA_WRITER_H_

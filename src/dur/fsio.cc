@@ -1,0 +1,113 @@
+#include "dur/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace supa::dur {
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create_directories " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", dir);
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) st = Errno("fsync(dir)", dir);
+  ::close(fd);
+  return st;
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t n =
+        ::read(fd, out->data() + done, out->size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;  // shrank under us; keep what we got
+    done += static_cast<size_t>(n);
+  }
+  out->resize(done);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Errno("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return SyncDir(parent.empty() ? "." : parent);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace supa::dur

@@ -1,0 +1,36 @@
+// Small POSIX file-IO helpers shared by the durability engine: durable
+// directory creation, whole-file reads, atomic (tmp + rename + dir-fsync)
+// writes, and directory syncs. Everything returns Status and never throws.
+
+#ifndef SUPA_DUR_FSIO_H_
+#define SUPA_DUR_FSIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace supa::dur {
+
+/// Creates `dir` (and parents) if missing.
+Status EnsureDir(const std::string& dir);
+
+/// fsync on the directory itself so renames/creates within it are durable.
+Status SyncDir(const std::string& dir);
+
+/// Reads the whole file into `out` (replaced). NotFound if absent.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `path` atomically: write `path`.tmp, fsync, rename over `path`,
+/// fsync the parent directory. Readers see either the old or the new
+/// content, never a torn mix.
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t size);
+
+/// Removes a file if it exists (missing is not an error).
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace supa::dur
+
+#endif  // SUPA_DUR_FSIO_H_

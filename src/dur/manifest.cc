@@ -1,0 +1,146 @@
+#include "dur/manifest.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "dur/fsio.h"
+
+namespace supa::dur {
+namespace {
+
+// Packed cursor layout (little-endian, 106 bytes):
+//   u64 wal_seq | u64 next_edge_index | u64 batches_done
+//   model_rng: u64 s[4] | u64 cached_gaussian bits | u8 has_cached
+//   valid_rng: same 41 bytes
+constexpr size_t kRngStateBytes = 4 * 8 + 8 + 1;
+constexpr size_t kCursorBytes = 3 * 8 + 2 * kRngStateBytes;
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PackRng(std::vector<uint8_t>* out, const Rng::State& st) {
+  for (int i = 0; i < 4; ++i) PutU64(out, st.s[i]);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &st.cached_gaussian, sizeof(bits));
+  PutU64(out, bits);
+  out->push_back(st.has_cached_gaussian ? 1 : 0);
+}
+
+void UnpackRng(const uint8_t* p, Rng::State* st) {
+  for (int i = 0; i < 4; ++i) st->s[i] = GetU64(p + 8 * i);
+  const uint64_t bits = GetU64(p + 32);
+  std::memcpy(&st->cached_gaussian, &bits, sizeof(bits));
+  st->has_cached_gaussian = p[40] != 0;
+}
+
+}  // namespace
+
+std::string EncodeCursor(const TrainerCursor& cursor) {
+  std::vector<uint8_t> packed;
+  packed.reserve(kCursorBytes);
+  PutU64(&packed, cursor.wal_seq);
+  PutU64(&packed, cursor.next_edge_index);
+  PutU64(&packed, cursor.batches_done);
+  PackRng(&packed, cursor.model_rng);
+  PackRng(&packed, cursor.valid_rng);
+  static const char* kHex = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(packed.size() * 2);
+  for (uint8_t b : packed) {
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xF]);
+  }
+  return hex;
+}
+
+bool DecodeCursor(const std::string& hex, TrainerCursor* out) {
+  if (hex.size() != kCursorBytes * 2) return false;
+  std::vector<uint8_t> packed(kCursorBytes);
+  for (size_t i = 0; i < kCursorBytes; ++i) {
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    packed[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  out->wal_seq = GetU64(packed.data());
+  out->next_edge_index = GetU64(packed.data() + 8);
+  out->batches_done = GetU64(packed.data() + 16);
+  UnpackRng(packed.data() + 24, &out->model_rng);
+  UnpackRng(packed.data() + 24 + kRngStateBytes, &out->valid_rng);
+  return true;
+}
+
+Result<Manifest> LoadManifest(const std::string& dir) {
+  std::vector<uint8_t> bytes;
+  SUPA_RETURN_NOT_OK(ReadFileBytes(dir + "/MANIFEST", &bytes));
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  std::string header;
+  int version = 0;
+  if (!(in >> header >> version) || header != "SUPAMANIFEST") {
+    return Status::IOError("bad manifest header in " + dir);
+  }
+  if (version != 1) {
+    return Status::IOError("unsupported manifest version " +
+                           std::to_string(version) + " in " + dir);
+  }
+  Manifest manifest;
+  std::string word;
+  while (in >> word) {
+    if (word != "link") {
+      return Status::IOError("unexpected manifest token '" + word + "' in " +
+                             dir);
+    }
+    ManifestLink link;
+    std::string kind, cursor_hex;
+    if (!(in >> kind >> link.file >> link.adam_step >> link.wal_seq >>
+          cursor_hex)) {
+      return Status::IOError("truncated manifest link in " + dir);
+    }
+    if (kind == "base") {
+      link.kind = ManifestLink::Kind::kBase;
+    } else if (kind == "delta") {
+      link.kind = ManifestLink::Kind::kDelta;
+    } else {
+      return Status::IOError("unknown manifest link kind '" + kind + "' in " +
+                             dir);
+    }
+    if (!DecodeCursor(cursor_hex, &link.cursor)) {
+      return Status::IOError("bad manifest cursor for " + link.file + " in " +
+                             dir);
+    }
+    manifest.links.push_back(std::move(link));
+  }
+  if (!manifest.links.empty() &&
+      manifest.links.front().kind != ManifestLink::Kind::kBase) {
+    return Status::IOError("manifest chain does not start with a base in " +
+                           dir);
+  }
+  return manifest;
+}
+
+Status SaveManifest(const std::string& dir, const Manifest& manifest) {
+  std::ostringstream out;
+  out << "SUPAMANIFEST 1\n";
+  for (const ManifestLink& link : manifest.links) {
+    out << "link "
+        << (link.kind == ManifestLink::Kind::kBase ? "base" : "delta") << ' '
+        << link.file << ' ' << link.adam_step << ' ' << link.wal_seq << ' '
+        << EncodeCursor(link.cursor) << '\n';
+  }
+  const std::string text = out.str();
+  return WriteFileAtomic(dir + "/MANIFEST", text.data(), text.size());
+}
+
+}  // namespace supa::dur

@@ -1,0 +1,340 @@
+#include "dur/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "dur/fsio.h"
+#include "util/crc32c.h"
+
+namespace supa::dur {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'S', 'U', 'P', 'A', 'W', 'A', 'L', '1'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 24;  // magic + version + reserved + seq
+constexpr size_t kRecordHeaderBytes = 8;    // crc + type + len
+constexpr size_t kEdgePayloadBytes = 20;    // src + dst + rel + pad + time
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+template <typename T>
+void PutLE(std::vector<uint8_t>* out, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+T GetLE(const uint8_t* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<uint64_t>(p[i]) << (8 * i));
+  }
+  return v;
+}
+
+std::string SegmentName(uint64_t first_seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.seg",
+                static_cast<unsigned long long>(first_seq));
+  return buf;
+}
+
+// Encodes type|len|payload (the CRC'd region) for one record.
+std::vector<uint8_t> EncodeBody(const WalRecord& record) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + kEdgePayloadBytes);
+  PutLE<uint16_t>(&body, record.type);
+  PutLE<uint16_t>(&body, static_cast<uint16_t>(kEdgePayloadBytes));
+  PutLE<uint32_t>(&body, record.edge.src);
+  PutLE<uint32_t>(&body, record.edge.dst);
+  PutLE<uint16_t>(&body, record.edge.type);
+  PutLE<uint16_t>(&body, 0);  // pad
+  uint64_t time_bits = 0;
+  static_assert(sizeof(record.edge.time) == sizeof(time_bits));
+  std::memcpy(&time_bits, &record.edge.time, sizeof(time_bits));
+  PutLE<uint64_t>(&body, time_bits);
+  return body;
+}
+
+// Parses the segment header. Returns first_seq or an error.
+Result<uint64_t> ParseSegmentHeader(const std::vector<uint8_t>& bytes,
+                                    const std::string& path) {
+  if (bytes.size() < kSegmentHeaderBytes) {
+    return Status::IOError("WAL segment shorter than its header: " + path);
+  }
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::IOError("bad WAL segment magic: " + path);
+  }
+  const uint32_t version = GetLE<uint32_t>(bytes.data() + 8);
+  if (version != kSegmentVersion) {
+    return Status::IOError("unsupported WAL segment version " +
+                           std::to_string(version) + ": " + path);
+  }
+  return GetLE<uint64_t>(bytes.data() + 16);
+}
+
+// Decodes records from `bytes` starting after the segment header. Appends
+// valid records to `out`; returns true on a clean end, false on a torn /
+// corrupt tail. `consumed` receives the byte offset of the first invalid
+// record (== bytes.size() on a clean end).
+bool DecodeRecords(const std::vector<uint8_t>& bytes,
+                   std::vector<WalRecord>* out, size_t* consumed) {
+  size_t off = kSegmentHeaderBytes;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kRecordHeaderBytes) break;
+    const uint8_t* p = bytes.data() + off;
+    const uint32_t crc = GetLE<uint32_t>(p);
+    const uint16_t type = GetLE<uint16_t>(p + 4);
+    const uint16_t len = GetLE<uint16_t>(p + 6);
+    if (bytes.size() - off - kRecordHeaderBytes < len) break;
+    if (Crc32c(p + 4, 4u + len) != crc) break;
+    if ((type != WalRecord::kAddEdge && type != WalRecord::kRemoveEdge) ||
+        len != kEdgePayloadBytes) {
+      break;  // framed but unintelligible — treat like corruption
+    }
+    const uint8_t* payload = p + kRecordHeaderBytes;
+    WalRecord rec;
+    rec.type = type;
+    rec.edge.src = GetLE<uint32_t>(payload);
+    rec.edge.dst = GetLE<uint32_t>(payload + 4);
+    rec.edge.type = GetLE<uint16_t>(payload + 8);
+    const uint64_t time_bits = GetLE<uint64_t>(payload + 12);
+    std::memcpy(&rec.edge.time, &time_bits, sizeof(rec.edge.time));
+    out->push_back(rec);
+    off += kRecordHeaderBytes + len;
+  }
+  *consumed = off;
+  return off == bytes.size();
+}
+
+// Lists (first_seq, path) for every segment in `dir`, sorted by first_seq
+// as parsed from the file name. Missing dir → empty list.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) return out;
+    return Status::IOError("list " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%16llx.seg", &seq) != 1) continue;
+    if (name != SegmentName(seq)) continue;
+    out.emplace_back(seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool ParseWalSync(std::string_view text, WalSync* out) {
+  if (text == "every") {
+    *out = WalSync::kEvery;
+  } else if (text == "batch") {
+    *out = WalSync::kBatch;
+  } else if (text == "off") {
+    *out = WalSync::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* WalSyncName(WalSync sync) {
+  switch (sync) {
+    case WalSync::kEvery:
+      return "every";
+    case WalSync::kBatch:
+      return "batch";
+    case WalSync::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   WalOptions options,
+                                                   uint64_t next_seq) {
+  SUPA_RETURN_NOT_OK(EnsureDir(dir));
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(dir, options, next_seq));
+  {
+    std::lock_guard<std::mutex> lock(writer->mu_);
+    SUPA_RETURN_NOT_OK(writer->OpenSegmentLocked());
+  }
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  const Status st = Close();
+  (void)st;  // destructor cannot propagate; Close() reports via callers
+}
+
+Status WalWriter::OpenSegmentLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = dir_ + "/" + SegmentName(next_seq_);
+  // O_TRUNC: a partially written segment with this first_seq (from a crash
+  // between truncate and reopen) holds only records we are about to
+  // regenerate, so clobbering it is safe.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", path);
+  std::vector<uint8_t> header;
+  header.insert(header.end(), kSegmentMagic, kSegmentMagic + 8);
+  PutLE<uint32_t>(&header, kSegmentVersion);
+  PutLE<uint32_t>(&header, 0);
+  PutLE<uint64_t>(&header, next_seq_);
+  size_t done = 0;
+  while (done < header.size()) {
+    const ssize_t n = ::write(fd, header.data() + done, header.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("write", path);
+      ::close(fd);
+      return st;
+    }
+    done += static_cast<size_t>(n);
+  }
+  fd_ = fd;
+  segment_bytes_written_ = header.size();
+  // Make the new segment's directory entry durable before any record in it
+  // is acknowledged.
+  if (options_.sync != WalSync::kOff) SUPA_RETURN_NOT_OK(SyncDir(dir_));
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  if (segment_bytes_written_ >= options_.segment_bytes) {
+    SUPA_RETURN_NOT_OK(OpenSegmentLocked());
+  }
+  const std::vector<uint8_t> body = EncodeBody(record);
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + body.size());
+  PutLE<uint32_t>(&frame, Crc32c(body.data(), body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+  size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", dir_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  segment_bytes_written_ += frame.size();
+  bytes_appended_ += frame.size();
+  ++next_seq_;
+  if (options_.sync == WalSync::kEvery) {
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", dir_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || options_.sync == WalSync::kOff) return Status::OK();
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", dir_);
+  return Status::OK();
+}
+
+uint64_t WalWriter::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t WalWriter::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_appended_;
+}
+
+Status WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  Status st = Status::OK();
+  if (options_.sync != WalSync::kOff && ::fdatasync(fd_) != 0) {
+    st = Errno("fdatasync", dir_);
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+Result<WalReplay> ReadWal(const std::string& dir) {
+  WalReplay replay;
+  SUPA_ASSIGN_OR_RETURN(const auto segments, ListSegments(dir));
+  uint64_t expect_seq = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_seq, path] = segments[i];
+    if (i == 0) expect_seq = first_seq;
+    if (first_seq != expect_seq) break;  // gap — the chain ends here
+    std::vector<uint8_t> bytes;
+    SUPA_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+    SUPA_ASSIGN_OR_RETURN(const uint64_t header_seq,
+                          ParseSegmentHeader(bytes, path));
+    if (header_seq != first_seq) {
+      return Status::IOError("WAL segment name/header sequence mismatch: " +
+                             path);
+    }
+    size_t consumed = 0;
+    const bool clean = DecodeRecords(bytes, &replay.records, &consumed);
+    if (!clean) {
+      replay.torn_tail = true;
+      break;  // everything after a torn record is unreachable
+    }
+    // The next segment must start exactly where this one's records end.
+    expect_seq = segments[0].first + replay.records.size();
+  }
+  return replay;
+}
+
+Status TruncateWal(const std::string& dir, uint64_t seq) {
+  SUPA_ASSIGN_OR_RETURN(const auto segments, ListSegments(dir));
+  for (const auto& [first_seq, path] : segments) {
+    if (first_seq >= seq) {
+      SUPA_RETURN_NOT_OK(RemoveFileIfExists(path));
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    SUPA_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+    SUPA_ASSIGN_OR_RETURN(const uint64_t header_seq,
+                          ParseSegmentHeader(bytes, path));
+    (void)header_seq;
+    std::vector<WalRecord> records;
+    size_t consumed = 0;
+    DecodeRecords(bytes, &records, &consumed);
+    const uint64_t last_seq = first_seq + records.size();
+    if (last_seq <= seq) continue;  // wholly before the cut — keep as is
+    // The cut lands inside this segment: keep records [first_seq, seq).
+    const size_t keep = static_cast<size_t>(seq - first_seq);
+    size_t keep_bytes = kSegmentHeaderBytes;
+    size_t off = kSegmentHeaderBytes;
+    for (size_t k = 0; k < keep; ++k) {
+      const uint16_t len = GetLE<uint16_t>(bytes.data() + off + 6);
+      off += kRecordHeaderBytes + len;
+    }
+    keep_bytes = off;
+    SUPA_RETURN_NOT_OK(WriteFileAtomic(path, bytes.data(), keep_bytes));
+  }
+  return SyncDir(dir);
+}
+
+}  // namespace supa::dur

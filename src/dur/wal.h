@@ -1,0 +1,143 @@
+// Binary write-ahead log of graph mutations (DESIGN.md §16).
+//
+// The WAL is the durable copy of the edge stream itself: every committed
+// ObserveEdge insert and DeleteEdge removal appends one record, in commit
+// order, so the model's graph — which checkpoints deliberately omit — can
+// be rebuilt exactly by replaying the log from the beginning. Records are
+// CRC32C-framed and segments rotate at a size threshold; a crash can tear
+// at most the tail of the newest segment, and replay tolerates that by
+// stopping cleanly at the first short or corrupt record.
+//
+// Layout on disk (all integers little-endian):
+//
+//   segment file  wal-<first_seq:016x>.seg
+//     header      "SUPAWAL1" | u32 version=1 | u32 reserved | u64 first_seq
+//     record*     u32 crc | u16 type | u16 len | payload[len]
+//
+//   edge payload  u32 src | u32 dst | u16 rel | u16 pad=0 | f64 time
+//
+// The CRC covers type|len|payload, so a bit flip anywhere in a record —
+// including its framing — is detected. Sequence numbers are implicit:
+// record k of the log is the k-th record across segments ordered by
+// first_seq (replay verifies the segments chain without gaps).
+
+#ifndef SUPA_DUR_WAL_H_
+#define SUPA_DUR_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace supa::dur {
+
+/// Fsync policy for WAL appends (`supa_cli train --wal-sync ...`).
+enum class WalSync {
+  /// fdatasync after every record. Maximum durability, slowest.
+  kEvery,
+  /// fdatasync once per durable cut (batch boundary), before the
+  /// checkpoint link that references the synced records is written. A
+  /// crash loses at most the records since the last cut — which recovery
+  /// regenerates deterministically anyway. The default.
+  kBatch,
+  /// Never fsync (the OS flushes when it pleases). For benchmarks and
+  /// tests; a machine crash may lose acknowledged records.
+  kOff,
+};
+
+/// Parses "every" | "batch" | "off". Returns false on anything else.
+bool ParseWalSync(std::string_view text, WalSync* out);
+const char* WalSyncName(WalSync sync);
+
+/// One logged mutation. `edge.time` is the insert time for kAddEdge and
+/// the deletion's interaction time for kRemoveEdge.
+struct WalRecord {
+  enum Type : uint16_t { kAddEdge = 1, kRemoveEdge = 2 };
+  uint16_t type = kAddEdge;
+  TemporalEdge edge;
+};
+
+struct WalOptions {
+  WalSync sync = WalSync::kBatch;
+  /// Rotate to a new segment once the current one exceeds this many bytes.
+  size_t segment_bytes = 64u << 20;
+};
+
+/// Appender. Thread-compatible with one appender thread (the trainer /
+/// ingest dispatcher) plus Sync() calls from any thread — internal mutex.
+class WalWriter {
+ public:
+  /// Opens `dir` (created if missing) for appending; the next record
+  /// written is sequence number `next_seq` and starts a fresh segment.
+  /// `next_seq` must equal the number of valid records already on disk
+  /// (0 for an empty log; ReadWal().records.size() after recovery).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 WalOptions options,
+                                                 uint64_t next_seq);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record (fdatasync immediately under WalSync::kEvery).
+  Status Append(const WalRecord& record);
+
+  /// fdatasync the current segment (no-op under WalSync::kOff).
+  Status Sync();
+
+  /// Sequence number the next Append will receive == records written so
+  /// far across the log's whole history.
+  uint64_t next_seq() const;
+
+  /// Bytes appended by this writer (excluding segment headers), for the
+  /// dur.wal_bytes gauge.
+  uint64_t bytes_appended() const;
+
+  /// Syncs (unless kOff) and closes the current segment. Idempotent.
+  Status Close();
+
+ private:
+  WalWriter(std::string dir, WalOptions options, uint64_t next_seq)
+      : dir_(std::move(dir)), options_(options), next_seq_(next_seq) {}
+
+  Status OpenSegmentLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;
+  uint64_t segment_bytes_written_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Result of reading a log: the valid record prefix, in sequence order.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// True when reading stopped at a short or corrupt record (the torn
+  /// tail a crash leaves behind) rather than a clean end of log.
+  bool torn_tail = false;
+};
+
+/// Reads every segment of `dir` in sequence order and returns the longest
+/// valid record prefix. A missing directory or an empty log returns zero
+/// records (not an error). A gap in the segment chain (missing file) ends
+/// the prefix at the gap.
+Result<WalReplay> ReadWal(const std::string& dir);
+
+/// Drops records [seq, ∞): deletes segments that start at or beyond `seq`
+/// and rewrites the segment containing `seq` to end just before it. After
+/// recovery truncates to the restored cursor's wal_seq, the resumed
+/// trainer regenerates the dropped suffix record-for-record.
+Status TruncateWal(const std::string& dir, uint64_t seq);
+
+}  // namespace supa::dur
+
+#endif  // SUPA_DUR_WAL_H_

@@ -1,5 +1,6 @@
 #include "store/embedding_bank.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace supa::store {
@@ -27,6 +28,29 @@ EmbeddingLayout::EmbeddingLayout(std::shared_ptr<const NodeShardMap> map,
   emb_base_[num_shards] = base;
   alpha_off_ = base;
   size_ = base + num_node_types_;
+}
+
+size_t EmbeddingLayout::PhysicalToLogical(size_t offset) const {
+  // The α tail sits at the same trailing offsets in both layouts.
+  if (offset >= alpha_off_) return offset;
+  // Shard owning the offset: last emb_base_ entry <= offset.
+  const auto it =
+      std::upper_bound(emb_base_.begin(), emb_base_.end(), offset);
+  const size_t s = static_cast<size_t>(it - emb_base_.begin()) - 1;
+  const std::vector<NodeId>& nodes = map_raw_->shard_nodes(s);
+  if (offset < short_base_[s]) {
+    const size_t local = offset - emb_base_[s];
+    return LogicalLongMemOffset(nodes[local / dim_]) + local % dim_;
+  }
+  if (offset < ctx_base_[s]) {
+    const size_t local = offset - short_base_[s];
+    return LogicalShortMemOffset(nodes[local / dim_]) + local % dim_;
+  }
+  const size_t local = offset - ctx_base_[s];
+  const size_t row = local / dim_;
+  return LogicalContextOffset(nodes[row / num_relations_],
+                              static_cast<EdgeTypeId>(row % num_relations_)) +
+         local % dim_;
 }
 
 EmbeddingBank::EmbeddingBank(std::shared_ptr<const EmbeddingLayout> layout,

@@ -62,6 +62,14 @@ class EmbeddingLayout {
            (static_cast<size_t>(v) * num_relations_ + r) * dim_;
   }
 
+  /// Inverts the physical layout: the logical offset of the float that
+  /// lives at physical `offset`. Rows occupy contiguous same-length spans
+  /// in both layouts, so converting a dirty row's starting offset relocates
+  /// the whole row — this is how delta checkpoints serialize dirty rows in
+  /// shard-count-invariant coordinates. O(log S) shard search plus O(log
+  /// n_s) reverse node lookup.
+  size_t PhysicalToLogical(size_t offset) const;
+
   // -- Per-shard regions (for snapshot copies and byte accounting). The α
   //    tail belongs to no shard; it rides with shard 0's write ordering. --
   size_t shard_begin(size_t s) const { return emb_base_[s]; }

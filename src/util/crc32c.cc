@@ -1,0 +1,114 @@
+#include "util/crc32c.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define SUPA_CRC32C_HAVE_SSE42 1
+#endif
+
+namespace supa {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+/// Slicing-by-8 lookup tables, built once at first use. Table [0] is the
+/// classic byte-at-a-time table; [k] advances a byte that sits k positions
+/// ahead, letting the loop fold 8 bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t ExtendPortable(uint32_t state, const uint8_t* p, size_t len) {
+  const Tables& tb = GetTables();
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    word ^= state;
+    state = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+            tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+            tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+            tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    state = tb.t[0][(state ^ *p++) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+#ifdef SUPA_CRC32C_HAVE_SSE42
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t state,
+                                                          const uint8_t* p,
+                                                          size_t len) {
+  uint64_t s = state;
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    s = _mm_crc32_u64(s, word);
+    p += 8;
+    len -= 8;
+  }
+  uint32_t s32 = static_cast<uint32_t>(s);
+  while (len-- > 0) {
+    s32 = _mm_crc32_u8(s32, *p++);
+  }
+  return s32;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2"); }
+#else
+bool HaveSse42() { return false; }
+#endif
+
+using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+ExtendFn PickBackend() {
+#ifdef SUPA_CRC32C_HAVE_SSE42
+  if (HaveSse42()) return &ExtendHardware;
+#endif
+  return &ExtendPortable;
+}
+
+ExtendFn ActiveBackend() {
+  static const ExtendFn fn = PickBackend();
+  return fn;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  return ActiveBackend()(crc ^ 0xFFFFFFFFu, p, len) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32cPortable(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  return ExtendPortable(crc ^ 0xFFFFFFFFu, p, len) ^ 0xFFFFFFFFu;
+}
+
+const char* Crc32cBackendName() {
+  return HaveSse42() ? "sse4.2" : "portable";
+}
+
+}  // namespace supa

@@ -94,6 +94,20 @@ size_t Rng::Weighted(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_gaussian = cached_gaussian_;
+  st.has_cached_gaussian = has_cached_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  cached_gaussian_ = st.cached_gaussian;
+  has_cached_gaussian_ = st.has_cached_gaussian;
+}
+
 uint64_t SplitMix64At(uint64_t seed, uint64_t index) {
   // SplitMix64 advances its state by a fixed odd constant per draw, so the
   // index-th state is reachable directly with one multiply.

@@ -62,6 +62,18 @@ class Rng {
   /// streams) from this one's stream.
   Rng Split();
 
+  /// Complete generator state, exposed so durable checkpoints can resume a
+  /// stream mid-flight. The cached Box–Muller half must be captured too:
+  /// dropping it would shift every subsequent Gaussian draw by one.
+  struct State {
+    uint64_t s[4];
+    double cached_gaussian;
+    bool has_cached_gaussian;
+  };
+
+  State state() const;
+  void set_state(const State& st);
+
  private:
   uint64_t s_[4];
   double cached_gaussian_ = 0.0;

@@ -114,10 +114,10 @@ TEST_F(CheckpointTest, RejectsTruncatedFile) {
   EXPECT_EQ(LoadCheckpoint(path_, &restored).code(), StatusCode::kIOError);
 }
 
-TEST_F(CheckpointTest, MissingFileIsIOError) {
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
   SupaModel model(data_, Config());
   EXPECT_EQ(LoadCheckpoint("/nonexistent/supa.bin", &model).code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace

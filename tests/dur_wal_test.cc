@@ -1,0 +1,255 @@
+#include "dur/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace supa::dur {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/supa_wal_" + info->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Deterministic, distinguishable record for sequence number `i`; every
+  // third record is a removal.
+  static WalRecord MakeRecord(uint64_t i) {
+    WalRecord rec;
+    rec.type = (i % 3 == 2) ? WalRecord::kRemoveEdge : WalRecord::kAddEdge;
+    rec.edge.src = static_cast<NodeId>(i * 7 + 1);
+    rec.edge.dst = static_cast<NodeId>(i * 11 + 3);
+    rec.edge.type = static_cast<EdgeTypeId>(i % 4);
+    rec.edge.time = 0.25 * static_cast<double>(i);
+    return rec;
+  }
+
+  void AppendRecords(WalOptions options, uint64_t first, uint64_t count) {
+    auto writer = WalWriter::Open(dir_, options, first);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (uint64_t i = first; i < first + count; ++i) {
+      ASSERT_TRUE(writer.value()->Append(MakeRecord(i)).ok());
+    }
+    EXPECT_EQ(writer.value()->next_seq(), first + count);
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  static void ExpectPrefix(const WalReplay& replay, uint64_t count) {
+    ASSERT_EQ(replay.records.size(), count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const WalRecord want = MakeRecord(i);
+      EXPECT_EQ(replay.records[i].type, want.type) << i;
+      EXPECT_EQ(replay.records[i].edge, want.edge) << i;
+    }
+  }
+
+  std::vector<fs::path> Segments() const {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, ParseWalSync) {
+  WalSync sync;
+  EXPECT_TRUE(ParseWalSync("every", &sync));
+  EXPECT_EQ(sync, WalSync::kEvery);
+  EXPECT_TRUE(ParseWalSync("batch", &sync));
+  EXPECT_EQ(sync, WalSync::kBatch);
+  EXPECT_TRUE(ParseWalSync("off", &sync));
+  EXPECT_EQ(sync, WalSync::kOff);
+  EXPECT_FALSE(ParseWalSync("fsync", &sync));
+  EXPECT_FALSE(ParseWalSync("", &sync));
+  EXPECT_STREQ(WalSyncName(WalSync::kBatch), "batch");
+}
+
+TEST_F(WalTest, MissingDirectoryReadsEmpty) {
+  auto replay = ReadWal(dir_ + "/never_created");
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().records.empty());
+  EXPECT_FALSE(replay.value().torn_tail);
+}
+
+TEST_F(WalTest, RoundTrip) {
+  AppendRecords(WalOptions{}, 0, 200);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 200);
+}
+
+TEST_F(WalTest, EverySyncModeRoundTrips) {
+  WalOptions options;
+  options.sync = WalSync::kEvery;
+  AppendRecords(options, 0, 50);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ExpectPrefix(replay.value(), 50);
+}
+
+TEST_F(WalTest, OffSyncModeRoundTrips) {
+  WalOptions options;
+  options.sync = WalSync::kOff;
+  AppendRecords(options, 0, 50);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ExpectPrefix(replay.value(), 50);
+}
+
+TEST_F(WalTest, SegmentRotation) {
+  WalOptions options;
+  options.segment_bytes = 256;  // a handful of 28-byte records per segment
+  AppendRecords(options, 0, 120);
+  EXPECT_GT(Segments().size(), 3u);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 120);
+}
+
+TEST_F(WalTest, ReopenContinuesSequence) {
+  WalOptions options;
+  options.segment_bytes = 256;
+  AppendRecords(options, 0, 30);
+  // A second writer session (post-recovery restart) picks up where the
+  // valid prefix ends and starts its own segment.
+  const size_t segments_before = Segments().size();
+  AppendRecords(options, 30, 40);
+  EXPECT_GT(Segments().size(), segments_before);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 70);
+}
+
+TEST_F(WalTest, TornFinalRecordStopsCleanly) {
+  AppendRecords(WalOptions{}, 0, 40);
+  // Chop a few bytes off the newest segment: the torn tail a crash during
+  // the final append leaves behind.
+  const fs::path last = Segments().back();
+  fs::resize_file(last, fs::file_size(last) - 5);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 39);
+}
+
+TEST_F(WalTest, CorruptRecordEndsPrefix) {
+  WalOptions options;
+  options.segment_bytes = 1u << 20;  // everything in one segment
+  AppendRecords(options, 0, 40);
+  // Flip one payload bit in record 25: header 24 bytes, 28-byte records.
+  const fs::path seg = Segments().front();
+  std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+  const std::streamoff pos = 24 + 25 * 28 + 8 + 3;
+  f.seekg(pos);
+  char byte;
+  f.read(&byte, 1);
+  byte ^= 0x10;
+  f.seekp(pos);
+  f.write(&byte, 1);
+  f.close();
+
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 25);
+}
+
+TEST_F(WalTest, SegmentGapEndsPrefix) {
+  WalOptions options;
+  options.segment_bytes = 256;
+  AppendRecords(options, 0, 120);
+  const std::vector<fs::path> segments = Segments();
+  ASSERT_GT(segments.size(), 2u);
+  // Remove a middle segment: everything from the gap on is unreachable.
+  // The deleted segment's name encodes its first sequence number, which is
+  // exactly where the surviving prefix must end.
+  unsigned long long gap_seq = 0;
+  ASSERT_EQ(std::sscanf(segments[1].filename().c_str(), "wal-%16llx.seg",
+                        &gap_seq),
+            1);
+  ASSERT_GT(gap_seq, 0u);
+  fs::remove(segments[1]);
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ExpectPrefix(replay.value(), gap_seq);
+}
+
+TEST_F(WalTest, BadSegmentHeaderFailsDescriptively) {
+  AppendRecords(WalOptions{}, 0, 5);
+  std::ofstream out(Segments().front(), std::ios::binary | std::ios::trunc);
+  out << "NOTAWAL0garbagegarbagegarbage";
+  out.close();
+  auto replay = ReadWal(dir_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().ToString().find("magic"), std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST_F(WalTest, TruncateDropsSuffix) {
+  WalOptions options;
+  options.segment_bytes = 256;
+  AppendRecords(options, 0, 100);
+  ASSERT_TRUE(TruncateWal(dir_, 37).ok());
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.value().torn_tail);
+  ExpectPrefix(replay.value(), 37);
+
+  // The log stays appendable at the cut: the resumed run regenerates the
+  // dropped records and replay sees one seamless sequence.
+  AppendRecords(options, 37, 20);
+  replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ExpectPrefix(replay.value(), 57);
+}
+
+TEST_F(WalTest, TruncateToZeroEmptiesLog) {
+  AppendRecords(WalOptions{}, 0, 10);
+  ASSERT_TRUE(TruncateWal(dir_, 0).ok());
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().records.empty());
+}
+
+TEST_F(WalTest, TruncateBeyondEndIsNoop) {
+  AppendRecords(WalOptions{}, 0, 10);
+  ASSERT_TRUE(TruncateWal(dir_, 10).ok());
+  ASSERT_TRUE(TruncateWal(dir_, 1000).ok());
+  auto replay = ReadWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ExpectPrefix(replay.value(), 10);
+}
+
+TEST_F(WalTest, BytesAppendedCountsPayload) {
+  auto writer = WalWriter::Open(dir_, WalOptions{}, 0);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer.value()->bytes_appended(), 0u);
+  ASSERT_TRUE(writer.value()->Append(MakeRecord(0)).ok());
+  ASSERT_TRUE(writer.value()->Append(MakeRecord(1)).ok());
+  EXPECT_EQ(writer.value()->bytes_appended(), 2u * 28u);
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  ASSERT_TRUE(writer.value()->Close().ok());  // idempotent
+}
+
+}  // namespace
+}  // namespace supa::dur

@@ -28,6 +28,8 @@
 #include "baselines/recommender.h"
 #include "core/checkpoint.h"
 #include "data/synthetic.h"
+#include "dur/engine.h"
+#include "dur/recovery.h"
 #include "eval/export.h"
 #include "eval/predictor.h"
 #include "eval/protocols.h"
@@ -139,6 +141,47 @@ std::unique_ptr<serve::ServeEngine> StartServing(const Args& args,
   return engine;
 }
 
+/// Shared by train and recover so a recovered run trains under exactly
+/// the configuration the crashed run used.
+Result<InsLearnConfig> TrainerConfig(const Args& args) {
+  InsLearnConfig tc;
+  tc.max_iters = static_cast<int>(args.GetUint("iters", 16));
+  tc.valid_interval = 4;
+  tc.threads = static_cast<size_t>(args.GetUint("threads", 0));
+  tc.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
+  // 0 defers to SUPA_WRITER_THREADS, then 1 (the serial loop). `strict`
+  // commits are bit-identical to serial at any writer count; `fast`
+  // relaxes only within-group α staleness (DESIGN.md §13).
+  tc.writer_threads = static_cast<size_t>(args.GetUint("writer-threads", 0));
+  const std::string ingest_mode = args.Get("ingest", "strict");
+  if (ingest_mode == "fast") {
+    tc.ingest_mode = IngestMode::kFast;
+  } else if (ingest_mode != "strict") {
+    return Status::InvalidArgument("unknown --ingest mode '" + ingest_mode +
+                                   "' (strict|fast)");
+  }
+  tc.ckpt_interval = static_cast<size_t>(args.GetUint("ckpt-interval", 1));
+  return tc;
+}
+
+/// Attaches a DurabilityEngine when --wal-dir is set; returns null (OK)
+/// otherwise.
+Result<std::unique_ptr<dur::DurabilityEngine>> MaybeAttachDurability(
+    const Args& args, SupaModel& model) {
+  const std::string wal_dir = args.Get("wal-dir", "");
+  if (wal_dir.empty()) return std::unique_ptr<dur::DurabilityEngine>();
+  dur::DurabilityOptions options;
+  options.dir = wal_dir;
+  if (!dur::ParseWalSync(args.Get("wal-sync", "batch"), &options.wal_sync)) {
+    return Status::InvalidArgument("unknown --wal-sync mode '" +
+                                   args.Get("wal-sync", "") +
+                                   "' (every|batch|off)");
+  }
+  options.compact_threshold =
+      static_cast<size_t>(args.GetUint("compact-threshold", 8));
+  return dur::DurabilityEngine::Attach(model, options);
+}
+
 int CmdTrain(const Args& args, obs::AdminServer* admin) {
   auto data = LoadDataset(args);
   if (!data.ok()) {
@@ -157,28 +200,30 @@ int CmdTrain(const Args& args, obs::AdminServer* admin) {
     engine = StartServing(args, &model, data.value(), admin, serve_workers);
   }
 
-  InsLearnConfig tc;
-  tc.max_iters = static_cast<int>(args.GetUint("iters", 16));
-  tc.valid_interval = 4;
-  tc.threads = static_cast<size_t>(args.GetUint("threads", 0));
-  tc.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
-  // 0 defers to SUPA_WRITER_THREADS, then 1 (the serial loop). `strict`
-  // commits are bit-identical to serial at any writer count; `fast`
-  // relaxes only within-group α staleness (DESIGN.md §13).
-  tc.writer_threads = static_cast<size_t>(args.GetUint("writer-threads", 0));
-  const std::string ingest_mode = args.Get("ingest", "strict");
-  if (ingest_mode == "fast") {
-    tc.ingest_mode = IngestMode::kFast;
-  } else if (ingest_mode != "strict") {
-    std::fprintf(stderr, "unknown --ingest mode '%s' (strict|fast)\n",
-                 ingest_mode.c_str());
+  auto tc = TrainerConfig(args);
+  if (!tc.ok()) {
+    std::fprintf(stderr, "%s\n", tc.status().ToString().c_str());
     return 1;
   }
-  InsLearnTrainer trainer(tc);
+  auto durability = MaybeAttachDurability(args, model);
+  if (!durability.ok()) {
+    std::fprintf(stderr, "%s\n", durability.status().ToString().c_str());
+    return 1;
+  }
+  tc.value().checkpoint_sink = durability.value().get();
+
+  InsLearnTrainer trainer(tc.value());
   auto report = trainer.Train(model, data.value(), split.train);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
+  }
+  if (durability.value() != nullptr) {
+    // Every enqueued link must be durable before the run is declared done.
+    if (Status st = durability.value()->Flush(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   const std::string ckpt = args.Get("checkpoint", "supa_model.bin");
   if (Status st = SaveCheckpoint(model, ckpt); !st.ok()) {
@@ -201,6 +246,74 @@ int CmdTrain(const Args& args, obs::AdminServer* admin) {
                  static_cast<unsigned long long>(engine->requests_served()),
                  static_cast<unsigned long long>(engine->requests_rejected()));
   }
+  return 0;
+}
+
+/// `recover`: rebuild a killed `train --wal-dir` run from its durability
+/// directory and finish it. Must be invoked with the same
+/// --dataset/--scale/--seed, model flags, and trainer flags as the
+/// crashed run; the checkpoint it writes is bit-identical to the one the
+/// uninterrupted run would have written (CI's crash-recovery smoke pins
+/// this with cmp).
+int CmdRecover(const Args& args) {
+  const std::string wal_dir = args.Get("wal-dir", "");
+  if (wal_dir.empty()) {
+    std::fprintf(stderr, "recover requires --wal-dir\n");
+    return 2;
+  }
+  auto data = LoadDataset(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitTemporal(data.value()).value();
+  SupaModel model(data.value(), ModelConfig(args));
+
+  auto recovered = dur::Recover(wal_dir, &model);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "recovered %s: %llu checkpoint links, %llu WAL records "
+               "replayed%s in %.3fs\n",
+               wal_dir.c_str(),
+               static_cast<unsigned long long>(recovered.value().links_applied),
+               static_cast<unsigned long long>(
+                   recovered.value().wal_records_replayed),
+               recovered.value().used_fallback_link ? " (fallback link)" : "",
+               recovered.value().seconds);
+
+  auto tc = TrainerConfig(args);
+  if (!tc.ok()) {
+    std::fprintf(stderr, "%s\n", tc.status().ToString().c_str());
+    return 1;
+  }
+  auto durability = MaybeAttachDurability(args, model);
+  if (!durability.ok()) {
+    std::fprintf(stderr, "%s\n", durability.status().ToString().c_str());
+    return 1;
+  }
+  tc.value().checkpoint_sink = durability.value().get();
+
+  InsLearnTrainer trainer(tc.value());
+  auto report = trainer.Train(model, data.value(), split.train,
+                              &recovered.value().cursor);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = durability.value()->Flush(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string ckpt = args.Get("checkpoint", "supa_model.bin");
+  if (Status st = SaveCheckpoint(model, ckpt); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("resumed training finished %zu batches -> %s\n",
+              report.value().num_batches, ckpt.c_str());
   return 0;
 }
 
@@ -420,8 +533,20 @@ int CmdMine(const Args& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: supa_cli "
-               "<generate|train|serve|eval|recommend|mine|export> "
+               "<generate|train|recover|serve|eval|recommend|mine|export> "
                "[--flag value]...\n"
+               "durability (train/recover):\n"
+               "  --wal-dir <dir>       write-ahead-log every graph "
+               "mutation and take incremental checkpoints into <dir>; a "
+               "killed run restarts bit-identically via `recover`\n"
+               "  --wal-sync <mode>     every (fdatasync per record), "
+               "batch (per durable cut; default), off\n"
+               "  --ckpt-interval <n>   batches between durable cuts "
+               "(default 1)\n"
+               "  --compact-threshold <n>  deltas tolerated before the "
+               "chain is folded into a fresh base (default 8)\n"
+               "  recover --wal-dir D   rebuild the crashed run's state, "
+               "resume, and finish training (same flags as train)\n"
                "serving:\n"
                "  train --serve <n>     score POST /recommend on n workers "
                "while training runs (results and checkpoint bytes stay "
@@ -465,6 +590,7 @@ int Dispatch(const std::string& cmd, const Args& args,
              obs::AdminServer* admin) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args, admin);
+  if (cmd == "recover") return CmdRecover(args);
   if (cmd == "serve") return CmdServe(args, admin);
   if (cmd == "eval") return CmdEval(args);
   if (cmd == "recommend") return CmdRecommend(args);
